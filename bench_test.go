@@ -1,0 +1,147 @@
+package spp
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation (§VI). Each iteration regenerates the experiment at a
+// laptop scale; run `go run ./cmd/sppbench` for the full tables with
+// configurable scale. Micro-benchmarks for the SPP hook fast paths
+// follow, since they are what the figures ultimately measure.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/hooks"
+)
+
+func benchCfg() bench.Config {
+	return bench.Config{Scale: 0.002, Threads: []int{1, 4}, PoolSize: 128 << 20, Seed: 42}
+}
+
+// BenchmarkFig4Indices regenerates Figure 4: persistent-index
+// throughput under PMDK, SafePM and SPP.
+func BenchmarkFig4Indices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Pmemkv regenerates Figure 5: pmemkv workloads across
+// the thread axis.
+func BenchmarkFig5Pmemkv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Phoenix regenerates Figure 6: the Phoenix suite.
+func BenchmarkFig6Phoenix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7PMOps regenerates Figure 7: atomic and transactional
+// PM management operations across object sizes.
+func BenchmarkFig7PMOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Recovery regenerates Table II: recovery time vs
+// snapshotted PMEMoids.
+func BenchmarkTable2Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Space regenerates Table III: SPP's PM space overhead
+// per index.
+func BenchmarkTable3Space(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Ripe regenerates Table IV: the RIPE attack matrix
+// against every protection mechanism.
+func BenchmarkTable4Ripe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrashConsistency regenerates the §VI-E pmemcheck +
+// pmreorder validation.
+func BenchmarkCrashConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.CrashConsistency(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the DESIGN.md §7 ablation: pass
+// optimizations, _direct hooks and the SafePM medium model.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Ablation(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Hook-level micro-benchmarks: the per-access cost each mechanism adds.
+
+func benchmarkLoad(b *testing.B, prot Protection) {
+	pool, err := Open(Options{PoolSize: 64 << 20, Protection: prot})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oid, err := pool.Alloc(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pool.Direct(oid)
+	rt := pool.Runtime()
+	b.ResetTimer()
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		v, err := hooks.LoadU64(rt, rt.Gep(p, int64(i%512)*8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s += v
+	}
+	sink = s
+}
+
+var sink uint64
+
+// BenchmarkCheckedLoadPMDK is the uninstrumented baseline access cost.
+func BenchmarkCheckedLoadPMDK(b *testing.B) { benchmarkLoad(b, ProtectionNone) }
+
+// BenchmarkCheckedLoadSPP measures SPP's tag-arithmetic access cost.
+func BenchmarkCheckedLoadSPP(b *testing.B) { benchmarkLoad(b, ProtectionSPP) }
+
+// BenchmarkCheckedLoadSafePM measures the shadow-memory access cost.
+func BenchmarkCheckedLoadSafePM(b *testing.B) { benchmarkLoad(b, ProtectionSafePM) }
+
+// BenchmarkCheckedLoadMemcheck measures the addressability-tracking
+// access cost.
+func BenchmarkCheckedLoadMemcheck(b *testing.B) { benchmarkLoad(b, ProtectionMemcheck) }

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestCheckOneIndex(t *testing.T) {
+	if err := run([]string{"-index", "ctree", "-ops", "40", "-every", "16", "-max-states", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBadIndex(t *testing.T) {
+	if err := run([]string{"-index", "splaytree", "-ops", "10"}); err == nil {
+		t.Error("unknown index accepted")
+	}
+}

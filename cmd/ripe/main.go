@@ -1,0 +1,66 @@
+// Command ripe runs the RIPE buffer-overflow attack matrix (the
+// paper's Table IV) against one or all protection mechanisms and
+// reports which attacks succeed.
+//
+// Usage:
+//
+//	ripe                # the full Table IV
+//	ripe -row spp -v    # one row, listing surviving attacks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ripe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ripe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ripe", flag.ContinueOnError)
+	row := fs.String("row", "", "single row: volatile-heap, pm-pool-heap, safepm, spp, memcheck")
+	verbose := fs.Bool("v", false, "list the attacks that succeeded")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner := &ripe.Runner{}
+	rows := ripe.Rows
+	if *row != "" {
+		found := false
+		for _, r := range ripe.Rows {
+			if string(r) == *row {
+				rows = []ripe.RowKind{r}
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown row %q", *row)
+		}
+	}
+	byID := make(map[int]ripe.Attack)
+	for _, a := range ripe.Matrix() {
+		byID[a.ID] = a
+	}
+	fmt.Printf("RIPE 64-bit PM port: %d buffer-overflow attack instances\n\n", len(byID))
+	fmt.Printf("%-16s %12s %12s\n", "variant", "successful", "prevented")
+	for _, r := range rows {
+		res, err := runner.RunRow(r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %12d %12d\n", r, res.Successful, res.Prevented)
+		if *verbose {
+			for _, id := range res.SucceededIDs {
+				fmt.Printf("    surviving: %s\n", byID[id])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSingleRow(t *testing.T) {
+	if err := run([]string{"-row", "spp", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadRow(t *testing.T) {
+	if err := run([]string{"-row", "bogus"}); err == nil {
+		t.Error("bogus row accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunOneExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "ablation", "-scale", "0.001", "-pool", "67108864"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-threads", "0"}); err == nil {
+		t.Error("bad threads accepted")
+	}
+	if err := run([]string{"-threads", "x"}); err == nil {
+		t.Error("non-numeric threads accepted")
+	}
+}

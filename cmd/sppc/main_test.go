@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"-demo", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-demo", "-q", "-run"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-demo", "-q", "-run", "-protection", "pmdk"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-demo", "-q", "-no-tracking", "-no-preempt", "-no-hoist", "-no-lto", "-restore-intptr"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.ir")
+	src := "func @main() {\nentry:\n  %x = const 5\n  ret %x\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-q", "-run", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run([]string{"/nonexistent.ir"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-demo", "-q", "-run", "-protection", "bogus"}); err == nil {
+		t.Error("bogus protection accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.ir")
+	if err := os.WriteFile(path, []byte("not ir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-q", path}); err == nil {
+		t.Error("bad IR accepted")
+	}
+}

@@ -1,0 +1,38 @@
+// Package spp is a Go reproduction of "SPP: Safe Persistent Pointers
+// for Memory Safety" (Stavrakakis, Panfil, Nam, Bhatotia — DSN 2024):
+// a spatial memory-safety mechanism for persistent-memory applications
+// built from tagged pointers, an enhanced persistent pointer
+// representation, and crash-consistent metadata updates.
+//
+// The package is the public facade over a complete from-scratch stack:
+//
+//   - a simulated byte-addressable PM device with store/flush/fence
+//     semantics and crash simulation (internal/pmem);
+//   - a simulated 64-bit address space in which overflown SPP pointers
+//     fault exactly like hardware (internal/vmem);
+//   - a PMDK-style persistent object store — allocator with size
+//     classes, redo and undo logs with heap extensions, transactions,
+//     lanes and recovery (internal/pmemobj);
+//   - the SPP pointer encoding and runtime hooks (internal/core), the
+//     SafePM and memcheck baselines (internal/safepm,
+//     internal/memcheck);
+//   - a mini compiler IR with SPP's transformation and LTO passes and
+//     an interpreter (internal/ir, internal/transform, internal/interp);
+//   - the paper's complete evaluation: persistent indices, a pmemkv
+//     clone, the Phoenix suite, the RIPE attack matrix, and a
+//     pmemcheck/pmreorder crash-consistency checker.
+//
+// # Quick start
+//
+//	pool, err := spp.Open(spp.Options{PoolSize: 64 << 20, Protection: spp.ProtectionSPP})
+//	if err != nil { ... }
+//	oid, err := pool.Alloc(64)
+//	ptr := pool.Direct(oid)                  // tagged pointer
+//	err = pool.StoreU64(ptr, 42)             // checked access
+//	bad := pool.Gep(ptr, 64)                 // one past the end
+//	err = pool.StoreU64(bad, 1)              // faults: overflow bit set
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured
+// results of every table and figure.
+package spp

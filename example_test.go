@@ -1,0 +1,84 @@
+package spp_test
+
+import (
+	"errors"
+	"fmt"
+
+	spp "repro"
+)
+
+// Example shows the core SPP flow: tagged pointers, implicit bounds
+// checking, and recovery of identical pointers after a restart.
+func Example() {
+	pool, err := spp.Open(spp.Options{PoolSize: 32 << 20})
+	if err != nil {
+		panic(err)
+	}
+	oid, _ := pool.Alloc(64)
+	ptr := pool.Direct(oid)
+	_ = pool.StoreU64(ptr, 42)
+	v, _ := pool.LoadU64(ptr)
+	fmt.Println("stored:", v)
+
+	err = pool.StoreU64(pool.Gep(ptr, 64), 1)
+	fmt.Println("overflow detected:", errors.Is(err, spp.ErrDetected))
+	// Output:
+	// stored: 42
+	// overflow detected: true
+}
+
+// ExamplePool_Begin demonstrates transactional updates: an aborted
+// transaction rolls its snapshotted writes back.
+func ExamplePool_Begin() {
+	pool, _ := spp.Open(spp.Options{PoolSize: 32 << 20})
+	oid, _ := pool.Alloc(64)
+	ptr := pool.Direct(oid)
+	_ = pool.StoreU64(ptr, 1)
+	_ = pool.Persist(ptr, 8)
+
+	tx := pool.Begin()
+	_ = tx.AddRange(oid.Off, 8)
+	_ = pool.StoreU64(ptr, 999)
+	_ = tx.Abort()
+
+	v, _ := pool.LoadU64(ptr)
+	fmt.Println("after abort:", v)
+	// Output:
+	// after abort: 1
+}
+
+// ExampleAllocSlice shows the typed persistent-pointer layer (the
+// libpmemobj-cpp analog): element accesses are bounds-checked.
+func ExampleAllocSlice() {
+	pool, _ := spp.Open(spp.Options{PoolSize: 32 << 20})
+	arr, _ := spp.AllocSlice[uint32](pool, 8)
+	for i := 0; i < arr.Len(); i++ {
+		_ = arr.Set(i, uint32(i*i))
+	}
+	v, _ := arr.At(7)
+	fmt.Println("arr[7] =", v)
+	_, err := arr.At(8)
+	fmt.Println("arr[8] detected:", errors.Is(err, spp.ErrDetected))
+	// Output:
+	// arr[7] = 49
+	// arr[8] detected: true
+}
+
+// ExamplePool_Reopen shows that persisted oids reconstruct identical
+// tagged pointers across a restart (design goal #4).
+func ExamplePool_Reopen() {
+	pool, _ := spp.Open(spp.Options{PoolSize: 32 << 20})
+	root, _ := pool.Root(24)
+	oid, _ := pool.Alloc(48)
+	ptr := pool.Direct(oid)
+	_ = pool.StoreU64(ptr, 7)
+	_ = pool.Persist(ptr, 8)
+	pool.WriteOid(root.Off, oid)
+
+	_ = pool.Reopen()
+	again := pool.Direct(pool.ReadOid(root.Off))
+	v, _ := pool.LoadU64(again)
+	fmt.Println("same pointer:", again == ptr, "value:", v)
+	// Output:
+	// same pointer: true value: 7
+}

@@ -1,0 +1,91 @@
+// Compiler-pass example: a small "C program" in the mini-IR is run
+// through SPP's transformation and LTO passes and then executed — once
+// under the native toolchain (the overflow silently corrupts a
+// neighbour) and once under SPP (the injected hooks trap it). The
+// instrumented IR is printed so the injected __spp_* calls, the
+// pruned volatile accesses and the merged bound checks are visible.
+//
+// Run with: go run ./examples/compiler-pass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hooks"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/transform"
+	"repro/internal/variant"
+)
+
+// program mixes everything the pass has to reason about: persistent
+// and volatile pointers, pointer arithmetic, an external call, a
+// memory intrinsic, and a buffer overflow at the end.
+const program = `
+extern @ext_store8
+func @main() {
+entry:
+  %sz = const 64
+  %oid = pmalloc %sz
+  %p = direct %oid          ; persistent: instrumented with _direct hooks
+  %m = malloc %sz
+  %v = const 7
+  store.8 %m, %v            ; volatile: instrumentation pruned
+  store.8 %p, %v
+  %q = gep %p, 8
+  store.8 %q, %v            ; merged with the store above (preemption)
+  %r = callext @ext_store8, %p, %v   ; pointer masked before the call
+  %n = const 16
+  memcpy %q, %p, %n         ; interposed with the checking wrapper
+  %oid2 = pmalloc %sz
+  %p2 = direct %oid2
+  %over = gep %p, 64
+  store.8 %over, %v         ; BUG: one past the end of %p
+  ret %v
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	mod, err := ir.Parse(program)
+	if err != nil {
+		return err
+	}
+	instrumented, stats, err := transform.Apply(mod, transform.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- instrumented module ---")
+	fmt.Print(instrumented.String())
+	fmt.Printf("\n--- pass statistics ---\n")
+	fmt.Printf("updatetag calls:  %d\n", stats.UpdateTags)
+	fmt.Printf("checkbound calls: %d (+%d merged away by preemption)\n", stats.CheckBounds, stats.Preempted)
+	fmt.Printf("external masks:   %d\n", stats.CleanExternals)
+	fmt.Printf("wrapped intrins:  %d\n", stats.WrappedIntrins)
+	fmt.Printf("pruned volatile:  %d\n", stats.PrunedVolatile)
+	fmt.Printf("_direct hooks:    %d\n", stats.DirectHooks)
+
+	for _, kind := range []variant.Kind{variant.PMDK, variant.SPP} {
+		env, err := variant.New(kind, variant.Options{PoolSize: 32 << 20})
+		if err != nil {
+			return err
+		}
+		ret, err := interp.New(instrumented, env).Run("main")
+		fmt.Printf("\n--- running the hardened binary under %s ---\n", kind)
+		switch {
+		case hooks.IsSafetyTrap(err):
+			fmt.Printf("PM buffer overflow detected: %v\n", err)
+		case err != nil:
+			return err
+		default:
+			fmt.Printf("@main returned %d (overflow went undetected)\n", ret)
+		}
+	}
+	return nil
+}

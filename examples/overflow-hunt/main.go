@@ -1,0 +1,140 @@
+// Overflow hunt: reproductions of the real bugs §VI-D of the paper
+// reports SPP finding, rebuilt on this stack:
+//
+//  1. the PMDK btree_map memmove overflow (pmem/pmdk#5333): shifting
+//     node entries during a split moves one slot too many;
+//  2. the PMDK libpmemobj array example's unchecked realloc: when a
+//     grow fails, the code fills the "new" cells of the old, smaller
+//     array;
+//  3. the Phoenix string_match off-by-one: the scanner reads one byte
+//     past the input buffer (kozyraki/phoenix#9).
+//
+// Each bug is run under native PMDK (silent corruption) and under SPP
+// (detected at the faulting access).
+//
+// Run with: go run ./examples/overflow-hunt
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	spp "repro"
+	"repro/internal/indices"
+	"repro/internal/phoenix"
+	"repro/internal/variant"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("bug 1: btree_map memmove overflow (pmem/pmdk#5333)")
+	if err := btreeMemmoveBug(); err != nil {
+		return err
+	}
+	fmt.Println("\nbug 2: array example's unchecked realloc")
+	if err := arrayReallocBug(); err != nil {
+		return err
+	}
+	fmt.Println("\nbug 3: phoenix string_match off-by-one (kozyraki/phoenix#9)")
+	return stringMatchBug()
+}
+
+// btreeMemmoveBug triggers pmem/pmdk#5333 inside the real persistent
+// B-tree: with the split guard disabled (the upstream bug's missing
+// precondition), inserting into a full node shifts its items one slot
+// past the node object through the interposed memmove.
+func btreeMemmoveBug() error {
+	for _, kind := range []variant.Kind{variant.PMDK, variant.SPP} {
+		env, err := variant.New(kind, variant.Options{PoolSize: 32 << 20})
+		if err != nil {
+			return err
+		}
+		m, err := indices.New("btree", env.RT)
+		if err != nil {
+			return err
+		}
+		for k := uint64(10); k <= 70; k += 10 { // fill the root node
+			if err := m.Insert(k, k); err != nil {
+				return err
+			}
+		}
+		if err := m.(indices.BugInjector).InjectBug("pmdk-5333"); err != nil {
+			return err
+		}
+		prot := spp.ProtectionNone
+		if kind == variant.SPP {
+			prot = spp.ProtectionSPP
+		}
+		report(prot, m.Insert(5, 5))
+	}
+	return nil
+}
+
+// arrayReallocBug models the libpmemobj array example (lines 215/235/
+// 257): the realloc return value is unchecked, and after a failed grow
+// the code fills the new cells of the array that never grew.
+func arrayReallocBug() error {
+	for _, prot := range []spp.Protection{spp.ProtectionNone, spp.ProtectionSPP} {
+		pool, err := spp.Open(spp.Options{PoolSize: 16 << 20, Protection: prot})
+		if err != nil {
+			return err
+		}
+		const oldElems, newElems = 8, 16
+		arr, err := pool.Alloc(oldElems * 8)
+		if err != nil {
+			return err
+		}
+		if _, err := pool.Alloc(64); err != nil { // the victim neighbour
+			return err
+		}
+		// The grow "fails" (here: is skipped), but like the example the
+		// code does not check and fills elements oldElems..newElems-1
+		// of the supposedly resized array.
+		p := pool.Direct(arr)
+		var bugErr error
+		for i := int64(oldElems); i < newElems; i++ {
+			if bugErr = pool.StoreU64(pool.Gep(p, i*8), uint64(i)); bugErr != nil {
+				break
+			}
+		}
+		report(prot, bugErr)
+	}
+	return nil
+}
+
+// stringMatchBug runs the ported Phoenix kernel with the upstream
+// off-by-one enabled.
+func stringMatchBug() error {
+	for _, kind := range []variant.Kind{variant.PMDK, variant.SPP} {
+		env, err := variant.New(kind, variant.Options{PoolSize: 32 << 20})
+		if err != nil {
+			return err
+		}
+		_, err = phoenix.StringMatchBuggy(env.RT, 2000, 1)
+		prot := spp.ProtectionNone
+		if kind == variant.SPP {
+			prot = spp.ProtectionSPP
+		}
+		report(prot, err)
+	}
+	return nil
+}
+
+func report(prot spp.Protection, err error) {
+	switch {
+	case errors.Is(err, spp.ErrDetected):
+		fmt.Printf("  %-6s DETECTED: %v\n", prot, err)
+	case err != nil && prot == spp.ProtectionSPP:
+		fmt.Printf("  %-6s DETECTED: %v\n", prot, err)
+	case err != nil:
+		fmt.Printf("  %-6s unexpected error: %v\n", prot, err)
+	default:
+		fmt.Printf("  %-6s silent (corruption written to the neighbouring object)\n", prot)
+	}
+}

@@ -1,0 +1,151 @@
+// Package bench is the experiment harness: one entry point per table
+// and figure of the paper's evaluation (§VI), each regenerating the
+// same rows or series the paper reports. Absolute numbers differ from
+// the paper's Optane testbed — the substrate here is a simulator — but
+// the shapes (who wins, by what factor, where the outliers are) are
+// the reproduction target; see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/variant"
+)
+
+// Config scales the experiments. Scale 1.0 is the paper's size
+// (e.g. one million index keys); the default test scale is much
+// smaller so the suite stays fast.
+type Config struct {
+	// Scale multiplies the paper's operation counts (1.0 = paper).
+	Scale float64
+	// Threads is the pmemkv thread axis; the paper uses 1..32.
+	Threads []int
+	// PoolSize per environment.
+	PoolSize uint64
+	// Seed for workload generation.
+	Seed int64
+}
+
+// DefaultConfig is a laptop-scale configuration that keeps every
+// experiment under a few seconds.
+func DefaultConfig() Config {
+	return Config{
+		Scale:    0.01,
+		Threads:  []int{1, 2, 4, 8},
+		PoolSize: 256 << 20,
+		Seed:     42,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Scale == 0 {
+		c.Scale = d.Scale
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = d.Threads
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = d.PoolSize
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+func (c Config) scaled(paperCount int) int {
+	n := int(float64(paperCount) * c.Scale)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// newEnv builds a variant environment sized for the harness.
+func newEnv(kind variant.Kind, cfg Config, tagBits uint) (*variant.Env, error) {
+	return variant.New(kind, variant.Options{
+		PoolSize: cfg.PoolSize,
+		TagBits:  tagBits,
+	})
+}
+
+// throughput returns operations per second.
+func throughput(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// slowdown formats the paper's "slowdown w.r.t. native PMDK" metric:
+// baseline throughput divided by variant throughput.
+func slowdown(base, v float64) string {
+	if v == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", base/v)
+}
+
+// uniformKeys generates n pseudo-random 8-byte keys (pmembench's
+// uniform distribution).
+func uniformKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()%uint64(n*8) + 1
+	}
+	return keys
+}

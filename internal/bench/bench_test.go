@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{Scale: 0.001, Threads: []int{1, 2}, PoolSize: 64 << 20, Seed: 7}
+}
+
+func parseSlowdown(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad slowdown cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+		Notes:   []string{"a note"},
+	}
+	out := tab.Format()
+	for _, want := range []string{"== demo ==", "long-column", "yyyy", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4ShapeHolds(t *testing.T) {
+	tab, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 4 indices × 3 ops
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Shape: SafePM slower than SPP on average (the paper's headline).
+	var safepmSum, sppSum float64
+	for _, row := range tab.Rows {
+		safepmSum += parseSlowdown(t, row[3])
+		sppSum += parseSlowdown(t, row[4])
+	}
+	if safepmSum <= sppSum {
+		t.Errorf("SafePM (%0.1f total) not slower than SPP (%0.1f total)", safepmSum, sppSum)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	tab, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4*2 { // 4 workloads × 2 thread counts
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var safepmSum, sppSum float64
+	for _, row := range tab.Rows {
+		safepmSum += parseSlowdown(t, row[3])
+		sppSum += parseSlowdown(t, row[4])
+	}
+	if safepmSum <= sppSum {
+		t.Errorf("SafePM (%0.1f) not slower than SPP (%0.1f)", safepmSum, sppSum)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	tab, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var safepmSum, sppSum float64
+	for _, row := range tab.Rows {
+		safepmSum += parseSlowdown(t, row[2])
+		sppSum += parseSlowdown(t, row[3])
+	}
+	if safepmSum <= sppSum {
+		t.Errorf("SafePM (%0.1f) not slower than SPP (%0.1f)", safepmSum, sppSum)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestFig7Runs(t *testing.T) {
+	tab, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // {atomic, tx} × {alloc, free, realloc}
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Management operations barely touch SPP's fast path: slowdowns
+	// must stay moderate (the paper reports 1-17%; allow noise).
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if s := parseSlowdown(t, cell); s > 3.0 {
+				t.Errorf("%s: slowdown %s implausibly high", row[0], cell)
+			}
+		}
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestTable2Runs(t *testing.T) {
+	tab, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	cfg := tiny()
+	cfg.Scale = 0.002
+	tab, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rtreePct float64
+	for _, row := range tab.Rows {
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", row[2])
+		}
+		if row[0] == "rtree" {
+			rtreePct = pct
+		} else if pct > 25 {
+			t.Errorf("%s overhead %.1f%%, expected small", row[0], pct)
+		}
+	}
+	if rtreePct < 30 || rtreePct > 50 {
+		t.Errorf("rtree overhead %.1f%%, want ~40%% (paper: 39.7%%)", rtreePct)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestCrashConsistencyCleans(t *testing.T) {
+	tab, err := CrashConsistency(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Errorf("%s: %s pmemcheck violations", row[0], row[3])
+		}
+		if row[5] != "PASS" {
+			t.Errorf("%s: %s", row[0], row[5])
+		}
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestAblationRuns(t *testing.T) {
+	tab, err := Ablation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ablationConfigs)+3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Pointer tracking must prune hooks; disabling it must not.
+	if tab.Rows[0][3] == "0" {
+		t.Error("full config pruned nothing")
+	}
+	if tab.Rows[1][3] != "0" {
+		t.Error("tracking-disabled config pruned hooks")
+	}
+	// Disabling preemption/hoisting must leave more static checks.
+	if tab.Rows[2][1] == tab.Rows[0][1] && tab.Rows[2][2] == tab.Rows[0][2] {
+		t.Error("optimizations made no static difference")
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/indices"
+	"repro/internal/kvstore"
+	"repro/internal/phoenix"
+	"repro/internal/variant"
+)
+
+// fig4Variants are the Table I variants compared in the throughput
+// figures.
+var fig4Variants = []variant.Kind{variant.PMDK, variant.SafePM, variant.SPP}
+
+// Fig4 reproduces Figure 4: persistent-index throughput slowdown
+// w.r.t. native PMDK for ctree/rbtree/rtree/hashmap × insert/get/
+// remove, one million uniform 8-byte keys at paper scale.
+func Fig4(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(1_000_000)
+	keys := uniformKeys(n, cfg.Seed)
+
+	t := Table{
+		Title:   fmt.Sprintf("Figure 4: persistent indices, %d uniform keys, slowdown w.r.t. PMDK", n),
+		Columns: []string{"index", "op", "pmdk Mops/s", "safepm", "spp"},
+	}
+	for _, kind := range indices.Kinds {
+		// ops -> variant -> throughput
+		tput := map[string]map[variant.Kind]float64{
+			"insert": {}, "get": {}, "remove": {},
+		}
+		for _, vk := range fig4Variants {
+			env, err := newEnv(vk, cfg, 0)
+			if err != nil {
+				return t, err
+			}
+			m, err := indices.New(kind, env.RT)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s: %w", kind, vk, err)
+			}
+			// Warm caches and the allocator with a prefix of the keys.
+			for _, k := range keys[:len(keys)/5] {
+				if err := m.Insert(k, k); err != nil {
+					return t, err
+				}
+			}
+			for _, k := range keys[:len(keys)/5] {
+				if _, err := m.Remove(k); err != nil {
+					return t, err
+				}
+			}
+			runtime.GC()
+			start := time.Now()
+			for _, k := range keys {
+				if err := m.Insert(k, k); err != nil {
+					return t, fmt.Errorf("%s/%s insert: %w", kind, vk, err)
+				}
+			}
+			tput["insert"][vk] = throughput(n, time.Since(start))
+
+			runtime.GC()
+			start = time.Now()
+			for _, k := range keys {
+				if _, _, err := m.Get(k); err != nil {
+					return t, fmt.Errorf("%s/%s get: %w", kind, vk, err)
+				}
+			}
+			tput["get"][vk] = throughput(n, time.Since(start))
+
+			runtime.GC()
+			start = time.Now()
+			for _, k := range keys {
+				if _, err := m.Remove(k); err != nil {
+					return t, fmt.Errorf("%s/%s remove: %w", kind, vk, err)
+				}
+			}
+			tput["remove"][vk] = throughput(n, time.Since(start))
+		}
+		for _, op := range []string{"insert", "get", "remove"} {
+			base := tput[op][variant.PMDK]
+			t.Rows = append(t.Rows, []string{
+				kind, op,
+				fmt.Sprintf("%.3f", base/1e6),
+				slowdown(base, tput[op][variant.SafePM]),
+				slowdown(base, tput[op][variant.SPP]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig5Workload is one pmemkv-bench workload mix.
+type fig5Workload struct {
+	name       string
+	readPct    int
+	sequential bool
+}
+
+var fig5Workloads = []fig5Workload{
+	{"random reads/writes (50%-50%)", 50, false},
+	{"random reads/writes (95%-5%)", 95, false},
+	{"random reads", 100, false},
+	{"sequential reads", 100, true},
+}
+
+// Fig5 reproduces Figure 5: pmemkv throughput slowdown w.r.t. native
+// PMDK across four workloads and the thread axis. Paper scale: 1M
+// preloaded keys, 10M operations, 16-byte keys, 1024-byte values.
+func Fig5(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	preload := cfg.scaled(1_000_000)
+	ops := cfg.scaled(10_000_000)
+
+	t := Table{
+		Title:   fmt.Sprintf("Figure 5: pmemkv (cmap), %d keys preloaded, %d ops, slowdown w.r.t. PMDK", preload, ops),
+		Columns: []string{"workload", "threads", "pmdk Kops/s", "safepm", "spp"},
+	}
+	value := make([]byte, 1024)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+
+	for _, wl := range fig5Workloads {
+		for _, threads := range cfg.Threads {
+			tput := map[variant.Kind]float64{}
+			for _, vk := range fig4Variants {
+				env, err := newEnv(vk, cfg, 0)
+				if err != nil {
+					return t, err
+				}
+				s, err := kvstore.Open(env.RT)
+				if err != nil {
+					return t, err
+				}
+				for i := 0; i < preload; i++ {
+					if err := s.Put(keyOf(i), value); err != nil {
+						return t, fmt.Errorf("preload %s: %w", vk, err)
+					}
+				}
+				d, err := runFig5Workload(s, wl, preload, ops, threads, cfg.Seed)
+				if err != nil {
+					return t, fmt.Errorf("%s/%s: %w", wl.name, vk, err)
+				}
+				tput[vk] = throughput(ops, d)
+			}
+			base := tput[variant.PMDK]
+			t.Rows = append(t.Rows, []string{
+				wl.name, fmt.Sprintf("%d", threads),
+				fmt.Sprintf("%.1f", base/1e3),
+				slowdown(base, tput[variant.SafePM]),
+				slowdown(base, tput[variant.SPP]),
+			})
+		}
+	}
+	return t, nil
+}
+
+func runFig5Workload(s *kvstore.Store, wl fig5Workload, preload, ops, threads int, seed int64) (time.Duration, error) {
+	value := make([]byte, 1024)
+	errs := make([]error, threads)
+	perThread := ops / threads
+	if perThread == 0 {
+		perThread = 1
+	}
+	start := time.Now()
+	done := make(chan int, threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			rng := newXorshift(seed + int64(w) + 1)
+			for i := 0; i < perThread; i++ {
+				var idx int
+				if wl.sequential {
+					idx = (w*perThread + i) % preload
+				} else {
+					idx = int(rng.next() % uint64(preload))
+				}
+				key := []byte(fmt.Sprintf("%016d", idx))
+				if int(rng.next()%100) < wl.readPct {
+					if _, _, err := s.Get(key); err != nil {
+						errs[w] = err
+						return
+					}
+				} else {
+					if err := s.Put(key, value); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < threads; i++ {
+		<-done
+	}
+	d := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}
+
+type xorshift uint64
+
+func newXorshift(seed int64) *xorshift {
+	x := xorshift(seed)
+	if x == 0 {
+		x = 1
+	}
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// Fig6 reproduces Figure 6: Phoenix suite slowdown w.r.t. native PMDK
+// with 8 worker threads and 31 tag bits.
+func Fig6(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	threads := 8
+	// Per-kernel paper-scale units, scaled down by cfg.Scale.
+	scales := map[string]int{
+		"histogram":         8_000_000,
+		"kmeans":            500_000,
+		"linear_regression": 8_000_000,
+		"matrix_multiply":   600, // n×n: cubic work
+		"pca":               400_000,
+		"string_match":      2_000_000,
+		"word_count":        2_000_000,
+	}
+	t := Table{
+		Title:   "Figure 6: Phoenix benchmark suite, slowdown w.r.t. PMDK (8 threads, 31 tag bits)",
+		Columns: []string{"kernel", "pmdk ms", "safepm", "spp"},
+	}
+	for _, kernel := range phoenix.Kernels {
+		scale := cfg.scaled(scales[kernel])
+		if kernel == "matrix_multiply" {
+			// Cubic kernel: scale the edge, not the volume.
+			scale = cfg.scaled(scales[kernel] * 10)
+			if scale > scales[kernel] {
+				scale = scales[kernel]
+			}
+			if scale < 16 {
+				scale = 16
+			}
+		}
+		var base time.Duration
+		row := []string{kernel}
+		var want uint64
+		for i, vk := range []variant.Kind{variant.PMDK, variant.SafePM, variant.SPP} {
+			env, err := newEnv(vk, cfg, core.PhoenixTagBits)
+			if err != nil {
+				return t, err
+			}
+			start := time.Now()
+			sum, err := phoenix.Run(kernel, env.RT, scale, threads)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s: %w", kernel, vk, err)
+			}
+			d := time.Since(start)
+			if i == 0 {
+				want = sum
+				base = d
+				row = append(row, fmt.Sprintf("%.1f", float64(d.Microseconds())/1000))
+			} else {
+				if sum != want {
+					return t, fmt.Errorf("%s/%s: checksum %#x != %#x", kernel, vk, sum, want)
+				}
+				row = append(row, fmt.Sprintf("%.2fx", float64(d)/float64(base)))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,245 @@
+// Package core implements Safe Persistent Pointers: the SPP tagged
+// pointer encoding and the runtime tag-management functions that the
+// compiler instrumentation injects (§IV-A, §IV-D of the paper).
+//
+// A 64-bit SPP pointer is split into four parts:
+//
+//	bit 63        PM bit: 1 marks a pointer into persistent memory
+//	bit 62        overflow bit
+//	bits 61..B    tag (TagBits wide), B = 64 - 2 - TagBits
+//	bits B-1..0   virtual address
+//
+// The tag is initialized to the two's complement of the object size
+// (Delta-pointer encoding): for a fresh object the tag holds
+// 2^TagBits - size and the overflow bit is clear. Every pointer
+// arithmetic operation adds its byte offset to the tag; when the
+// cumulative offset reaches the object size the addition carries out of
+// the tag field into the overflow bit. Cleaning the tag before a
+// dereference preserves the overflow bit, so an overflown pointer
+// resolves to the invalid address 2^62|addr and the access faults —
+// the bounds check is implicit, with no branch.
+//
+// Walking the pointer back below the upper bound borrows the carry back
+// and the pointer becomes valid again, exactly as in Figure 3 of the
+// paper. Like SPP (and Delta Pointers), the encoding detects only
+// upper-bound violations; underflows would need a second tag field
+// (§IV-A).
+package core
+
+import "fmt"
+
+// PMBit marks pointers into persistent memory (design goal #3: the
+// most significant bit distinguishes instrumented PM pointers from
+// untouched volatile pointers).
+const PMBit uint64 = 1 << 63
+
+// OverflowBit is the implicit bounds-check bit. It is preserved by tag
+// cleaning so an out-of-bounds pointer stays invalid when dereferenced.
+const OverflowBit uint64 = 1 << 62
+
+// DefaultTagBits is the tag width used throughout the paper's
+// evaluation (§VI-A) except for Phoenix, which uses PhoenixTagBits.
+const DefaultTagBits = 26
+
+// PhoenixTagBits is the wider tag used for the Phoenix port to permit
+// larger allocations (§VI-B).
+const PhoenixTagBits = 31
+
+// Encoding is a configured SPP pointer layout. The zero value is not
+// usable; construct with NewEncoding.
+type Encoding struct {
+	tagBits   uint
+	addrBits  uint
+	addrMask  uint64 // low addrBits set
+	fieldMask uint64 // overflow bit + tag bits, in place
+	tagMask   uint64 // tag field value mask (unshifted)
+}
+
+// NewEncoding validates the tag width and returns the derived layout.
+// The paper requires the tag and virtual address to share the 62
+// non-reserved bits, so 1 <= tagBits <= 61; widths that leave fewer
+// than 16 address bits are rejected as useless.
+func NewEncoding(tagBits uint) (Encoding, error) {
+	if tagBits < 1 || tagBits > 46 {
+		return Encoding{}, fmt.Errorf("core: tag bits must be in [1, 46], got %d", tagBits)
+	}
+	addrBits := 64 - 2 - tagBits
+	return Encoding{
+		tagBits:   tagBits,
+		addrBits:  addrBits,
+		addrMask:  1<<addrBits - 1,
+		fieldMask: (1<<(tagBits+1) - 1) << addrBits,
+		tagMask:   1<<tagBits - 1,
+	}, nil
+}
+
+// MustEncoding is NewEncoding for known-good widths; it panics on error
+// and is intended for package-level defaults and tests.
+func MustEncoding(tagBits uint) Encoding {
+	e, err := NewEncoding(tagBits)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TagBits returns the configured tag width.
+func (e Encoding) TagBits() uint { return e.tagBits }
+
+// AddrBits returns the number of virtual-address bits.
+func (e Encoding) AddrBits() uint { return e.addrBits }
+
+// MaxObjectSize is the largest protectable PM object: 1<<tagBits
+// (§IV-G "PM object & PM pool size").
+func (e Encoding) MaxObjectSize() uint64 { return 1 << e.tagBits }
+
+// MaxPoolEnd is the first virtual address a PM pool may not reach:
+// pools must live in the low 1<<(62-tagBits) bytes of the address
+// space.
+func (e Encoding) MaxPoolEnd() uint64 { return 1 << e.addrBits }
+
+// MakeTagged builds the tagged pointer that pmemobj_direct returns for
+// an object of the given size mapped at addr: the PM bit is set, the
+// tag holds the negated size, and the overflow bit starts clear.
+func (e Encoding) MakeTagged(addr, size uint64) uint64 {
+	tag := (-size) & e.tagMask
+	return PMBit | tag<<e.addrBits | (addr & e.addrMask)
+}
+
+// IsPM reports whether p carries the PM bit, i.e. whether the SPP
+// runtime functions should operate on it (__spp_is_pm_ptr).
+func IsPM(p uint64) bool { return p&PMBit != 0 }
+
+// Overflow reports whether the overflow bit is set.
+func Overflow(p uint64) bool { return p&OverflowBit != 0 }
+
+// Addr extracts the virtual-address bits of p.
+func (e Encoding) Addr(p uint64) uint64 { return p & e.addrMask }
+
+// Tag extracts the tag field (without the overflow bit).
+func (e Encoding) Tag(p uint64) uint64 { return p >> e.addrBits & e.tagMask }
+
+// UpdateTag is __spp_updatetag: it adds off to the tag of a PM
+// pointer. The addition deliberately carries into the overflow bit —
+// that carry IS the bounds check — but is masked so it can never reach
+// the PM bit. Offsets whose magnitude exceeds the tag's representation
+// range can wrap the overflow bit back to zero; the paper documents
+// this as an inherent limitation of the encoding (§IV-G).
+//
+// UpdateTag does not move the address bits; pointer arithmetic itself
+// (the GEP) advances them.
+func (e Encoding) UpdateTag(p uint64, off int64) uint64 {
+	if !IsPM(p) {
+		return p
+	}
+	return e.UpdateTagDirect(p, off)
+}
+
+// UpdateTagDirect is the _direct variant that skips the PM-bit test;
+// the compiler emits it for pointers statically known to point to PM
+// (§V-B "Hook functions").
+func (e Encoding) UpdateTagDirect(p uint64, off int64) uint64 {
+	field := (p & e.fieldMask) + uint64(off)<<e.addrBits
+	return p&^e.fieldMask | field&e.fieldMask
+}
+
+// CleanTag is __spp_cleantag: it masks the PM bit and the tag but
+// preserves the overflow bit and the address, so a subsequent access
+// through an overflown pointer faults.
+func (e Encoding) CleanTag(p uint64) uint64 {
+	if !IsPM(p) {
+		return p
+	}
+	return e.CleanTagDirect(p)
+}
+
+// CleanTagDirect is the _direct variant of CleanTag.
+func (e Encoding) CleanTagDirect(p uint64) uint64 {
+	return p & (OverflowBit | e.addrMask)
+}
+
+// CleanTagExternal is __spp_cleantag_external: before a call into an
+// uninstrumented library every bit above the address is masked,
+// including the overflow bit, so the callee receives a plain pointer
+// (§V-B). Memory safety is forfeited inside the callee, as the paper
+// concedes.
+func (e Encoding) CleanTagExternal(p uint64) uint64 {
+	if !IsPM(p) {
+		return p
+	}
+	return p & e.addrMask
+}
+
+// CheckBound is __spp_checkbound: called before a dereference of
+// derefSize bytes, it advances the tag to the last byte touched and
+// returns the cleaned pointer for the actual access. In-bounds
+// accesses return the plain address; out-of-bounds accesses return
+// 2^62|addr, which no mapping covers.
+func (e Encoding) CheckBound(p uint64, derefSize uint64) uint64 {
+	if !IsPM(p) {
+		return p
+	}
+	return e.CheckBoundDirect(p, derefSize)
+}
+
+// CheckBoundDirect is the _direct variant of CheckBound.
+func (e Encoding) CheckBoundDirect(p uint64, derefSize uint64) uint64 {
+	upd := e.UpdateTagDirect(p, int64(derefSize)-1)
+	return e.CleanTagDirect(upd)
+}
+
+// MemIntrCheck is __spp_memintr_check: given the pointer operand of a
+// memory intrinsic (memcpy, memset, memmove) that will touch n bytes,
+// it updates the tag to the last byte and returns the cleaned base
+// address. If the range exceeds the object, the returned address has
+// the overflow bit set and the intrinsic's first access faults.
+func (e Encoding) MemIntrCheck(p uint64, n uint64) uint64 {
+	if !IsPM(p) {
+		return p
+	}
+	if n == 0 {
+		return e.CleanTagDirect(p)
+	}
+	return e.CheckBoundDirect(p, n)
+}
+
+// Gep models the combined effect of pointer arithmetic on an SPP
+// pointer: the address bits advance by off and the tag is updated by
+// the same amount. This is the pairing of the GEP instruction with the
+// injected __spp_updatetag call in Listing 1.
+func (e Encoding) Gep(p uint64, off int64) uint64 {
+	if !IsPM(p) {
+		return p + uint64(off)
+	}
+	moved := p&^e.addrMask | (p+uint64(off))&e.addrMask
+	return e.UpdateTagDirect(moved, off)
+}
+
+// GepSaturating is the §IV-G hardening the paper proposes as future
+// work: pointer arithmetic whose offset magnitude meets or exceeds the
+// tag's representation range (1 << tagBits) cannot be tracked by the
+// delta encoding — a wrapping offset could silently clear the overflow
+// bit. The paper suggests emitting an error, "since such actions
+// mostly originate from malicious activities": this variant
+// invalidates the pointer outright (overflow pinned, address zeroed),
+// so no subsequent arithmetic can resurrect it. In-range offsets
+// behave exactly like Gep, including legitimate overflow recovery.
+func (e Encoding) GepSaturating(p uint64, off int64) uint64 {
+	if !IsPM(p) {
+		return p + uint64(off)
+	}
+	mag := off
+	if mag < 0 {
+		mag = -mag
+	}
+	if uint64(mag) >= e.MaxObjectSize() {
+		return PMBit | OverflowBit
+	}
+	return e.Gep(p, off)
+}
+
+// String describes the layout, for diagnostics.
+func (e Encoding) String() string {
+	return fmt.Sprintf("spp-encoding{tag=%d bits, addr=%d bits, max-object=%d, pool-limit=%#x}",
+		e.tagBits, e.addrBits, e.MaxObjectSize(), e.MaxPoolEnd())
+}

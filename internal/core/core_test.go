@@ -1,0 +1,405 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEncodingValidation(t *testing.T) {
+	for _, bits := range []uint{0, 47, 62, 64} {
+		if _, err := NewEncoding(bits); err == nil {
+			t.Errorf("NewEncoding(%d) succeeded, want error", bits)
+		}
+	}
+	for _, bits := range []uint{1, 26, 31, 46} {
+		e, err := NewEncoding(bits)
+		if err != nil {
+			t.Errorf("NewEncoding(%d): %v", bits, err)
+			continue
+		}
+		if e.TagBits() != bits || e.AddrBits() != 62-bits {
+			t.Errorf("NewEncoding(%d) = tag %d addr %d", bits, e.TagBits(), e.AddrBits())
+		}
+	}
+}
+
+func TestMustEncodingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncoding(0) did not panic")
+		}
+	}()
+	MustEncoding(0)
+}
+
+func TestLimits(t *testing.T) {
+	e := MustEncoding(26)
+	if e.MaxObjectSize() != 1<<26 {
+		t.Errorf("MaxObjectSize = %d", e.MaxObjectSize())
+	}
+	if e.MaxPoolEnd() != 1<<36 {
+		t.Errorf("MaxPoolEnd = %#x", e.MaxPoolEnd())
+	}
+}
+
+func TestMakeTaggedLayout(t *testing.T) {
+	// The worked example from Figure 3: 24 tag bits, 42-byte object.
+	e := MustEncoding(24)
+	p := e.MakeTagged(0x626364, 42)
+	if !IsPM(p) {
+		t.Error("PM bit not set")
+	}
+	if Overflow(p) {
+		t.Error("overflow bit set on fresh pointer")
+	}
+	if got := e.Tag(p); got != 0xFFFFD6 { // -42 in 24-bit two's complement
+		t.Errorf("tag = %#x, want 0xFFFFD6", got)
+	}
+	if got := e.Addr(p); got != 0x626364 {
+		t.Errorf("addr = %#x", got)
+	}
+}
+
+func TestFigure3Walkthrough(t *testing.T) {
+	// pm_ptr += 21 twice on a 42-byte object: first step stays valid,
+	// second step lands exactly on the upper bound and sets overflow.
+	e := MustEncoding(24)
+	p := e.MakeTagged(0x1000, 42)
+
+	p = e.Gep(p, 21)
+	if got := e.Tag(p); got != 0xFFFFEB {
+		t.Errorf("after +21: tag = %#x, want 0xFFFFEB", got)
+	}
+	if Overflow(p) {
+		t.Error("overflow after +21 of 42")
+	}
+	if got := e.Addr(p); got != 0x1015 {
+		t.Errorf("addr after +21 = %#x", got)
+	}
+
+	p = e.Gep(p, 21)
+	if got := e.Tag(p); got != 0 {
+		t.Errorf("after +42: tag = %#x, want 0", got)
+	}
+	if !Overflow(p) {
+		t.Error("no overflow after reaching upper bound")
+	}
+	if !IsPM(p) {
+		t.Error("PM bit lost during arithmetic")
+	}
+}
+
+func TestOverflowBitRecovers(t *testing.T) {
+	// Arithmetic back below the bound must clear the overflow bit
+	// (§IV-A: "the pointer becomes valid again").
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x1000, 100)
+	p = e.Gep(p, 150)
+	if !Overflow(p) {
+		t.Fatal("overflow not set at +150 of 100")
+	}
+	p = e.Gep(p, -60)
+	if Overflow(p) {
+		t.Error("overflow still set after returning in bounds")
+	}
+	if e.Addr(p) != 0x1000+90 {
+		t.Errorf("addr = %#x", e.Addr(p))
+	}
+}
+
+func TestCleanTagPreservesOverflow(t *testing.T) {
+	e := MustEncoding(26)
+	in := e.MakeTagged(0x2000, 8)
+	if got := e.CleanTag(in); got != 0x2000 {
+		t.Errorf("CleanTag(in-bounds) = %#x, want plain address", got)
+	}
+	out := e.Gep(in, 8)
+	cleaned := e.CleanTag(out)
+	if cleaned != OverflowBit|0x2008 {
+		t.Errorf("CleanTag(overflown) = %#x, want overflow|addr", cleaned)
+	}
+}
+
+func TestCleanTagExternalMasksEverything(t *testing.T) {
+	e := MustEncoding(26)
+	p := e.Gep(e.MakeTagged(0x2000, 8), 16) // overflown
+	if got := e.CleanTagExternal(p); got != 0x2010 {
+		t.Errorf("CleanTagExternal = %#x, want bare address", got)
+	}
+}
+
+func TestVolatilePointersPassThrough(t *testing.T) {
+	e := MustEncoding(26)
+	const v = uint64(0x7fff_1234_5678)
+	if e.UpdateTag(v, 100) != v {
+		t.Error("UpdateTag modified a volatile pointer")
+	}
+	if e.CleanTag(v) != v {
+		t.Error("CleanTag modified a volatile pointer")
+	}
+	if e.CheckBound(v, 8) != v {
+		t.Error("CheckBound modified a volatile pointer")
+	}
+	if e.CleanTagExternal(v) != v {
+		t.Error("CleanTagExternal modified a volatile pointer")
+	}
+	if e.Gep(v, 8) != v+8 {
+		t.Error("Gep on volatile pointer is plain addition")
+	}
+}
+
+func TestCheckBound(t *testing.T) {
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x3000, 16)
+	tests := []struct {
+		name      string
+		advance   int64
+		derefSize uint64
+		wantFault bool
+	}{
+		{"first byte", 0, 1, false},
+		{"whole object", 0, 16, false},
+		{"one past with size 1", 16, 1, true},
+		{"u64 at last valid slot", 8, 8, false},
+		{"u64 straddling end", 9, 8, true},
+		{"u64 one past end", 16, 8, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := e.Gep(p, tt.advance)
+			got := e.CheckBound(q, tt.derefSize)
+			faulted := got&OverflowBit != 0
+			if faulted != tt.wantFault {
+				t.Errorf("CheckBound(+%d, %d) = %#x, fault=%v, want %v",
+					tt.advance, tt.derefSize, got, faulted, tt.wantFault)
+			}
+			if !faulted && got != 0x3000+uint64(tt.advance) {
+				t.Errorf("cleaned address = %#x", got)
+			}
+		})
+	}
+}
+
+func TestCheckBoundDoesNotMutateInput(t *testing.T) {
+	// CheckBound's tag advance is local to the dereference: reusing the
+	// original pointer afterwards must still be valid.
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x3000, 8)
+	_ = e.CheckBound(p, 8)
+	if Overflow(p) {
+		t.Error("input mutated")
+	}
+	if e.CheckBound(p, 8)&OverflowBit != 0 {
+		t.Error("second CheckBound on same pointer faults")
+	}
+}
+
+func TestMemIntrCheck(t *testing.T) {
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x4000, 64)
+	if got := e.MemIntrCheck(p, 64); got != 0x4000 {
+		t.Errorf("MemIntrCheck(full object) = %#x", got)
+	}
+	if got := e.MemIntrCheck(p, 65); got&OverflowBit == 0 {
+		t.Errorf("MemIntrCheck(object+1) = %#x, want overflow", got)
+	}
+	if got := e.MemIntrCheck(p, 0); got != 0x4000 {
+		t.Errorf("MemIntrCheck(0 bytes) = %#x", got)
+	}
+	mid := e.Gep(p, 32)
+	if got := e.MemIntrCheck(mid, 32); got != 0x4020 {
+		t.Errorf("MemIntrCheck(tail half) = %#x", got)
+	}
+	if got := e.MemIntrCheck(mid, 33); got&OverflowBit == 0 {
+		t.Errorf("MemIntrCheck(tail half + 1) = %#x, want overflow", got)
+	}
+}
+
+func TestMaxObjectSizeIsProtected(t *testing.T) {
+	e := MustEncoding(8) // max object 256 B
+	p := e.MakeTagged(0x100, 256)
+	if e.CheckBound(p, 256)&OverflowBit != 0 {
+		t.Error("access to full max-size object faults")
+	}
+	q := e.Gep(p, 256)
+	if !Overflow(q) {
+		t.Error("no overflow one past max-size object")
+	}
+}
+
+func TestWraparoundLimitation(t *testing.T) {
+	// §IV-G: an offset beyond the tag's representation range can wrap
+	// the overflow bit back to 0. The encoding documents, not hides,
+	// this: verify the wraparound exists so the RIPE "escape" attacks
+	// have the mechanism the paper describes.
+	e := MustEncoding(8)
+	p := e.MakeTagged(0x100, 16)
+	// The tag+overflow field is 9 bits (512 states) starting at -16:
+	// advancing by 272 lands the field back on 0 with overflow clear.
+	q := e.Gep(p, 272)
+	if Overflow(q) {
+		t.Error("expected overflow bit wrapped back to zero")
+	}
+	if IsPM(q) != true {
+		t.Error("PM bit must never be affected by tag arithmetic")
+	}
+}
+
+func TestUnderflowUndetected(t *testing.T) {
+	// SPP protects the upper bound only (§IV-A).
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x5000, 32)
+	q := e.Gep(p, -8)
+	if Overflow(q) {
+		t.Error("underflow set the overflow bit; SPP should not detect underflow")
+	}
+	if got := e.CheckBound(q, 1); got != 0x5000-8 {
+		t.Errorf("underflown access = %#x, unexpectedly trapped", got)
+	}
+}
+
+func TestQuickOverflowBitMatchesBound(t *testing.T) {
+	// Property: for any object size and cumulative offset within the
+	// tag's range, the overflow bit after arithmetic is set iff the
+	// pointer passed the upper bound.
+	e := MustEncoding(26)
+	f := func(sizeRaw, offRaw uint32) bool {
+		size := uint64(sizeRaw)%e.MaxObjectSize() + 1
+		off := int64(uint64(offRaw) % e.MaxObjectSize())
+		p := e.MakeTagged(0x10000, size)
+		q := e.Gep(p, off)
+		wantOverflow := uint64(off) >= size
+		return Overflow(q) == wantOverflow && e.Addr(q) == 0x10000+uint64(off)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickArithmeticPathIndependence(t *testing.T) {
+	// Property: splitting an offset into two Geps is equivalent to one.
+	e := MustEncoding(26)
+	f := func(sizeRaw uint32, aRaw, bRaw uint16) bool {
+		size := uint64(sizeRaw)%1024 + 1
+		a, b := int64(aRaw%2048), int64(bRaw%2048)
+		p := e.MakeTagged(0x10000, size)
+		return e.Gep(e.Gep(p, a), b) == e.Gep(p, a+b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGepRoundTrip(t *testing.T) {
+	// Property: Gep(+k) then Gep(-k) restores the pointer exactly.
+	e := MustEncoding(26)
+	f := func(sizeRaw uint32, kRaw uint16) bool {
+		size := uint64(sizeRaw)%4096 + 1
+		k := int64(kRaw)
+		p := e.MakeTagged(0x20000, size)
+		return e.Gep(e.Gep(p, k), -k) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCheckBoundEquivalence(t *testing.T) {
+	// Property: CheckBound(p, n) faults iff Gep(p, n-1) overflows.
+	e := MustEncoding(26)
+	f := func(sizeRaw, advRaw uint16, nRaw uint8) bool {
+		size := uint64(sizeRaw)%4096 + 1
+		adv := int64(advRaw % 8192)
+		n := uint64(nRaw) + 1
+		p := e.Gep(e.MakeTagged(0x20000, size), adv)
+		faults := e.CheckBound(p, n)&OverflowBit != 0
+		wantFaults := Overflow(e.Gep(p, int64(n)-1))
+		return faults == wantFaults
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectVariantsMatchGeneric(t *testing.T) {
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x6000, 64)
+	if e.UpdateTag(p, 10) != e.UpdateTagDirect(p, 10) {
+		t.Error("UpdateTagDirect differs on PM pointer")
+	}
+	if e.CleanTag(p) != e.CleanTagDirect(p) {
+		t.Error("CleanTagDirect differs on PM pointer")
+	}
+	if e.CheckBound(p, 8) != e.CheckBoundDirect(p, 8) {
+		t.Error("CheckBoundDirect differs on PM pointer")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if MustEncoding(26).String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkUpdateTag(b *testing.B) {
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x1000, 1024)
+	for i := 0; i < b.N; i++ {
+		p = e.UpdateTag(p, 1)
+	}
+	sinkU64 = p
+}
+
+func BenchmarkCheckBound(b *testing.B) {
+	e := MustEncoding(26)
+	p := e.MakeTagged(0x1000, 1024)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += e.CheckBound(p, 8)
+	}
+	sinkU64 = s
+}
+
+var sinkU64 uint64
+
+func TestGepSaturatingClosesWraparound(t *testing.T) {
+	// The §IV-G evasion with 8 tag bits: a 272-byte jump wraps the
+	// 9-bit tag+overflow field back to zero under plain Gep.
+	e := MustEncoding(8)
+	p := e.MakeTagged(0x100, 16)
+	if Overflow(e.Gep(p, 272)) {
+		t.Fatal("plain Gep did not wrap (test premise broken)")
+	}
+	q := e.GepSaturating(p, 272)
+	if !Overflow(q) {
+		t.Error("saturating Gep did not pin the overflow bit")
+	}
+	if e.Addr(q) != 0 {
+		t.Errorf("poisoned pointer keeps an address: %#x", e.Addr(q))
+	}
+	// No arithmetic resurrects a poisoned pointer into a valid one.
+	if back := e.GepSaturating(q, -200); Overflow(back) == false && e.Addr(back) < 1<<32 {
+		t.Errorf("poisoned pointer resurrected: %#x", back)
+	}
+	// Small offsets behave exactly like Gep, including walking back in
+	// bounds after a small overflow.
+	if e.GepSaturating(p, 10) != e.Gep(p, 10) {
+		t.Error("small offsets diverge")
+	}
+	over := e.GepSaturating(p, 20) // overflown by a small offset
+	if !Overflow(over) {
+		t.Fatal("small overflow missed")
+	}
+	back := e.GepSaturating(over, -10)
+	if Overflow(back) {
+		t.Error("walking back in bounds did not revalidate")
+	}
+	// Forward arithmetic on an already-overflown pointer stays pinned.
+	if !Overflow(e.GepSaturating(over, 4)) {
+		t.Error("forward arithmetic unpinned an overflown pointer")
+	}
+	// Volatile pointers: plain addition.
+	if e.GepSaturating(0x7000, 512) != 0x7000+512 {
+		t.Error("volatile pointer mangled")
+	}
+}

@@ -1,0 +1,235 @@
+package hooks
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+	"repro/internal/pmemobj"
+	"repro/internal/vmem"
+)
+
+func newPools(t *testing.T, sppMode bool) (*pmemobj.Pool, *vmem.AddressSpace) {
+	t.Helper()
+	dev := pmem.NewPool("hooks-test", 16<<20)
+	as := vmem.New()
+	pool, err := pmemobj.Create(dev, as, 0x10000, pmemobj.Config{SPP: sppMode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, as
+}
+
+func TestNewSPPRequiresSPPPool(t *testing.T) {
+	pool, as := newPools(t, false)
+	if _, err := NewSPP(pool, as); err == nil {
+		t.Error("NewSPP accepted a native pool")
+	}
+}
+
+func TestIsSafetyTrap(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error", errors.New("boom"), false},
+		{"violation", &ViolationError{Mechanism: "x"}, true},
+		{"wrapped violation", errorsJoin(&ViolationError{Mechanism: "x"}), true},
+		{"fault", &vmem.FaultError{Addr: 1, Size: 8, Kind: vmem.Store}, true},
+	}
+	for _, tt := range tests {
+		if got := IsSafetyTrap(tt.err); got != tt.want {
+			t.Errorf("%s: IsSafetyTrap = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func errorsJoin(err error) error { return errors.Join(errors.New("ctx"), err) }
+
+func TestNativeIsTransparent(t *testing.T) {
+	pool, as := newPools(t, false)
+	rt := NewNative(pool, as)
+	if rt.Name() != "pmdk" || rt.Pool() != pool || rt.Space() != as {
+		t.Error("accessors wrong")
+	}
+	if got := rt.Gep(100, -4); got != 96 {
+		t.Errorf("Gep = %d", got)
+	}
+	for _, fn := range []func(uint64, uint64) (uint64, error){rt.Check, rt.CheckPM, rt.MemIntr} {
+		if a, err := fn(0x123, 8); a != 0x123 || err != nil {
+			t.Errorf("hook not transparent: %v %v", a, err)
+		}
+	}
+	if rt.External(7) != 7 {
+		t.Error("External not transparent")
+	}
+}
+
+func TestSPPHookSemantics(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "spp" {
+		t.Errorf("Name = %q", rt.Name())
+	}
+	oid, err := rt.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Direct(oid)
+	if !core.IsPM(p) {
+		t.Fatal("Direct returned untagged pointer")
+	}
+	// Check on an in-bounds pointer returns the cleaned address.
+	a, err := rt.Check(p, 32)
+	if err != nil || core.IsPM(a) || a&core.OverflowBit != 0 {
+		t.Errorf("Check = %#x, %v", a, err)
+	}
+	// CheckPM agrees for persistent pointers.
+	b, _ := rt.CheckPM(p, 32)
+	if a != b {
+		t.Errorf("CheckPM differs: %#x vs %#x", a, b)
+	}
+	// Out of bounds: overflow bit set in the result; the access faults.
+	bad, _ := rt.Check(rt.Gep(p, 32), 1)
+	if bad&core.OverflowBit == 0 {
+		t.Error("overflow bit lost")
+	}
+	if _, err := as.LoadU8(bad); !IsSafetyTrap(err) {
+		t.Errorf("access through overflown pointer: %v", err)
+	}
+	// Volatile pointers pass through untouched.
+	if a, _ := rt.Check(0x5555, 8); a != 0x5555 {
+		t.Errorf("volatile pointer modified: %#x", a)
+	}
+}
+
+func TestCheckedHelpersSizes(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := rt.Alloc(16)
+	p := rt.Direct(oid)
+	if err := StoreU8(rt, rt.Gep(p, 15), 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := LoadU8(rt, rt.Gep(p, 15)); err != nil || v != 0xAB {
+		t.Errorf("LoadU8 = %#x, %v", v, err)
+	}
+	if err := StoreU64(rt, rt.Gep(p, 9), 1); !IsSafetyTrap(err) {
+		t.Errorf("straddling u64 store: %v", err)
+	}
+	if err := StoreU64PM(rt, rt.Gep(p, 8), 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := LoadU64PM(rt, rt.Gep(p, 8)); err != nil || v != 7 {
+		t.Errorf("LoadU64PM = %d, %v", v, err)
+	}
+}
+
+func TestStrlenUnterminated(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := rt.Alloc(8)
+	p := rt.Direct(oid)
+	// Fill the object with non-NUL bytes: the scan traps at the bound.
+	if err := StoreBytes(rt, p, []byte("xxxxxxxx")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Strlen(rt, p); !IsSafetyTrap(err) {
+		t.Errorf("unterminated strlen: %v", err)
+	}
+}
+
+func TestMemcpyZeroLength(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := rt.Alloc(8)
+	p := rt.Direct(oid)
+	if err := Memcpy(rt, p, p, 0); err != nil {
+		t.Errorf("zero-length memcpy: %v", err)
+	}
+	if err := Memset(rt, p, 0, 0); err != nil {
+		t.Errorf("zero-length memset: %v", err)
+	}
+	if b, err := LoadBytes(rt, p, 0); err != nil || b != nil {
+		t.Errorf("zero-length LoadBytes: %v, %v", b, err)
+	}
+	if err := StoreBytes(rt, p, nil); err != nil {
+		t.Errorf("empty StoreBytes: %v", err)
+	}
+}
+
+func TestStrcmpOrdering(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(s string) uint64 {
+		oid, err := rt.Alloc(uint64(len(s) + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := rt.Direct(oid)
+		if err := StoreBytes(rt, p, append([]byte(s), 0)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b, c := mk("abc"), mk("abd"), mk("abc")
+	if r, _ := Strcmp(rt, a, b); r != -1 {
+		t.Errorf("abc vs abd = %d", r)
+	}
+	if r, _ := Strcmp(rt, b, a); r != 1 {
+		t.Errorf("abd vs abc = %d", r)
+	}
+	if r, _ := Strcmp(rt, a, c); r != 0 {
+		t.Errorf("abc vs abc = %d", r)
+	}
+	short := mk("ab")
+	if r, _ := Strcmp(rt, short, a); r != -1 {
+		t.Errorf("ab vs abc = %d", r)
+	}
+}
+
+func TestSPPSaturatingOption(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := rt.Alloc(16)
+	victim, _ := rt.Alloc(16)
+	_ = victim
+	p := rt.Direct(oid)
+	// An offset past the tag range wraps under the default encoding
+	// (26 tag bits need a 2^27 jump, far outside this pool, so emulate
+	// with the encoding check) — here verify the hook plumbing: with
+	// saturation on, a jump of MaxObjectSize lands with the overflow
+	// bit pinned and the access traps.
+	rt.SetSaturating(true)
+	jump := int64(pool.Encoding().MaxObjectSize())
+	q := rt.Gep(rt.Gep(p, jump), -jump+8) // net +8, but via a wild excursion
+	if _, err := LoadU64(rt, q); !IsSafetyTrap(err) {
+		t.Errorf("saturating mode allowed a wild excursion: %v", err)
+	}
+	rt.SetSaturating(false)
+	q2 := rt.Gep(rt.Gep(p, jump), -jump+8)
+	if _, err := LoadU64(rt, q2); err != nil {
+		t.Errorf("plain mode round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,552 @@
+package indices
+
+import (
+	"fmt"
+
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+)
+
+// btree is the PMDK btree_map layout: an order-8 B-tree whose nodes
+// hold up to 7 sorted items and 8 children, with preemptive
+// split-on-descent so inserts always land in a non-full node.
+//
+// §VI-D of the paper reproduces a real overflow in this structure
+// (pmem/pmdk#5333): btree_map.c shifts node items right with a memmove
+// whose length is computed from the current item count, and on one
+// path runs when the node is already full, moving the last item one
+// slot past the array. Items are the final field of our node object,
+// so the buggy shift crosses the object's upper bound exactly as the
+// upstream report describes SPP catching it. BuggySplit re-enables
+// that path.
+//
+// Header object: {count u64, root oid}.
+// Node object:   {n u64, child[8] oid..., items[7]{key u64, value u64}}.
+type btree struct {
+	c   *ctx
+	hdr pmemobj.Oid
+	// BuggySplit reproduces pmem/pmdk#5333: descending into a full
+	// node without splitting it first, so the item shift overflows.
+	BuggySplit bool
+}
+
+const (
+	btOrder    = 8           // children per node
+	btMaxItems = btOrder - 1 // 7
+	btMinDeg   = btOrder / 2 // CLRS t = 4
+
+	btN     = 0
+	btChild = 8
+)
+
+func (t *btree) itemsOff() int64      { return btChild + btOrder*t.c.OidSize }
+func (t *btree) itemOff(i int) int64  { return t.itemsOff() + int64(i)*16 }
+func (t *btree) childOff(i int) int64 { return btChild + int64(i)*t.c.OidSize }
+func (t *btree) nodeSize() uint64 {
+	return uint64(t.itemsOff()) + btMaxItems*16
+}
+func (t *btree) hdrSize() uint64 { return 8 + uint64(t.c.OidSize) }
+
+func newBtree(rt hooks.Runtime, slotOff uint64) (*btree, error) {
+	c := newCtx(rt)
+	t := &btree{c: c}
+	hdr := c.Pool.ReadOid(slotOff)
+	if hdr.IsNull() {
+		if err := rt.AllocAt(slotOff, t.hdrSize()); err != nil {
+			return nil, err
+		}
+		hdr = c.Pool.ReadOid(slotOff)
+	}
+	t.hdr = hdr
+	return t, nil
+}
+
+func (t *btree) Name() string { return "btree" }
+
+// InjectBug implements BugInjector. The only known bug is
+// "pmdk-5333", the btree_map memmove overflow of §VI-D.
+func (t *btree) InjectBug(name string) error {
+	if name != "pmdk-5333" {
+		return fmt.Errorf("btree: unknown bug %q", name)
+	}
+	t.BuggySplit = true
+	return nil
+}
+
+// Count implements Map.
+func (t *btree) Count() (uint64, error) {
+	n := t.c.Load(t.c.Direct(t.hdr), 0)
+	return n, t.c.Take()
+}
+
+// Node field helpers (loads; stores are done at call sites inside
+// transactions with snapshots).
+
+func (t *btree) nodeN(n pmemobj.Oid) uint64 { return t.c.Load(t.c.Direct(n), btN) }
+func (t *btree) child(n pmemobj.Oid, i int) pmemobj.Oid {
+	return t.c.LoadOid(t.c.Direct(n), t.childOff(i))
+}
+func (t *btree) item(n pmemobj.Oid, i int) (uint64, uint64) {
+	p := t.c.Direct(n)
+	return t.c.Load(p, t.itemOff(i)), t.c.Load(p, t.itemOff(i)+8)
+}
+func (t *btree) setItem(n pmemobj.Oid, i int, k, v uint64) {
+	p := t.c.Direct(n)
+	t.c.Store(p, t.itemOff(i), k)
+	t.c.Store(p, t.itemOff(i)+8, v)
+}
+func (t *btree) isLeaf(n pmemobj.Oid) bool { return t.child(n, 0).IsNull() }
+
+// findPos returns the index of the first item with key >= k.
+func (t *btree) findPos(n pmemobj.Oid, k uint64) (int, bool) {
+	cnt := int(t.nodeN(n))
+	for i := 0; i < cnt; i++ {
+		ik, _ := t.item(n, i)
+		if t.c.Err() != nil {
+			return 0, false
+		}
+		if k == ik {
+			return i, true
+		}
+		if k < ik {
+			return i, false
+		}
+	}
+	return cnt, false
+}
+
+// Get implements Map.
+func (t *btree) Get(key uint64) (uint64, bool, error) {
+	c := t.c
+	n := c.LoadOid(c.Direct(t.hdr), 8)
+	for !n.IsNull() && c.Err() == nil {
+		pos, exact := t.findPos(n, key)
+		if exact {
+			_, v := t.item(n, pos)
+			return v, true, c.Take()
+		}
+		if t.isLeaf(n) {
+			break
+		}
+		n = t.child(n, pos)
+	}
+	return 0, false, c.Take()
+}
+
+// shiftItemsRight moves items [p, count) one slot right with the
+// interposed memmove — the btree_map.c:378 call site. In buggy mode
+// the caller may invoke it on a full node, where the move's last write
+// lands one item past the array and past the node object.
+func (t *btree) shiftItemsRight(n pmemobj.Oid, p, count int) {
+	if count <= 0 || t.c.Err() != nil {
+		return
+	}
+	np := t.c.Direct(n)
+	err := hooks.Memmove(t.c.RT,
+		t.c.RT.Gep(np, t.itemOff(p+1)),
+		t.c.RT.Gep(np, t.itemOff(p)),
+		uint64(count)*16)
+	if err != nil {
+		t.c.Fail(err)
+	}
+}
+
+// shiftChildrenRight moves children [p, count) one slot right.
+func (t *btree) shiftChildrenRight(tx *pmemobj.Tx, n pmemobj.Oid, p, count int) {
+	c := t.c
+	for i := p + count - 1; i >= p && c.Err() == nil; i-- {
+		c.StoreOid(c.Direct(n), t.childOff(i+1), t.child(n, i))
+	}
+	_ = tx
+}
+
+// newNode allocates an empty node inside the transaction.
+func (t *btree) newNode(tx *pmemobj.Tx) pmemobj.Oid {
+	c := t.c
+	if c.Err() != nil {
+		return pmemobj.OidNull
+	}
+	oid, err := c.RT.TxAlloc(tx, t.nodeSize())
+	if err != nil {
+		c.Fail(err)
+		return pmemobj.OidNull
+	}
+	return oid
+}
+
+// splitChild splits the full child at index ci of parent (CLRS
+// B-TREE-SPLIT-CHILD). parent must be non-full.
+func (t *btree) splitChild(tx *pmemobj.Tx, parent pmemobj.Oid, ci int) {
+	c := t.c
+	full := t.child(parent, ci)
+	right := t.newNode(tx)
+	if c.Err() != nil {
+		return
+	}
+	c.Snapshot(tx, full, t.nodeSize())
+	c.Snapshot(tx, parent, t.nodeSize())
+
+	const mid = btMinDeg - 1 // item promoted to the parent
+	// Move the upper items (and children) into the new right node.
+	for i := 0; i < btMinDeg-1; i++ {
+		k, v := t.item(full, mid+1+i)
+		t.setItem(right, i, k, v)
+	}
+	if !t.isLeaf(full) {
+		for i := 0; i < btMinDeg; i++ {
+			c.StoreOid(c.Direct(right), t.childOff(i), t.child(full, mid+1+i))
+		}
+	}
+	c.Store(c.Direct(right), btN, btMinDeg-1)
+	midK, midV := t.item(full, mid)
+	c.Store(c.Direct(full), btN, mid)
+
+	// Insert the promoted item and the new child into the parent.
+	pn := int(t.nodeN(parent))
+	t.shiftItemsRight(parent, ci, pn-ci)
+	t.shiftChildrenRight(tx, parent, ci+1, pn-ci)
+	t.setItem(parent, ci, midK, midV)
+	c.StoreOid(c.Direct(parent), t.childOff(ci+1), right)
+	c.Store(c.Direct(parent), btN, uint64(pn+1))
+}
+
+// Insert implements Map.
+func (t *btree) Insert(key, value uint64) error {
+	c := t.c
+	return c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(t.hdr)
+		root := c.LoadOid(hp, 8)
+		if root.IsNull() {
+			root = t.newNode(tx)
+			if c.Err() != nil {
+				return
+			}
+			t.setItem(root, 0, key, value)
+			c.Store(c.Direct(root), btN, 1)
+			c.Snapshot(tx, t.hdr, t.hdrSize())
+			hp = c.Direct(t.hdr)
+			c.StoreOid(hp, 8, root)
+			c.Store(hp, 0, c.Load(hp, 0)+1)
+			return
+		}
+		if t.nodeN(root) == btMaxItems && !t.BuggySplit {
+			// Grow: a new root with the old one as its only child.
+			newRoot := t.newNode(tx)
+			if c.Err() != nil {
+				return
+			}
+			c.StoreOid(c.Direct(newRoot), t.childOff(0), root)
+			t.splitChild(tx, newRoot, 0)
+			c.Snapshot(tx, t.hdr, t.hdrSize())
+			c.StoreOid(c.Direct(t.hdr), 8, newRoot)
+			root = newRoot
+		}
+		inserted := t.insertNonFull(tx, root, key, value)
+		if c.Err() == nil && inserted {
+			c.Snapshot(tx, t.hdr, 8)
+			hp := c.Direct(t.hdr)
+			c.Store(hp, 0, c.Load(hp, 0)+1)
+		}
+	})
+}
+
+// insertNonFull is CLRS B-TREE-INSERT-NONFULL: descend, splitting full
+// children first, and place the item in a leaf. Returns false if the
+// key existed (update in place). In buggy mode the full-node guard is
+// skipped — the pmem/pmdk#5333 path — and the item shift overflows.
+func (t *btree) insertNonFull(tx *pmemobj.Tx, n pmemobj.Oid, key, value uint64) bool {
+	c := t.c
+	for c.Err() == nil {
+		pos, exact := t.findPos(n, key)
+		if exact {
+			c.Snapshot(tx, n, t.nodeSize())
+			k, _ := t.item(n, pos)
+			t.setItem(n, pos, k, value)
+			return false
+		}
+		if t.isLeaf(n) {
+			cnt := int(t.nodeN(n))
+			c.Snapshot(tx, n, t.nodeSize())
+			// The upstream bug: shifting cnt-pos items when cnt is
+			// already btMaxItems writes item cnt past the array.
+			t.shiftItemsRight(n, pos, cnt-pos)
+			if c.Err() != nil {
+				return false
+			}
+			t.setItem(n, pos, key, value)
+			c.Store(c.Direct(n), btN, uint64(cnt+1))
+			return true
+		}
+		child := t.child(n, pos)
+		if t.nodeN(child) == btMaxItems && !t.BuggySplit {
+			t.splitChild(tx, n, pos)
+			if c.Err() != nil {
+				return false
+			}
+			// The promoted item may change the descent direction.
+			continue
+		}
+		n = child
+	}
+	return false
+}
+
+// Remove implements Map (CLRS B-tree deletion: every node visited has
+// at least t items before descending, via borrow or merge).
+func (t *btree) Remove(key uint64) (bool, error) {
+	c := t.c
+	removed := false
+	err := c.Run(func(tx *pmemobj.Tx) {
+		root := c.LoadOid(c.Direct(t.hdr), 8)
+		if root.IsNull() {
+			return
+		}
+		removed = t.remove(tx, root, key)
+		if c.Err() != nil {
+			return
+		}
+		// Shrink the root when it empties.
+		if t.nodeN(root) == 0 {
+			c.Snapshot(tx, t.hdr, t.hdrSize())
+			if t.isLeaf(root) {
+				c.StoreOid(c.Direct(t.hdr), 8, pmemobj.OidNull)
+			} else {
+				c.StoreOid(c.Direct(t.hdr), 8, t.child(root, 0))
+			}
+			if err := c.RT.TxFree(tx, root); err != nil {
+				c.Fail(err)
+				return
+			}
+		}
+		if removed {
+			c.Snapshot(tx, t.hdr, 8)
+			hp := c.Direct(t.hdr)
+			c.Store(hp, 0, c.Load(hp, 0)-1)
+		}
+	})
+	return removed, err
+}
+
+// removeShiftLeft moves items [p+1, count) one slot left (and children
+// [p+2, ...) for internal deletes via explicit loops).
+func (t *btree) removeItemAt(tx *pmemobj.Tx, n pmemobj.Oid, p int) {
+	c := t.c
+	cnt := int(t.nodeN(n))
+	c.Snapshot(tx, n, t.nodeSize())
+	np := c.Direct(n)
+	if cnt-p-1 > 0 {
+		err := hooks.Memmove(c.RT,
+			c.RT.Gep(np, t.itemOff(p)),
+			c.RT.Gep(np, t.itemOff(p+1)),
+			uint64(cnt-p-1)*16)
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+	}
+	c.Store(np, btN, uint64(cnt-1))
+}
+
+func (t *btree) remove(tx *pmemobj.Tx, n pmemobj.Oid, key uint64) bool {
+	c := t.c
+	pos, exact := t.findPos(n, key)
+	if c.Err() != nil {
+		return false
+	}
+	if exact {
+		if t.isLeaf(n) {
+			t.removeItemAt(tx, n, pos)
+			return true
+		}
+		return t.removeInternal(tx, n, pos, key)
+	}
+	if t.isLeaf(n) {
+		return false
+	}
+	child := t.ensureChild(tx, n, pos, key)
+	if c.Err() != nil {
+		return false
+	}
+	return t.remove(tx, child.node, child.key)
+}
+
+type descent struct {
+	node pmemobj.Oid
+	key  uint64
+}
+
+// removeInternal deletes the item at pos of internal node n using the
+// predecessor/successor/merge cases of CLRS.
+func (t *btree) removeInternal(tx *pmemobj.Tx, n pmemobj.Oid, pos int, key uint64) bool {
+	c := t.c
+	left := t.child(n, pos)
+	right := t.child(n, pos+1)
+	switch {
+	case t.nodeN(left) >= btMinDeg:
+		pk, pv := t.maxOf(left)
+		if c.Err() != nil {
+			return false
+		}
+		c.Snapshot(tx, n, t.nodeSize())
+		t.setItem(n, pos, pk, pv)
+		return t.remove(tx, left, pk)
+	case t.nodeN(right) >= btMinDeg:
+		sk, sv := t.minOf(right)
+		if c.Err() != nil {
+			return false
+		}
+		c.Snapshot(tx, n, t.nodeSize())
+		t.setItem(n, pos, sk, sv)
+		return t.remove(tx, right, sk)
+	default:
+		t.mergeChildren(tx, n, pos)
+		if c.Err() != nil {
+			return false
+		}
+		return t.remove(tx, left, key)
+	}
+}
+
+func (t *btree) maxOf(n pmemobj.Oid) (uint64, uint64) {
+	for !t.isLeaf(n) && t.c.Err() == nil {
+		n = t.child(n, int(t.nodeN(n)))
+	}
+	return t.item(n, int(t.nodeN(n))-1)
+}
+
+func (t *btree) minOf(n pmemobj.Oid) (uint64, uint64) {
+	for !t.isLeaf(n) && t.c.Err() == nil {
+		n = t.child(n, 0)
+	}
+	return t.item(n, 0)
+}
+
+// ensureChild guarantees child pos has at least btMinDeg items before
+// descent, borrowing from a sibling or merging. It returns the node to
+// descend into (which may have changed after a merge).
+func (t *btree) ensureChild(tx *pmemobj.Tx, n pmemobj.Oid, pos int, key uint64) descent {
+
+	child := t.child(n, pos)
+	if t.nodeN(child) >= btMinDeg {
+		return descent{child, key}
+	}
+	if pos > 0 {
+		left := t.child(n, pos-1)
+		if t.nodeN(left) >= btMinDeg {
+			t.borrowFromLeft(tx, n, pos)
+			return descent{child, key}
+		}
+	}
+	if pos < int(t.nodeN(n)) {
+		right := t.child(n, pos+1)
+		if t.nodeN(right) >= btMinDeg {
+			t.borrowFromRight(tx, n, pos)
+			return descent{child, key}
+		}
+	}
+	// Merge with a sibling.
+	if pos < int(t.nodeN(n)) {
+		t.mergeChildren(tx, n, pos)
+		return descent{child, key}
+	}
+	left := t.child(n, pos-1)
+	t.mergeChildren(tx, n, pos-1)
+	return descent{left, key}
+}
+
+// borrowFromLeft rotates the parent separator down into child pos and
+// the left sibling's last item up.
+func (t *btree) borrowFromLeft(tx *pmemobj.Tx, n pmemobj.Oid, pos int) {
+	c := t.c
+	child := t.child(n, pos)
+	left := t.child(n, pos-1)
+	c.Snapshot(tx, n, t.nodeSize())
+	c.Snapshot(tx, child, t.nodeSize())
+	c.Snapshot(tx, left, t.nodeSize())
+
+	ccnt := int(t.nodeN(child))
+	t.shiftItemsRight(child, 0, ccnt)
+	t.shiftChildrenRight(tx, child, 0, ccnt+1)
+	sk, sv := t.item(n, pos-1)
+	t.setItem(child, 0, sk, sv)
+	lcnt := int(t.nodeN(left))
+	lk, lv := t.item(left, lcnt-1)
+	t.setItem(n, pos-1, lk, lv)
+	if !t.isLeaf(left) {
+		c.StoreOid(c.Direct(child), t.childOff(0), t.child(left, lcnt))
+	}
+	c.Store(c.Direct(left), btN, uint64(lcnt-1))
+	c.Store(c.Direct(child), btN, uint64(ccnt+1))
+}
+
+// borrowFromRight rotates the parent separator down and the right
+// sibling's first item up.
+func (t *btree) borrowFromRight(tx *pmemobj.Tx, n pmemobj.Oid, pos int) {
+	c := t.c
+	child := t.child(n, pos)
+	right := t.child(n, pos+1)
+	c.Snapshot(tx, n, t.nodeSize())
+	c.Snapshot(tx, child, t.nodeSize())
+	c.Snapshot(tx, right, t.nodeSize())
+
+	ccnt := int(t.nodeN(child))
+	sk, sv := t.item(n, pos)
+	t.setItem(child, ccnt, sk, sv)
+	rk, rv := t.item(right, 0)
+	t.setItem(n, pos, rk, rv)
+	if !t.isLeaf(right) {
+		c.StoreOid(c.Direct(child), t.childOff(ccnt+1), t.child(right, 0))
+		rcnt := int(t.nodeN(right))
+		for i := 0; i < rcnt; i++ {
+			c.StoreOid(c.Direct(right), t.childOff(i), t.child(right, i+1))
+		}
+	}
+	t.removeItemAt(tx, right, 0)
+	c.Store(c.Direct(child), btN, uint64(ccnt+1))
+}
+
+// mergeChildren folds child pos+1 and the separator into child pos and
+// frees the right node.
+func (t *btree) mergeChildren(tx *pmemobj.Tx, n pmemobj.Oid, pos int) {
+	c := t.c
+	left := t.child(n, pos)
+	right := t.child(n, pos+1)
+	c.Snapshot(tx, n, t.nodeSize())
+	c.Snapshot(tx, left, t.nodeSize())
+
+	lcnt := int(t.nodeN(left))
+	rcnt := int(t.nodeN(right))
+	sk, sv := t.item(n, pos)
+	t.setItem(left, lcnt, sk, sv)
+	for i := 0; i < rcnt; i++ {
+		k, v := t.item(right, i)
+		t.setItem(left, lcnt+1+i, k, v)
+	}
+	if !t.isLeaf(left) {
+		for i := 0; i <= rcnt; i++ {
+			c.StoreOid(c.Direct(left), t.childOff(lcnt+1+i), t.child(right, i))
+		}
+	}
+	c.Store(c.Direct(left), btN, uint64(lcnt+1+rcnt))
+
+	// Remove the separator and the right child pointer from n.
+	ncnt := int(t.nodeN(n))
+	np := c.Direct(n)
+	if ncnt-pos-1 > 0 {
+		err := hooks.Memmove(c.RT,
+			c.RT.Gep(np, t.itemOff(pos)),
+			c.RT.Gep(np, t.itemOff(pos+1)),
+			uint64(ncnt-pos-1)*16)
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+	}
+	for i := pos + 1; i < ncnt; i++ {
+		c.StoreOid(np, t.childOff(i), t.child(n, i+1))
+	}
+	c.Store(np, btN, uint64(ncnt-1))
+	if err := c.RT.TxFree(tx, right); err != nil {
+		c.Fail(err)
+	}
+}

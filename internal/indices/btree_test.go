@@ -1,0 +1,274 @@
+package indices
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+	"repro/internal/variant"
+)
+
+func TestBtreeBasic(t *testing.T) {
+	env := newRT(t, variant.SPP)
+	m, err := New("btree", env.RT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "btree" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	for k := uint64(1); k <= 500; k++ {
+		if err := m.Insert(k, k*7); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	if n, _ := m.Count(); n != 500 {
+		t.Fatalf("Count = %d", n)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok || v != k*7 {
+			t.Fatalf("Get(%d) = %d,%v,%v", k, v, ok, err)
+		}
+	}
+	// Update in place.
+	if err := m.Insert(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := m.Get(100); v != 1 {
+		t.Errorf("update lost: %d", v)
+	}
+	if n, _ := m.Count(); n != 500 {
+		t.Errorf("Count after update = %d", n)
+	}
+	for k := uint64(1); k <= 250; k++ {
+		ok, err := m.Remove(k)
+		if err != nil || !ok {
+			t.Fatalf("Remove(%d) = %v,%v", k, ok, err)
+		}
+	}
+	if ok, _ := m.Remove(10); ok {
+		t.Error("double remove succeeded")
+	}
+	if n, _ := m.Count(); n != 250 {
+		t.Fatalf("Count after removes = %d", n)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		_, ok, _ := m.Get(k)
+		if ok != (k > 250) {
+			t.Fatalf("Get(%d) present=%v", k, ok)
+		}
+	}
+}
+
+// walkBtree recursively validates sortedness, occupancy and uniform
+// leaf depth, collecting all pairs.
+func walkBtree(t *testing.T, tr *btree, n pmemobj.Oid, lo, hi uint64, got map[uint64]uint64, isRoot bool) int {
+	t.Helper()
+	c := tr.c
+	cnt := int(tr.nodeN(n))
+	if err := c.Take(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt > btMaxItems {
+		t.Fatalf("node holds %d items", cnt)
+	}
+	if !isRoot && cnt < btMinDeg-1 {
+		t.Fatalf("non-root node holds %d items (< %d)", cnt, btMinDeg-1)
+	}
+	prev := lo
+	leaf := tr.isLeaf(n)
+	depth := -1
+	for i := 0; i < cnt; i++ {
+		k, v := tr.item(n, i)
+		if err := c.Take(); err != nil {
+			t.Fatal(err)
+		}
+		if k <= prev && !(i == 0 && k == lo && lo == 0) {
+			if k <= prev {
+				t.Fatalf("keys out of order: %d after %d", k, prev)
+			}
+		}
+		if k >= hi {
+			t.Fatalf("key %d outside bound %d", k, hi)
+		}
+		got[k] = v
+		if !leaf {
+			child := tr.child(n, i)
+			d := walkBtree(t, tr, child, prev, k, got, false)
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				t.Fatalf("uneven leaf depth: %d vs %d", d, depth)
+			}
+		}
+		prev = k
+	}
+	if !leaf {
+		child := tr.child(n, cnt)
+		d := walkBtree(t, tr, child, prev, hi, got, false)
+		if depth != -1 && d != depth {
+			t.Fatalf("uneven leaf depth: %d vs %d", d, depth)
+		}
+		return d + 1
+	}
+	return 0
+}
+
+func checkBtree(t *testing.T, tr *btree, oracle map[uint64]uint64) {
+	t.Helper()
+	c := tr.c
+	root := c.LoadOid(c.Direct(tr.hdr), 8)
+	if err := c.Take(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[uint64]uint64)
+	if !root.IsNull() {
+		walkBtree(t, tr, root, 0, ^uint64(0), got, true)
+	}
+	if len(got) != len(oracle) {
+		t.Fatalf("tree has %d keys, oracle %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	if n, err := tr.Count(); err != nil || n != uint64(len(oracle)) {
+		t.Fatalf("Count = %d, %v; oracle %d", n, err, len(oracle))
+	}
+}
+
+func TestBtreeOracleAndInvariants(t *testing.T) {
+	env := newRT(t, variant.SPP)
+	m, err := New("btree", env.RT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.(*btree)
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(21))
+	for step := 0; step < 4000; step++ {
+		k := uint64(rng.Intn(600)) + 1
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			if err := m.Insert(k, v); err != nil {
+				t.Fatalf("step %d Insert: %v", step, err)
+			}
+			oracle[k] = v
+		case 2:
+			ok, err := m.Remove(k)
+			if err != nil {
+				t.Fatalf("step %d Remove: %v", step, err)
+			}
+			if _, want := oracle[k]; ok != want {
+				t.Fatalf("step %d Remove(%d)=%v want %v", step, k, ok, want)
+			}
+			delete(oracle, k)
+		}
+		if step%500 == 0 {
+			checkBtree(t, tr, oracle)
+		}
+	}
+	checkBtree(t, tr, oracle)
+	// Drain completely: the root must become null.
+	for k := range oracle {
+		if ok, err := m.Remove(k); !ok || err != nil {
+			t.Fatalf("drain Remove(%d) = %v,%v", k, ok, err)
+		}
+	}
+	if n, _ := m.Count(); n != 0 {
+		t.Fatalf("Count after drain = %d", n)
+	}
+	if !tr.c.LoadOid(tr.c.Direct(tr.hdr), 8).IsNull() {
+		t.Error("root not cleared after drain")
+	}
+	_ = tr.c.Take()
+}
+
+func TestBtreePersistsAcrossReopen(t *testing.T) {
+	env := newRT(t, variant.SPP)
+	m, err := New("btree", env.RT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		if err := m.Insert(k, k^0xff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New("btree", env.RT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		v, ok, err := m2.Get(k)
+		if err != nil || !ok || v != k^0xff {
+			t.Fatalf("Get(%d) after reopen = %d,%v,%v", k, v, ok, err)
+		}
+	}
+}
+
+// TestBtreeMemmoveBugDetected reproduces pmem/pmdk#5333 inside the
+// real insert path: with the full-node split guard disabled, the item
+// shift memmove runs on a full node and writes one item past the node
+// object. SPP traps it at the interposed memmove; native PMDK
+// silently corrupts the neighbouring allocation.
+func TestBtreeMemmoveBugDetected(t *testing.T) {
+	trigger := func(kind variant.Kind) error {
+		env := newRT(t, kind)
+		m, err := New("btree", env.RT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := m.(*btree)
+		// Fill the root to capacity with the guard ON.
+		for k := uint64(10); k <= 70; k += 10 {
+			if err := m.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Now insert a small key with the buggy path enabled: the
+		// shift of 7 items overflows the items array.
+		tr.BuggySplit = true
+		return m.Insert(5, 5)
+	}
+	if err := trigger(variant.SPP); !hooks.IsSafetyTrap(err) {
+		t.Errorf("SPP did not detect the btree memmove overflow: %v", err)
+	}
+	if err := trigger(variant.PMDK); err != nil {
+		t.Errorf("native run errored (should corrupt silently): %v", err)
+	}
+}
+
+func TestBtreeUnderAllVariants(t *testing.T) {
+	for _, kind := range []variant.Kind{variant.PMDK, variant.SPP, variant.SafePM, variant.Memcheck, variant.SPPPacked} {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newRT(t, kind)
+			m, err := New("btree", env.RT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(1); k <= 150; k++ {
+				if err := m.Insert(k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := uint64(1); k <= 150; k++ {
+				if v, ok, err := m.Get(k); err != nil || !ok || v != k {
+					t.Fatalf("Get(%d) = %d,%v,%v", k, v, ok, err)
+				}
+			}
+			for k := uint64(1); k <= 150; k += 2 {
+				if ok, err := m.Remove(k); !ok || err != nil {
+					t.Fatalf("Remove(%d) = %v,%v", k, ok, err)
+				}
+			}
+		})
+	}
+}

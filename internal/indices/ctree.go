@@ -1,0 +1,255 @@
+package indices
+
+import (
+	"math/bits"
+
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+)
+
+// ctree is a crit-bit tree over 64-bit keys, the PMDK ctree_map
+// layout: internal nodes hold the critical-bit index and two children;
+// leaves hold the key/value pair.
+//
+// Header object: {count u64, root oid}.
+// Internal node:  {kind=1, diff u64, child[2] oid}.
+// Leaf node:      {kind=0, key u64, value u64}.
+type ctree struct {
+	c       *ctx
+	slotOff uint64      // root-slot holding the header oid
+	hdr     pmemobj.Oid // header object
+}
+
+const (
+	ctKind  = 0
+	ctDiff  = 8 // internal: critical bit; leaf: key
+	ctValue = 16
+	ctChild = 16 // internal: child array base
+
+	ctLeaf     = 0
+	ctInternal = 1
+
+	ctLeafSize = 24
+)
+
+func (t *ctree) hdrSize() uint64      { return 8 + uint64(t.c.OidSize) }
+func (t *ctree) internalSize() uint64 { return 16 + 2*uint64(t.c.OidSize) }
+
+func newCtree(rt hooks.Runtime, slotOff uint64) (*ctree, error) {
+	c := newCtx(rt)
+	t := &ctree{c: c, slotOff: slotOff}
+	hdr := c.Pool.ReadOid(slotOff)
+	if hdr.IsNull() {
+		if err := rt.AllocAt(slotOff, t.hdrSize()); err != nil {
+			return nil, err
+		}
+		hdr = c.Pool.ReadOid(slotOff)
+	}
+	t.hdr = hdr
+	return t, nil
+}
+
+func (t *ctree) Name() string { return "ctree" }
+
+// Count returns the stored key count.
+func (t *ctree) Count() (uint64, error) {
+	n := t.c.Load(t.c.Direct(t.hdr), 0)
+	return n, t.c.Take()
+}
+
+// dir returns which child to follow for key at the given critical bit
+// (bit index counted from the most significant bit).
+func dir(key uint64, diff uint64) int64 {
+	return int64(key >> (63 - diff) & 1)
+}
+
+// childOff returns the field offset of child d in an internal node.
+func (t *ctree) childOff(d int64) int64 { return ctChild + d*t.c.OidSize }
+
+// Get implements Map.
+func (t *ctree) Get(key uint64) (uint64, bool, error) {
+	c := t.c
+	node := c.LoadOid(c.Direct(t.hdr), 8)
+	for !node.IsNull() && c.Err() == nil {
+		p := c.Direct(node)
+		if c.Load(p, ctKind) == ctLeaf {
+			if c.Load(p, ctDiff) == key {
+				v := c.Load(p, ctValue)
+				return v, true, c.Take()
+			}
+			return 0, false, c.Take()
+		}
+		node = c.LoadOid(p, t.childOff(dir(key, c.Load(p, ctDiff))))
+	}
+	return 0, false, c.Take()
+}
+
+func (t *ctree) newLeaf(tx *pmemobj.Tx, key, value uint64) pmemobj.Oid {
+	c := t.c
+	if c.Err() != nil {
+		return pmemobj.OidNull
+	}
+	oid, err := c.RT.TxAlloc(tx, ctLeafSize)
+	if err != nil {
+		c.Fail(err)
+		return pmemobj.OidNull
+	}
+	p := c.Direct(oid)
+	c.Store(p, ctKind, ctLeaf)
+	c.Store(p, ctDiff, key)
+	c.Store(p, ctValue, value)
+	return oid
+}
+
+// bumpCount adjusts the header count by delta inside the transaction.
+func (t *ctree) bumpCount(tx *pmemobj.Tx, delta int64) {
+	c := t.c
+	c.Snapshot(tx, t.hdr, t.hdrSize())
+	p := c.Direct(t.hdr)
+	c.Store(p, 0, c.Load(p, 0)+uint64(delta))
+}
+
+// Insert implements Map.
+func (t *ctree) Insert(key, value uint64) error {
+	c := t.c
+	return c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(t.hdr)
+		root := c.LoadOid(hp, 8)
+		if root.IsNull() {
+			leaf := t.newLeaf(tx, key, value)
+			t.bumpCount(tx, 1)
+			c.StoreOid(c.Direct(t.hdr), 8, leaf)
+			return
+		}
+
+		// Descend to the closest leaf.
+		node := root
+		for c.Err() == nil {
+			p := c.Direct(node)
+			if c.Load(p, ctKind) == ctLeaf {
+				break
+			}
+			node = c.LoadOid(p, t.childOff(dir(key, c.Load(p, ctDiff))))
+		}
+		if c.Err() != nil {
+			return
+		}
+		leafP := c.Direct(node)
+		leafKey := c.Load(leafP, ctDiff)
+		if leafKey == key {
+			c.Snapshot(tx, node, ctLeafSize)
+			c.Store(c.Direct(node), ctValue, value)
+			return
+		}
+		diff := uint64(bits.LeadingZeros64(key ^ leafKey))
+
+		// Walk again to the insertion point: the first position whose
+		// node is a leaf or has a critical bit below the new one.
+		parent := pmemobj.OidNull // internal node owning the slot
+		var slotField int64
+		node = root
+		for c.Err() == nil {
+			p := c.Direct(node)
+			if c.Load(p, ctKind) == ctLeaf || c.Load(p, ctDiff) > diff {
+				break
+			}
+			parent = node
+			slotField = t.childOff(dir(key, c.Load(p, ctDiff)))
+			node = c.LoadOid(p, slotField)
+		}
+		if c.Err() != nil {
+			return
+		}
+
+		// Build the new internal node with the new leaf and the
+		// displaced subtree as children.
+		internal, err := c.RT.TxAlloc(tx, t.internalSize())
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+		newLeaf := t.newLeaf(tx, key, value)
+		ip := c.Direct(internal)
+		c.Store(ip, ctKind, ctInternal)
+		c.Store(ip, ctDiff, diff)
+		d := dir(key, diff)
+		c.StoreOid(ip, t.childOff(d), newLeaf)
+		c.StoreOid(ip, t.childOff(1-d), node)
+
+		t.bumpCount(tx, 1)
+		if parent.IsNull() {
+			c.StoreOid(c.Direct(t.hdr), 8, internal)
+		} else {
+			c.Snapshot(tx, parent, t.internalSize())
+			c.StoreOid(c.Direct(parent), slotField, internal)
+		}
+	})
+}
+
+// Remove implements Map.
+func (t *ctree) Remove(key uint64) (bool, error) {
+	c := t.c
+	removed := false
+	err := c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(t.hdr)
+		root := c.LoadOid(hp, 8)
+		if root.IsNull() {
+			return
+		}
+
+		var parent, grand pmemobj.Oid
+		var parentField, grandField int64
+		node := root
+		for c.Err() == nil {
+			p := c.Direct(node)
+			if c.Load(p, ctKind) == ctLeaf {
+				break
+			}
+			grand, grandField = parent, parentField
+			parent = node
+			parentField = t.childOff(dir(key, c.Load(p, ctDiff)))
+			node = c.LoadOid(p, parentField)
+		}
+		if c.Err() != nil {
+			return
+		}
+		if c.Load(c.Direct(node), ctDiff) != key {
+			return
+		}
+		removed = true
+		t.bumpCount(tx, -1)
+
+		if parent.IsNull() {
+			// The leaf is the root.
+			c.StoreOid(c.Direct(t.hdr), 8, pmemobj.OidNull)
+			if err := c.RT.TxFree(tx, node); err != nil {
+				c.Fail(err)
+			}
+			return
+		}
+		// Splice the sibling into the grandparent slot.
+		pp := c.Direct(parent)
+		var sibField int64
+		if parentField == t.childOff(0) {
+			sibField = t.childOff(1)
+		} else {
+			sibField = t.childOff(0)
+		}
+		sibling := c.LoadOid(pp, sibField)
+		if grand.IsNull() {
+			c.StoreOid(c.Direct(t.hdr), 8, sibling)
+		} else {
+			c.Snapshot(tx, grand, t.internalSize())
+			c.StoreOid(c.Direct(grand), grandField, sibling)
+		}
+		if err := c.RT.TxFree(tx, node); err != nil {
+			c.Fail(err)
+		}
+		if c.Err() == nil {
+			if err := c.RT.TxFree(tx, parent); err != nil {
+				c.Fail(err)
+			}
+		}
+	})
+	return removed, err
+}

@@ -1,0 +1,247 @@
+package indices
+
+import (
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+)
+
+// hashmap is the PMDK hashmap_tx layout: a persistent bucket array of
+// chain heads, entries prepended in transactions, and a transactional
+// rehash once the load factor exceeds one.
+//
+// Header object: {count u64, nbuckets u64, buckets oid}.
+// Buckets object: nbuckets embedded oids (chain heads).
+// Entry object:   {key u64, value u64, next oid}.
+type hashmap struct {
+	c   *ctx
+	hdr pmemobj.Oid
+}
+
+const (
+	hmCount    = 0
+	hmNBuckets = 8
+	hmBuckets  = 16
+
+	hmKey   = 0
+	hmValue = 8
+	hmNext  = 16
+
+	hmInitialBuckets = 64
+)
+
+func (h *hashmap) hdrSize() uint64   { return 16 + uint64(h.c.OidSize) }
+func (h *hashmap) entrySize() uint64 { return 16 + uint64(h.c.OidSize) }
+
+func newHashmap(rt hooks.Runtime, slotOff uint64) (*hashmap, error) {
+	c := newCtx(rt)
+	h := &hashmap{c: c}
+	hdr := c.Pool.ReadOid(slotOff)
+	if hdr.IsNull() {
+		if err := rt.AllocAt(slotOff, h.hdrSize()); err != nil {
+			return nil, err
+		}
+		hdr = c.Pool.ReadOid(slotOff)
+		h.hdr = hdr
+		// Initialize the bucket array in one transaction.
+		err := c.Run(func(tx *pmemobj.Tx) {
+			buckets, err := rt.TxAlloc(tx, hmInitialBuckets*uint64(c.OidSize))
+			if err != nil {
+				c.Fail(err)
+				return
+			}
+			c.Snapshot(tx, hdr, h.hdrSize())
+			p := c.Direct(hdr)
+			c.Store(p, hmNBuckets, hmInitialBuckets)
+			c.StoreOid(p, hmBuckets, buckets)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	h.hdr = hdr
+	return h, nil
+}
+
+func (h *hashmap) Name() string { return "hashmap" }
+
+// Count implements Map.
+func (h *hashmap) Count() (uint64, error) {
+	n := h.c.Load(h.c.Direct(h.hdr), hmCount)
+	return n, h.c.Take()
+}
+
+// hash mixes the key (fmix64 from MurmurHash3).
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return key
+}
+
+// bucketField returns the field offset of bucket i in the array.
+func (h *hashmap) bucketField(i uint64) int64 { return int64(i) * h.c.OidSize }
+
+// Get implements Map.
+func (h *hashmap) Get(key uint64) (uint64, bool, error) {
+	c := h.c
+	hp := c.Direct(h.hdr)
+	n := c.Load(hp, hmNBuckets)
+	if n == 0 {
+		return 0, false, c.Take()
+	}
+	buckets := c.LoadOid(hp, hmBuckets)
+	bp := c.Direct(buckets)
+	entry := c.LoadOid(bp, h.bucketField(hash(key)%n))
+	for !entry.IsNull() && c.Err() == nil {
+		ep := c.Direct(entry)
+		if c.Load(ep, hmKey) == key {
+			v := c.Load(ep, hmValue)
+			return v, true, c.Take()
+		}
+		entry = c.LoadOid(ep, hmNext)
+	}
+	return 0, false, c.Take()
+}
+
+// Insert implements Map.
+func (h *hashmap) Insert(key, value uint64) error {
+	c := h.c
+	err := c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(h.hdr)
+		n := c.Load(hp, hmNBuckets)
+		buckets := c.LoadOid(hp, hmBuckets)
+		bp := c.Direct(buckets)
+		field := h.bucketField(hash(key) % n)
+
+		// Update in place if present.
+		entry := c.LoadOid(bp, field)
+		for !entry.IsNull() && c.Err() == nil {
+			ep := c.Direct(entry)
+			if c.Load(ep, hmKey) == key {
+				c.Snapshot(tx, entry, h.entrySize())
+				c.Store(c.Direct(entry), hmValue, value)
+				return
+			}
+			entry = c.LoadOid(ep, hmNext)
+		}
+		if c.Err() != nil {
+			return
+		}
+
+		// Prepend a fresh entry.
+		head := c.LoadOid(bp, field)
+		fresh, err := c.RT.TxAlloc(tx, h.entrySize())
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+		fp := c.Direct(fresh)
+		c.Store(fp, hmKey, key)
+		c.Store(fp, hmValue, value)
+		c.StoreOid(fp, hmNext, head)
+		c.SnapshotField(tx, buckets, field, uint64(c.OidSize))
+		c.StoreOid(c.Direct(buckets), field, fresh)
+
+		c.Snapshot(tx, h.hdr, h.hdrSize())
+		c.Store(c.Direct(h.hdr), hmCount, c.Load(c.Direct(h.hdr), hmCount)+1)
+	})
+	if err != nil {
+		return err
+	}
+	return h.maybeRehash()
+}
+
+// maybeRehash grows the bucket array when the load factor exceeds one.
+func (h *hashmap) maybeRehash() error {
+	c := h.c
+	hp := c.Direct(h.hdr)
+	count := c.Load(hp, hmCount)
+	n := c.Load(hp, hmNBuckets)
+	if err := c.Take(); err != nil {
+		return err
+	}
+	if count <= n {
+		return nil
+	}
+	newN := n * 2
+	return c.Run(func(tx *pmemobj.Tx) {
+		oldBuckets := c.LoadOid(hp, hmBuckets)
+		fresh, err := c.RT.TxAlloc(tx, newN*uint64(c.OidSize))
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+		op := c.Direct(oldBuckets)
+		np := c.Direct(fresh)
+		// Relink every entry into its new chain. Entries are
+		// snapshotted because their next pointers change.
+		for i := uint64(0); i < n && c.Err() == nil; i++ {
+			entry := c.LoadOid(op, h.bucketField(i))
+			for !entry.IsNull() && c.Err() == nil {
+				ep := c.Direct(entry)
+				next := c.LoadOid(ep, hmNext)
+				field := h.bucketField(hash(c.Load(ep, hmKey)) % newN)
+				c.Snapshot(tx, entry, h.entrySize())
+				ep = c.Direct(entry)
+				c.StoreOid(ep, hmNext, c.LoadOid(np, field))
+				c.StoreOid(np, field, entry)
+				entry = next
+			}
+		}
+		if c.Err() != nil {
+			return
+		}
+		c.Snapshot(tx, h.hdr, h.hdrSize())
+		nhp := c.Direct(h.hdr)
+		c.Store(nhp, hmNBuckets, newN)
+		c.StoreOid(nhp, hmBuckets, fresh)
+		if err := c.RT.TxFree(tx, oldBuckets); err != nil {
+			c.Fail(err)
+		}
+	})
+}
+
+// Remove implements Map.
+func (h *hashmap) Remove(key uint64) (bool, error) {
+	c := h.c
+	removed := false
+	err := c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(h.hdr)
+		n := c.Load(hp, hmNBuckets)
+		if n == 0 {
+			return
+		}
+		buckets := c.LoadOid(hp, hmBuckets)
+		bp := c.Direct(buckets)
+		field := h.bucketField(hash(key) % n)
+
+		prev := pmemobj.OidNull
+		entry := c.LoadOid(bp, field)
+		for !entry.IsNull() && c.Err() == nil {
+			ep := c.Direct(entry)
+			if c.Load(ep, hmKey) == key {
+				next := c.LoadOid(ep, hmNext)
+				if prev.IsNull() {
+					c.SnapshotField(tx, buckets, field, uint64(c.OidSize))
+					c.StoreOid(c.Direct(buckets), field, next)
+				} else {
+					c.Snapshot(tx, prev, h.entrySize())
+					c.StoreOid(c.Direct(prev), hmNext, next)
+				}
+				if err := c.RT.TxFree(tx, entry); err != nil {
+					c.Fail(err)
+					return
+				}
+				c.Snapshot(tx, h.hdr, h.hdrSize())
+				c.Store(c.Direct(h.hdr), hmCount, c.Load(c.Direct(h.hdr), hmCount)-1)
+				removed = true
+				return
+			}
+			prev = entry
+			entry = c.LoadOid(ep, hmNext)
+		}
+	})
+	return removed, err
+}

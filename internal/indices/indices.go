@@ -1,0 +1,95 @@
+// Package indices implements the four persistent indices of the
+// paper's pmembench evaluation (Figure 4, Table III): ctree (crit-bit
+// tree), rbtree (red-black tree), rtree (radix tree with 256-way
+// nodes and fixed path-compression buffers, the PMDK rtree_map
+// layout whose embedded oid arrays drive SPP's worst-case space
+// overhead) and hashmap (bucketed chains with transactional resize).
+//
+// All structural modifications run inside pmemobj transactions and
+// every memory access goes through the hooks.Runtime instrumentation
+// surface, so the same index code runs under native PMDK, SPP, SafePM
+// and memcheck.
+package indices
+
+import (
+	"fmt"
+
+	"repro/internal/hooks"
+	"repro/internal/pmaccess"
+)
+
+// Map is a persistent uint64 -> uint64 index.
+type Map interface {
+	// Name returns the index kind ("ctree", "rbtree", "rtree",
+	// "hashmap").
+	Name() string
+	// Insert adds or updates a key.
+	Insert(key, value uint64) error
+	// Get looks a key up.
+	Get(key uint64) (value uint64, found bool, err error)
+	// Remove deletes a key, reporting whether it was present.
+	Remove(key uint64) (bool, error)
+	// Count returns the number of live keys.
+	Count() (uint64, error)
+}
+
+// Kinds lists the benchmarked index kinds in the paper's order
+// (Figure 4, Table III).
+var Kinds = []string{"ctree", "rbtree", "rtree", "hashmap"}
+
+// AllKinds additionally includes the btree of §VI-D.
+var AllKinds = []string{"ctree", "rbtree", "rtree", "hashmap", "btree"}
+
+// Root slot layout: the pool root object holds one oid per index kind.
+const rootSlots = 5
+
+func slotIndex(kind string) (int, error) {
+	for i, k := range AllKinds {
+		if k == kind {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("indices: unknown kind %q", kind)
+}
+
+// New opens (or creates) the index of the given kind in the runtime's
+// pool. The index header lives in an object referenced from the pool
+// root, so the index is found again after a restart.
+func New(kind string, rt hooks.Runtime) (Map, error) {
+	slot, err := slotIndex(kind)
+	if err != nil {
+		return nil, err
+	}
+	oidSize := rt.Pool().OidPersistedSize()
+	root, err := rt.Root(rootSlots * oidSize)
+	if err != nil {
+		return nil, err
+	}
+	slotOff := root.Off + uint64(slot)*oidSize
+	switch kind {
+	case "ctree":
+		return newCtree(rt, slotOff)
+	case "rbtree":
+		return newRbtree(rt, slotOff)
+	case "rtree":
+		return newRtree(rt, slotOff)
+	case "hashmap":
+		return newHashmap(rt, slotOff)
+	case "btree":
+		return newBtree(rt, slotOff)
+	}
+	return nil, fmt.Errorf("indices: unknown kind %q", kind)
+}
+
+// BugInjector is implemented by indices that can reproduce known
+// upstream bugs for the §VI-D experiments.
+type BugInjector interface {
+	// InjectBug enables the named bug; it errors on unknown names.
+	InjectBug(name string) error
+}
+
+// ctx aliases the shared sticky-error accessor; the thin wrapper
+// keeps the index code terse.
+type ctx = pmaccess.Ctx
+
+func newCtx(rt hooks.Runtime) *ctx { return pmaccess.New(rt) }

@@ -1,0 +1,252 @@
+package indices
+
+import (
+	"encoding/binary"
+
+	"repro/internal/pmemobj"
+)
+
+// Walker is implemented by every index: ForEach visits all key/value
+// pairs (unspecified order except for rbtree, which visits in key
+// order) until fn returns false.
+type Walker interface {
+	ForEach(fn func(key, value uint64) bool) error
+}
+
+// Ordered is implemented by the rbtree: range queries over the key
+// order.
+type Ordered interface {
+	// Min returns the smallest key.
+	Min() (key, value uint64, ok bool, err error)
+	// Max returns the largest key.
+	Max() (key, value uint64, ok bool, err error)
+	// AscendRange visits keys in [lo, hi] in ascending order until fn
+	// returns false.
+	AscendRange(lo, hi uint64, fn func(key, value uint64) bool) error
+}
+
+// Interface checks.
+var (
+	_ Walker  = (*ctree)(nil)
+	_ Walker  = (*rbtree)(nil)
+	_ Walker  = (*rtree)(nil)
+	_ Walker  = (*hashmap)(nil)
+	_ Ordered = (*rbtree)(nil)
+)
+
+// ForEach implements Walker for ctree via a depth-first walk.
+func (t *ctree) ForEach(fn func(key, value uint64) bool) error {
+	c := t.c
+	root := c.LoadOid(c.Direct(t.hdr), 8)
+	if err := c.Take(); err != nil {
+		return err
+	}
+	_, err := t.walk(root, fn)
+	return err
+}
+
+func (t *ctree) walk(node pmemobj.Oid, fn func(key, value uint64) bool) (bool, error) {
+	if node.IsNull() {
+		return true, nil
+	}
+	c := t.c
+	p := c.Direct(node)
+	kind := c.Load(p, ctKind)
+	if err := c.Take(); err != nil {
+		return false, err
+	}
+	if kind == ctLeaf {
+		key := c.Load(p, ctDiff)
+		val := c.Load(p, ctValue)
+		if err := c.Take(); err != nil {
+			return false, err
+		}
+		return fn(key, val), nil
+	}
+	for d := int64(0); d < 2; d++ {
+		child := c.LoadOid(p, t.childOff(d))
+		if err := c.Take(); err != nil {
+			return false, err
+		}
+		cont, err := t.walk(child, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// ForEach implements Walker for rbtree: an in-order traversal, so keys
+// arrive sorted.
+func (t *rbtree) ForEach(fn func(key, value uint64) bool) error {
+	return t.AscendRange(0, ^uint64(0), fn)
+}
+
+// Min implements Ordered.
+func (t *rbtree) Min() (uint64, uint64, bool, error) {
+	c := t.c
+	n := t.left(t.root)
+	if c.Err() == nil && n.Off == t.sent.Off {
+		return 0, 0, false, c.Take()
+	}
+	for c.Err() == nil {
+		l := t.left(n)
+		if l.Off == t.sent.Off {
+			break
+		}
+		n = l
+	}
+	k, v := t.key(n), t.value(n)
+	return k, v, true, c.Take()
+}
+
+// Max implements Ordered.
+func (t *rbtree) Max() (uint64, uint64, bool, error) {
+	c := t.c
+	n := t.left(t.root)
+	if c.Err() == nil && n.Off == t.sent.Off {
+		return 0, 0, false, c.Take()
+	}
+	for c.Err() == nil {
+		r := t.right(n)
+		if r.Off == t.sent.Off {
+			break
+		}
+		n = r
+	}
+	k, v := t.key(n), t.value(n)
+	return k, v, true, c.Take()
+}
+
+// AscendRange implements Ordered with an explicit-stack in-order walk.
+func (t *rbtree) AscendRange(lo, hi uint64, fn func(key, value uint64) bool) error {
+	c := t.c
+	type frame struct {
+		node    pmemobj.Oid
+		visited bool
+	}
+	stack := []frame{{node: t.left(t.root)}}
+	for len(stack) > 0 && c.Err() == nil {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.node.Off == t.sent.Off {
+			continue
+		}
+		if f.visited {
+			k := t.key(f.node)
+			if c.Err() != nil {
+				break
+			}
+			if k > hi {
+				break
+			}
+			if k >= lo {
+				v := t.value(f.node)
+				if c.Err() != nil {
+					break
+				}
+				if !fn(k, v) {
+					break
+				}
+			}
+			stack = append(stack, frame{node: t.right(f.node)})
+			continue
+		}
+		k := t.key(f.node)
+		if c.Err() != nil {
+			break
+		}
+		// Prune subtrees wholly outside the range.
+		switch {
+		case k < lo:
+			stack = append(stack, frame{node: t.right(f.node)})
+		case k > hi:
+			stack = append(stack, frame{node: t.left(f.node)})
+		default:
+			stack = append(stack, frame{node: f.node, visited: true})
+			stack = append(stack, frame{node: t.left(f.node)})
+		}
+	}
+	return c.Take()
+}
+
+// ForEach implements Walker for rtree by reconstructing 8-byte keys
+// along the radix paths.
+func (t *rtree) ForEach(fn func(key, value uint64) bool) error {
+	c := t.c
+	root := c.LoadOid(c.Direct(t.hdr), 8)
+	if err := c.Take(); err != nil {
+		return err
+	}
+	_, err := t.walkNode(root, nil, fn)
+	return err
+}
+
+func (t *rtree) walkNode(node pmemobj.Oid, prefix []byte, fn func(key, value uint64) bool) (bool, error) {
+	if node.IsNull() {
+		return true, nil
+	}
+	c := t.c
+	p := c.Direct(node)
+	pfx := t.prefix(p)
+	if err := c.Take(); err != nil {
+		return false, err
+	}
+	full := append(append([]byte{}, prefix...), pfx...)
+	hasValue := c.Load(p, rtHasValue)
+	value := c.Load(p, rtValue)
+	if err := c.Take(); err != nil {
+		return false, err
+	}
+	if hasValue != 0 && len(full) == 8 {
+		if !fn(binary.BigEndian.Uint64(full), value) {
+			return false, nil
+		}
+	}
+	for b := 0; b < rtFanout; b++ {
+		child := c.LoadOid(p, t.childField(byte(b)))
+		if err := c.Take(); err != nil {
+			return false, err
+		}
+		if child.IsNull() {
+			continue
+		}
+		cont, err := t.walkNode(child, append(full, byte(b)), fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// ForEach implements Walker for hashmap via a bucket scan.
+func (h *hashmap) ForEach(fn func(key, value uint64) bool) error {
+	c := h.c
+	hp := c.Direct(h.hdr)
+	n := c.Load(hp, hmNBuckets)
+	buckets := c.LoadOid(hp, hmBuckets)
+	if err := c.Take(); err != nil {
+		return err
+	}
+	bp := c.Direct(buckets)
+	for i := uint64(0); i < n; i++ {
+		entry := c.LoadOid(bp, h.bucketField(i))
+		for !entry.IsNull() {
+			ep := c.Direct(entry)
+			k := c.Load(ep, hmKey)
+			v := c.Load(ep, hmValue)
+			next := c.LoadOid(ep, hmNext)
+			if err := c.Take(); err != nil {
+				return err
+			}
+			if !fn(k, v) {
+				return nil
+			}
+			entry = next
+		}
+		if err := c.Take(); err != nil {
+			return err
+		}
+	}
+	return c.Take()
+}

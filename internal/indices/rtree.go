@@ -1,0 +1,329 @@
+package indices
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+)
+
+// rtree is a path-compressed radix tree over byte-string keys with
+// 256-way nodes, the PMDK rtree_map layout: every node embeds a fixed
+// 256-slot child oid array and a fixed-capacity key buffer. With 256
+// embedded oids per node, SPP's extra 8 bytes per persisted oid make
+// this the worst case of Table III (~+40% PM space).
+//
+// Header object: {count u64, root oid}.
+// Node object:   {hasValue u64, value u64, childCount u64,
+//
+//	prefixLen u64, prefix [1000]byte, child[256] oid}.
+type rtree struct {
+	c   *ctx
+	hdr pmemobj.Oid
+}
+
+const (
+	rtHasValue   = 0
+	rtValue      = 8
+	rtChildCount = 16
+	rtPrefixLen  = 24
+	rtPrefix     = 32
+	rtMaxPrefix  = 1000
+	rtChildren   = rtPrefix + rtMaxPrefix // 1032
+	rtFanout     = 256
+)
+
+func (t *rtree) nodeSize() uint64 { return rtChildren + rtFanout*uint64(t.c.OidSize) }
+func (t *rtree) hdrSize() uint64  { return 8 + uint64(t.c.OidSize) }
+
+// childField returns the field offset of child b.
+func (t *rtree) childField(b byte) int64 { return rtChildren + int64(b)*t.c.OidSize }
+
+func newRtree(rt hooks.Runtime, slotOff uint64) (*rtree, error) {
+	c := newCtx(rt)
+	t := &rtree{c: c}
+	hdr := c.Pool.ReadOid(slotOff)
+	if hdr.IsNull() {
+		if err := rt.AllocAt(slotOff, t.hdrSize()); err != nil {
+			return nil, err
+		}
+		hdr = c.Pool.ReadOid(slotOff)
+		t.hdr = hdr
+		// The root node always exists, with an empty prefix.
+		err := c.Run(func(tx *pmemobj.Tx) {
+			root, err := rt.TxAlloc(tx, t.nodeSize())
+			if err != nil {
+				c.Fail(err)
+				return
+			}
+			c.Snapshot(tx, hdr, t.hdrSize())
+			c.StoreOid(c.Direct(hdr), 8, root)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.hdr = hdr
+	return t, nil
+}
+
+func (t *rtree) Name() string { return "rtree" }
+
+// Count implements Map.
+func (t *rtree) Count() (uint64, error) {
+	n := t.c.Load(t.c.Direct(t.hdr), 0)
+	return n, t.c.Take()
+}
+
+func keyBytes(key uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	return b[:]
+}
+
+// Insert implements Map.
+func (t *rtree) Insert(key, value uint64) error { return t.InsertBytes(keyBytes(key), value) }
+
+// Get implements Map.
+func (t *rtree) Get(key uint64) (uint64, bool, error) { return t.GetBytes(keyBytes(key)) }
+
+// Remove implements Map.
+func (t *rtree) Remove(key uint64) (bool, error) { return t.RemoveBytes(keyBytes(key)) }
+
+// prefix reads a node's compressed prefix.
+func (t *rtree) prefix(p uint64) []byte {
+	n := t.c.Load(p, rtPrefixLen)
+	if t.c.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > rtMaxPrefix {
+		t.c.Fail(fmt.Errorf("rtree: corrupt prefix length %d", n))
+		return nil
+	}
+	b, err := hooks.LoadBytes(t.c.RT, t.c.RT.Gep(p, rtPrefix), n)
+	if err != nil {
+		t.c.Fail(err)
+		return nil
+	}
+	return b
+}
+
+// setPrefix writes a node's compressed prefix (caller snapshots).
+func (t *rtree) setPrefix(p uint64, b []byte) {
+	if t.c.Err() != nil {
+		return
+	}
+	t.c.Store(p, rtPrefixLen, uint64(len(b)))
+	if len(b) == 0 {
+		return
+	}
+	if err := hooks.StoreBytes(t.c.RT, t.c.RT.Gep(p, rtPrefix), b); err != nil {
+		t.c.Fail(err)
+	}
+}
+
+func commonLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// newNode allocates a node with the given prefix, optional value and
+// no children.
+func (t *rtree) newNode(tx *pmemobj.Tx, prefix []byte, hasValue bool, value uint64) pmemobj.Oid {
+	c := t.c
+	if c.Err() != nil {
+		return pmemobj.OidNull
+	}
+	oid, err := c.RT.TxAlloc(tx, t.nodeSize())
+	if err != nil {
+		c.Fail(err)
+		return pmemobj.OidNull
+	}
+	p := c.Direct(oid)
+	if hasValue {
+		c.Store(p, rtHasValue, 1)
+		c.Store(p, rtValue, value)
+	}
+	t.setPrefix(p, prefix)
+	return oid
+}
+
+func (t *rtree) bumpCount(tx *pmemobj.Tx, delta int64) {
+	c := t.c
+	c.SnapshotField(tx, t.hdr, 0, 8)
+	p := c.Direct(t.hdr)
+	c.Store(p, 0, c.Load(p, 0)+uint64(delta))
+}
+
+// InsertBytes adds or updates a byte-string key.
+func (t *rtree) InsertBytes(key []byte, value uint64) error {
+	if len(key) > rtMaxPrefix {
+		return fmt.Errorf("rtree: key of %d bytes exceeds maximum %d", len(key), rtMaxPrefix)
+	}
+	c := t.c
+	return c.Run(func(tx *pmemobj.Tx) {
+		// slot identifies where the current node is linked from.
+		slotObj := t.hdr
+		slotField := int64(8)
+		node := c.LoadOid(c.Direct(t.hdr), 8)
+		rest := key
+
+		for c.Err() == nil {
+			p := c.Direct(node)
+			pfx := t.prefix(p)
+			m := commonLen(rest, pfx)
+			if m < len(pfx) {
+				// Split the edge: a new inner node takes the common
+				// part; the current node keeps the tail after the
+				// branching byte.
+				inner := t.newNode(tx, pfx[:m], false, 0)
+				if c.Err() != nil {
+					return
+				}
+				ip := c.Direct(inner)
+				c.StoreOid(ip, t.childField(pfx[m]), node)
+				c.Store(ip, rtChildCount, 1)
+				c.Snapshot(tx, node, rtChildren) // scalar header + prefix
+				np := c.Direct(node)
+				t.setPrefix(np, pfx[m+1:])
+				if m == len(rest) {
+					c.Store(ip, rtHasValue, 1)
+					c.Store(ip, rtValue, value)
+				} else {
+					leaf := t.newNode(tx, rest[m+1:], true, value)
+					c.StoreOid(ip, t.childField(rest[m]), leaf)
+					c.Store(ip, rtChildCount, 2)
+				}
+				c.SnapshotField(tx, slotObj, slotField, uint64(c.OidSize))
+				c.StoreOid(c.Direct(slotObj), slotField, inner)
+				t.bumpCount(tx, 1)
+				return
+			}
+			rest = rest[m:]
+			if len(rest) == 0 {
+				// The key ends at this node.
+				c.SnapshotField(tx, node, rtHasValue, 16)
+				np := c.Direct(node)
+				fresh := c.Load(np, rtHasValue) == 0
+				c.Store(np, rtHasValue, 1)
+				c.Store(np, rtValue, value)
+				if fresh {
+					t.bumpCount(tx, 1)
+				}
+				return
+			}
+			b := rest[0]
+			rest = rest[1:]
+			child := c.LoadOid(p, t.childField(b))
+			if child.IsNull() {
+				leaf := t.newNode(tx, rest, true, value)
+				if c.Err() != nil {
+					return
+				}
+				c.SnapshotField(tx, node, t.childField(b), uint64(c.OidSize))
+				c.SnapshotField(tx, node, rtChildCount, 8)
+				np := c.Direct(node)
+				c.StoreOid(np, t.childField(b), leaf)
+				c.Store(np, rtChildCount, c.Load(np, rtChildCount)+1)
+				t.bumpCount(tx, 1)
+				return
+			}
+			slotObj, slotField = node, t.childField(b)
+			node = child
+		}
+	})
+}
+
+// GetBytes looks a byte-string key up.
+func (t *rtree) GetBytes(key []byte) (uint64, bool, error) {
+	c := t.c
+	node := c.LoadOid(c.Direct(t.hdr), 8)
+	rest := key
+	for c.Err() == nil {
+		p := c.Direct(node)
+		pfx := t.prefix(p)
+		m := commonLen(rest, pfx)
+		if m < len(pfx) {
+			return 0, false, c.Take()
+		}
+		rest = rest[m:]
+		if len(rest) == 0 {
+			if c.Load(p, rtHasValue) != 0 {
+				v := c.Load(p, rtValue)
+				return v, true, c.Take()
+			}
+			return 0, false, c.Take()
+		}
+		child := c.LoadOid(p, t.childField(rest[0]))
+		if child.IsNull() {
+			return 0, false, c.Take()
+		}
+		rest = rest[1:]
+		node = child
+	}
+	return 0, false, c.Take()
+}
+
+// RemoveBytes deletes a byte-string key. A node left with no value and
+// no children is unlinked from its parent and freed.
+func (t *rtree) RemoveBytes(key []byte) (bool, error) {
+	c := t.c
+	removed := false
+	err := c.Run(func(tx *pmemobj.Tx) {
+		slotObj := t.hdr
+		slotField := int64(8)
+		parent := pmemobj.OidNull
+		node := c.LoadOid(c.Direct(t.hdr), 8)
+		rest := key
+		for c.Err() == nil {
+			p := c.Direct(node)
+			pfx := t.prefix(p)
+			m := commonLen(rest, pfx)
+			if m < len(pfx) {
+				return
+			}
+			rest = rest[m:]
+			if len(rest) == 0 {
+				if c.Load(p, rtHasValue) == 0 {
+					return
+				}
+				removed = true
+				c.SnapshotField(tx, node, rtHasValue, 16)
+				np := c.Direct(node)
+				c.Store(np, rtHasValue, 0)
+				c.Store(np, rtValue, 0)
+				t.bumpCount(tx, -1)
+				// Prune if the node is now empty (never the root).
+				if !parent.IsNull() && c.Load(np, rtChildCount) == 0 {
+					c.SnapshotField(tx, slotObj, slotField, uint64(c.OidSize))
+					c.StoreOid(c.Direct(slotObj), slotField, pmemobj.OidNull)
+					c.SnapshotField(tx, parent, rtChildCount, 8)
+					pp := c.Direct(parent)
+					c.Store(pp, rtChildCount, c.Load(pp, rtChildCount)-1)
+					if err := c.RT.TxFree(tx, node); err != nil {
+						c.Fail(err)
+					}
+				}
+				return
+			}
+			child := c.LoadOid(p, t.childField(rest[0]))
+			if child.IsNull() {
+				return
+			}
+			parent = node
+			slotObj, slotField = node, t.childField(rest[0])
+			node = child
+			rest = rest[1:]
+		}
+	})
+	return removed, err
+}

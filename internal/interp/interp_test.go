@@ -1,0 +1,243 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/variant"
+)
+
+func env(t *testing.T, kind variant.Kind) *variant.Env {
+	t.Helper()
+	e, err := variant.New(kind, variant.Options{PoolSize: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunErrors(t *testing.T) {
+	m := parse(t, `
+extern @ext_identity
+func @main(%a) {
+entry:
+  ret %a
+}
+`)
+	mach := New(m, env(t, variant.PMDK))
+	if _, err := mach.Run("nope"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := mach.Run("ext_identity", 1); err == nil {
+		t.Error("running an extern accepted")
+	}
+	if _, err := mach.Run("main"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if got, err := mach.Run("main", 42); err != nil || got != 42 {
+		t.Errorf("main(42) = %d, %v", got, err)
+	}
+}
+
+func TestUndefinedValue(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %x = add %a, %b
+  ret %x
+}
+`)
+	if _, err := New(m, env(t, variant.PMDK)).Run("main"); err == nil {
+		t.Error("undefined value accepted")
+	}
+}
+
+func TestArithmeticAndMemoryOps(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %two = const 2
+  %three = const 3
+  %six = mul %two, %three
+  %five = add %two, %three
+  %one = sub %three, %two
+  store.1 %p, %one
+  %q = gep %p, 1
+  store.2 %q, %five
+  %r = gep %p, 4
+  store.4 %r, %six
+  %w = gep %p, 8
+  store.8 %w, %five
+  %a = load.1 %p
+  %b = load.2 %q
+  %c = load.4 %r
+  %d = load.8 %w
+  %ab = add %a, %b
+  %cd = add %c, %d
+  %sum = add %ab, %cd
+  ret %sum
+}
+`)
+	got, err := New(m, env(t, variant.PMDK)).Run("main")
+	if err != nil || got != 1+5+6+5 {
+		t.Errorf("sum = %d, %v", got, err)
+	}
+}
+
+func TestExternalRegistry(t *testing.T) {
+	m := parse(t, `
+extern @ext_custom
+func @main() {
+entry:
+  %v = const 10
+  %r = callext @ext_custom, %v
+  ret %r
+}
+`)
+	mach := New(m, env(t, variant.PMDK))
+	if _, err := mach.Run("main"); err == nil {
+		t.Error("unregistered external accepted")
+	}
+	mach.RegisterExternal("ext_custom", func(m *Machine, args []uint64) (uint64, error) {
+		return args[0] * 3, nil
+	})
+	got, err := mach.Run("main")
+	if err != nil || got != 30 {
+		t.Errorf("ext_custom = %d, %v", got, err)
+	}
+}
+
+func TestOidHandles(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 32
+  %oid = pmalloc %s
+  ret %oid
+}
+`)
+	mach := New(m, env(t, variant.SPP))
+	h, err := mach.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := mach.Oid(h)
+	if err != nil || oid.Size != 32 {
+		t.Errorf("Oid(%d) = %v, %v", h, oid, err)
+	}
+	if _, err := mach.Oid(0); err == nil {
+		t.Error("null handle accepted")
+	}
+	if _, err := mach.Oid(99); err == nil {
+		t.Error("wild handle accepted")
+	}
+}
+
+func TestMallocAndVolatileStores(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 16
+  %m = malloc %s
+  %v = const 123
+  store.8 %m, %v
+  %x = load.8 %m
+  ret %x
+}
+`)
+	got, err := New(m, env(t, variant.SPP)).Run("main")
+	if err != nil || got != 123 {
+		t.Errorf("volatile store/load = %d, %v", got, err)
+	}
+}
+
+func TestStrcpyInstr(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 16
+  %a = pmalloc %s
+  %pa = direct %a
+  %b = pmalloc %s
+  %pb = direct %b
+  %h = const 104
+  store.1 %pa, %h
+  %z = gep %pa, 1
+  %nul = const 0
+  store.1 %z, %nul
+  strcpy %pb, %pa
+  %c = load.1 %pb
+  ret %c
+}
+`)
+	// Uninstrumented on the native toolchain: raw strcpy.
+	got, err := New(m, env(t, variant.PMDK)).Run("main")
+	if err != nil || got != 104 {
+		t.Errorf("strcpy copy = %d, %v", got, err)
+	}
+}
+
+func TestRetWithoutValue(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  ret
+}
+`)
+	got, err := New(m, env(t, variant.PMDK)).Run("main")
+	if err != nil || got != 0 {
+		t.Errorf("bare ret = %d, %v", got, err)
+	}
+}
+
+func TestIntToPtrPreservesValue(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %i = ptrtoint %p
+  %q = inttoptr %i
+  %eq = icmp.eq %p, %q
+  ret %eq
+}
+`)
+	got, err := New(m, env(t, variant.PMDK)).Run("main")
+	if err != nil || got != 1 {
+		t.Errorf("round trip = %d, %v", got, err)
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+func TestExternalErrorPropagates(t *testing.T) {
+	m := parse(t, `
+extern @ext_fail
+func @main() {
+entry:
+  %r = callext @ext_fail
+  ret %r
+}
+`)
+	mach := New(m, env(t, variant.PMDK))
+	mach.RegisterExternal("ext_fail", func(m *Machine, args []uint64) (uint64, error) {
+		return 0, errSentinel
+	})
+	if _, err := mach.Run("main"); !errors.Is(err, errSentinel) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+extern @ext_store8
+func @main(%a) {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %q = gep %p, 8
+  store.8 %q, %a
+  %x = load.8 %q
+  %i = ptrtoint %p
+  %p2 = inttoptr %i
+  %c = icmp.lt %x, %a
+  condbr %c, more, done
+more: !loop.bound 4
+  %off = mul %x, %s
+  %r = gep %p, %off
+  %y = load.8 %r
+  %z = callext @ext_store8, %p, %y
+  br done
+done:
+  memcpy %p, %q, %s
+  ret %x
+}
+`
+
+func TestParseAndRoundTrip(t *testing.T) {
+	m, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	if !m.Func("ext_store8").External {
+		t.Error("extern not marked external")
+	}
+	f := m.Func("main")
+	if len(f.Params) != 1 || f.Params[0] != "%a" {
+		t.Errorf("params = %v", f.Params)
+	}
+	if f.Block("more").LoopBound != 4 {
+		t.Errorf("loop bound = %d", f.Block("more").LoopBound)
+	}
+	// Round-trip: print, reparse, print again; must be stable.
+	text1 := m.String()
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text1)
+	}
+	if text2 := m2.String(); text1 != text2 {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", text1, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src string
+	}{
+		{"garbage", "hello world"},
+		{"no header brace", "func @f()\nentry:\n ret\n}"},
+		{"unknown op", "func @f() {\nentry:\n  frobnicate %x\n}"},
+		{"bad const", "func @f() {\nentry:\n  %x = const zebra\n  ret %x\n}"},
+		{"unterminated", "func @f() {\nentry:\n  ret"},
+		{"instr before label", "func @f() {\n  ret\n}"},
+		{"bad loop bound", "func @f() {\nentry: !loop.bound x\n  ret\n}"},
+		{"branch to nowhere", "func @f() {\nentry:\n  br missing\n}"},
+		{"misplaced terminator", "func @f() {\nentry:\n  ret\n  %x = const 1\n}"},
+		{"bad size", "func @f(%p) {\nentry:\n  %x = load.3 %p\n  ret %x\n}"},
+		{"call unknown", "func @f() {\nentry:\n  call @nope\n  ret\n}"},
+		{"internal call to extern", "extern @e\nfunc @f() {\nentry:\n  call @e\n  ret\n}"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Errorf("Parse succeeded on %q", tt.src)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Func("main").Blocks[0].Instrs[0].Imm = 999
+	c.Func("main").Blocks[0].Instrs[3].Args[0] = "%other"
+	if m.Func("main").Blocks[0].Instrs[0].Imm == 999 {
+		t.Error("Imm aliased")
+	}
+	if m.Func("main").Blocks[0].Instrs[3].Args[0] == "%other" {
+		t.Error("Args aliased")
+	}
+	if c.Func("main").Block("more").LoopBound != 4 {
+		t.Error("LoopBound lost in clone")
+	}
+}
+
+func TestVerifyCatchesEmptyFunction(t *testing.T) {
+	m := &Module{Funcs: []*Func{{Name: "f"}}}
+	if err := m.Verify(); err == nil {
+		t.Error("empty function accepted")
+	}
+	m = &Module{Funcs: []*Func{{Name: "f", Blocks: []*Block{{Name: "entry"}}}}}
+	if err := m.Verify(); err == nil {
+		t.Error("empty block accepted")
+	}
+}
+
+func TestInstrStringAnnotations(t *testing.T) {
+	in := &Instr{Op: SppCheckBound, Dst: "%c", Args: []string{"%p"}, Size: 8, KnownPM: true}
+	s := in.String()
+	if !strings.Contains(s, "!pm") || !strings.Contains(s, "spp.checkbound.8") {
+		t.Errorf("String = %q", s)
+	}
+	in2 := &Instr{Op: MemCpy, Args: []string{"%a", "%b", "%n"}, Wrapped: true}
+	if !strings.Contains(in2.String(), "!wrapped") {
+		t.Errorf("String = %q", in2.String())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+; leading comment
+func @f() { ; trailing
+entry:
+  %x = const 1 ; a constant
+  ret %x
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("f") == nil {
+		t.Error("function lost")
+	}
+}

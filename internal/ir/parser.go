@@ -1,0 +1,289 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module from its textual form. The syntax matches
+// Module.String; see the package examples and the compiler-pass
+// example program.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	m, err := p.module()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) module() (*Module, error) {
+	m := &Module{}
+	for {
+		line, ok := p.next()
+		if !ok {
+			return m, nil
+		}
+		switch {
+		case strings.HasPrefix(line, "extern @"):
+			m.Funcs = append(m.Funcs, &Func{Name: strings.TrimPrefix(line, "extern @"), External: true})
+		case strings.HasPrefix(line, "func @"):
+			f, err := p.funcDef(line)
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, f)
+		default:
+			return nil, p.errf("expected func or extern, got %q", line)
+		}
+	}
+}
+
+func (p *parser) funcDef(header string) (*Func, error) {
+	open := strings.Index(header, "(")
+	close := strings.Index(header, ")")
+	if open < 0 || close < open || !strings.HasSuffix(header, "{") {
+		return nil, p.errf("malformed function header %q", header)
+	}
+	f := &Func{Name: strings.TrimPrefix(header[:open], "func @")}
+	if params := strings.TrimSpace(header[open+1 : close]); params != "" {
+		for _, prm := range strings.Split(params, ",") {
+			f.Params = append(f.Params, strings.TrimSpace(prm))
+		}
+	}
+	var cur *Block
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil, p.errf("unexpected end of input in function %s", f.Name)
+		}
+		if line == "}" {
+			return f, nil
+		}
+		if idx := strings.Index(line, ":"); idx >= 0 && !strings.Contains(line[:idx], " ") && !strings.Contains(line[:idx], "=") && !strings.Contains(line[:idx], ".") {
+			cur = &Block{Name: line[:idx]}
+			rest := strings.TrimSpace(line[idx+1:])
+			if strings.HasPrefix(rest, "!loop.bound") {
+				n, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(rest, "!loop.bound")), 10, 64)
+				if err != nil {
+					return nil, p.errf("bad loop bound: %v", err)
+				}
+				cur.LoopBound = n
+			} else if rest != "" {
+				return nil, p.errf("trailing text after label: %q", rest)
+			}
+			f.Blocks = append(f.Blocks, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, p.errf("instruction before first label")
+		}
+		in, err := p.instr(line)
+		if err != nil {
+			return nil, err
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+}
+
+func (p *parser) instr(line string) (*Instr, error) {
+	in := &Instr{}
+	// Trailing annotations.
+	for {
+		switch {
+		case strings.HasSuffix(line, " !pm"):
+			in.KnownPM = true
+			line = strings.TrimSuffix(line, " !pm")
+		case strings.HasSuffix(line, " !wrapped"):
+			in.Wrapped = true
+			line = strings.TrimSuffix(line, " !wrapped")
+		default:
+			goto parsed
+		}
+	}
+parsed:
+	if eq := strings.Index(line, "="); eq >= 0 && strings.HasPrefix(line, "%") {
+		in.Dst = strings.TrimSpace(line[:eq])
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	var mnemonic string
+	if sp := strings.IndexByte(line, ' '); sp >= 0 {
+		mnemonic, line = line[:sp], strings.TrimSpace(line[sp+1:])
+	} else {
+		mnemonic, line = line, ""
+	}
+	if dot := strings.LastIndex(mnemonic, "."); dot >= 0 && isDigits(mnemonic[dot+1:]) {
+		n, err := strconv.ParseUint(mnemonic[dot+1:], 10, 64)
+		if err != nil {
+			return nil, p.errf("bad access size in %q", mnemonic)
+		}
+		in.Size = n
+		mnemonic = mnemonic[:dot]
+	}
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return nil, p.errf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+
+	fields := splitOperands(line)
+	take := func() (string, error) {
+		if len(fields) == 0 {
+			return "", p.errf("missing operand for %s", mnemonic)
+		}
+		f := fields[0]
+		fields = fields[1:]
+		return f, nil
+	}
+
+	switch op {
+	case Const:
+		f, err := take()
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return nil, p.errf("bad constant %q", f)
+		}
+		in.Imm = n
+	case Br:
+		f, err := take()
+		if err != nil {
+			return nil, err
+		}
+		in.Sym = f
+	case CondBr:
+		c, err := take()
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := take()
+		if err != nil {
+			return nil, err
+		}
+		els, err := take()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = []string{c}
+		in.Sym, in.SymElse = tgt, els
+	case Call, CallExt:
+		f, err := take()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(f, "@") {
+			return nil, p.errf("call target must be @name, got %q", f)
+		}
+		in.Sym = strings.TrimPrefix(f, "@")
+		in.Args = fields
+		fields = nil
+	case Gep:
+		base, err := take()
+		if err != nil {
+			return nil, err
+		}
+		off, err := take()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = []string{base}
+		if strings.HasPrefix(off, "%") {
+			in.Args = append(in.Args, off)
+		} else {
+			n, err := strconv.ParseInt(off, 0, 64)
+			if err != nil {
+				return nil, p.errf("bad gep offset %q", off)
+			}
+			in.Imm = n
+		}
+	case SppUpdateTag:
+		ptr, err := take()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = []string{ptr}
+		if len(fields) > 0 {
+			n, err := strconv.ParseInt(fields[0], 0, 64)
+			if err != nil {
+				return nil, p.errf("bad updatetag offset %q", fields[0])
+			}
+			in.Imm = n
+			fields = fields[1:]
+		}
+	case Ret:
+		in.Args = fields
+		fields = nil
+	default:
+		in.Args = fields
+		fields = nil
+	}
+	if len(fields) != 0 {
+		return nil, p.errf("trailing operands %v for %s", fields, mnemonic)
+	}
+	return in, nil
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		for _, f := range strings.Fields(part) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func opByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

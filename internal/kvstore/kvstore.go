@@ -1,0 +1,380 @@
+// Package kvstore is a concurrent persistent key-value store modeled
+// on pmemkv's cmap engine (the non-experimental concurrent engine used
+// in §VI-B): a sharded persistent hash map over libpmemobj, with
+// volatile per-shard locks rebuilt on open and all persistent updates
+// running inside transactions.
+//
+// Like every application in this repository, all PM accesses go
+// through the hooks.Runtime instrumentation surface, so the store runs
+// unmodified under native PMDK, SPP, SafePM and memcheck.
+package kvstore
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/hooks"
+	"repro/internal/pmaccess"
+	"repro/internal/pmemobj"
+)
+
+// Store is an open KV store.
+type Store struct {
+	rt      hooks.Runtime
+	pool    *pmemobj.Pool
+	oidSize int64
+	shards  []shard
+	dir     pmemobj.Oid // shard directory: nshards embedded oids
+}
+
+type shard struct {
+	mu  sync.RWMutex
+	hdr pmemobj.Oid
+}
+
+// Shard header fields.
+const (
+	shCount    = 0
+	shNBuckets = 8
+	shBuckets  = 16
+
+	// Entry fields: {klen u64, vlen u64, next oid, key..., value...}.
+	enKLen = 0
+	enVLen = 8
+	enNext = 16
+
+	// Root layout: {nshards u64, dir oid}.
+	defaultShards  = 64
+	initialBuckets = 64
+)
+
+func (s *Store) shardHdrSize() uint64 { return 16 + uint64(s.oidSize) }
+func (s *Store) entryDataOff() int64  { return enNext + s.oidSize }
+func (s *Store) entrySize(klen, vlen int) uint64 {
+	return uint64(s.entryDataOff()) + uint64(klen) + uint64(vlen)
+}
+
+// Open opens (or creates) the store in the runtime's pool.
+func Open(rt hooks.Runtime) (*Store, error) {
+	pool := rt.Pool()
+	s := &Store{rt: rt, pool: pool, oidSize: int64(pool.OidPersistedSize())}
+	root, err := rt.Root(8 + uint64(s.oidSize))
+	if err != nil {
+		return nil, err
+	}
+	c := newCtx(rt)
+	nshards := c.Load(c.Direct(root), 0)
+	if err := c.Take(); err != nil {
+		return nil, err
+	}
+	if nshards == 0 {
+		if err := s.initialize(root); err != nil {
+			return nil, err
+		}
+		nshards = defaultShards
+	}
+	// Rebuild the volatile shard table.
+	dir := c.LoadOid(c.Direct(root), 8)
+	s.dir = dir
+	dp := c.Direct(dir)
+	s.shards = make([]shard, nshards)
+	for i := range s.shards {
+		s.shards[i].hdr = c.LoadOid(dp, int64(i)*s.oidSize)
+	}
+	if err := c.Take(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// initialize lays out the shard directory and shard headers in one
+// transaction.
+func (s *Store) initialize(root pmemobj.Oid) error {
+	c := newCtx(s.rt)
+	return c.Run(func(tx *pmemobj.Tx) {
+		dir, err := s.rt.TxAlloc(tx, defaultShards*uint64(s.oidSize))
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+		dp := c.Direct(dir)
+		for i := 0; i < defaultShards && c.Err() == nil; i++ {
+			hdr, err := s.rt.TxAlloc(tx, s.shardHdrSize())
+			if err != nil {
+				c.Fail(err)
+				return
+			}
+			buckets, err := s.rt.TxAlloc(tx, initialBuckets*uint64(s.oidSize))
+			if err != nil {
+				c.Fail(err)
+				return
+			}
+			hp := c.Direct(hdr)
+			c.Store(hp, shNBuckets, initialBuckets)
+			c.StoreOid(hp, shBuckets, buckets)
+			c.StoreOid(dp, int64(i)*s.oidSize, hdr)
+		}
+		c.Snapshot(tx, root, 8+uint64(s.oidSize))
+		rp := c.Direct(root)
+		c.Store(rp, 0, defaultShards)
+		c.StoreOid(rp, 8, dir)
+	})
+}
+
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	return h.Sum64()
+}
+
+func (s *Store) shardFor(h uint64) *shard {
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// keyEqual compares the stored key of an entry with key.
+func (s *Store) keyEqual(c *ctx, ep uint64, key []byte) bool {
+	if c.Load(ep, enKLen) != uint64(len(key)) {
+		return false
+	}
+	stored, err := hooks.LoadBytes(c.RT, c.RT.Gep(ep, s.entryDataOff()), uint64(len(key)))
+	if err != nil {
+		c.Fail(err)
+		return false
+	}
+	return string(stored) == string(key)
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	h := hashKey(key)
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+
+	c := newCtx(s.rt)
+	hp := c.Direct(sh.hdr)
+	n := c.Load(hp, shNBuckets)
+	if n == 0 {
+		return nil, false, c.Take()
+	}
+	buckets := c.LoadOid(hp, shBuckets)
+	entry := c.LoadOid(c.Direct(buckets), int64(h%n)*s.oidSize)
+	for !entry.IsNull() && c.Err() == nil {
+		ep := c.Direct(entry)
+		if s.keyEqual(c, ep, key) {
+			vlen := c.Load(ep, enVLen)
+			val, err := hooks.LoadBytes(c.RT, c.RT.Gep(ep, s.entryDataOff()+int64(len(key))), vlen)
+			if err != nil {
+				c.Fail(err)
+				break
+			}
+			return val, true, c.Take()
+		}
+		entry = c.LoadOid(ep, enNext)
+	}
+	return nil, false, c.Take()
+}
+
+// Put stores value under key, replacing any existing value.
+func (s *Store) Put(key, value []byte) error {
+	h := hashKey(key)
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	c := newCtx(s.rt)
+	err := c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(sh.hdr)
+		n := c.Load(hp, shNBuckets)
+		buckets := c.LoadOid(hp, shBuckets)
+		field := int64(h%n) * s.oidSize
+		bp := c.Direct(buckets)
+
+		// Replace in place when the key exists and the value fits the
+		// same allocation; otherwise unlink and reinsert.
+		prev := pmemobj.OidNull
+		entry := c.LoadOid(bp, field)
+		for !entry.IsNull() && c.Err() == nil {
+			ep := c.Direct(entry)
+			if s.keyEqual(c, ep, key) {
+				if c.Load(ep, enVLen) == uint64(len(value)) {
+					c.Snapshot(tx, entry, s.entrySize(len(key), len(value)))
+					ep = c.Direct(entry)
+					if err := hooks.StoreBytes(c.RT, c.RT.Gep(ep, s.entryDataOff()+int64(len(key))), value); err != nil {
+						c.Fail(err)
+					}
+					return
+				}
+				next := c.LoadOid(ep, enNext)
+				if prev.IsNull() {
+					c.SnapshotField(tx, buckets, field, uint64(s.oidSize))
+					c.StoreOid(c.Direct(buckets), field, next)
+				} else {
+					c.SnapshotField(tx, prev, enNext, uint64(s.oidSize))
+					c.StoreOid(c.Direct(prev), enNext, next)
+				}
+				if err := c.RT.TxFree(tx, entry); err != nil {
+					c.Fail(err)
+					return
+				}
+				c.SnapshotField(tx, sh.hdr, shCount, 8)
+				nhp := c.Direct(sh.hdr)
+				c.Store(nhp, shCount, c.Load(nhp, shCount)-1)
+				break
+			}
+			prev = entry
+			entry = c.LoadOid(ep, enNext)
+		}
+		if c.Err() != nil {
+			return
+		}
+
+		fresh, err := c.RT.TxAlloc(tx, s.entrySize(len(key), len(value)))
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+		fp := c.Direct(fresh)
+		c.Store(fp, enKLen, uint64(len(key)))
+		c.Store(fp, enVLen, uint64(len(value)))
+		c.StoreOid(fp, enNext, c.LoadOid(c.Direct(buckets), field))
+		if err := hooks.StoreBytes(c.RT, c.RT.Gep(fp, s.entryDataOff()), key); err != nil {
+			c.Fail(err)
+			return
+		}
+		if err := hooks.StoreBytes(c.RT, c.RT.Gep(fp, s.entryDataOff()+int64(len(key))), value); err != nil {
+			c.Fail(err)
+			return
+		}
+		c.SnapshotField(tx, buckets, field, uint64(s.oidSize))
+		c.StoreOid(c.Direct(buckets), field, fresh)
+		c.SnapshotField(tx, sh.hdr, shCount, 8)
+		nhp := c.Direct(sh.hdr)
+		c.Store(nhp, shCount, c.Load(nhp, shCount)+1)
+	})
+	if err != nil {
+		return err
+	}
+	return s.maybeRehash(sh)
+}
+
+// maybeRehash grows a shard's bucket array when its load factor
+// exceeds one. Caller holds the shard lock.
+func (s *Store) maybeRehash(sh *shard) error {
+	c := newCtx(s.rt)
+	hp := c.Direct(sh.hdr)
+	count := c.Load(hp, shCount)
+	n := c.Load(hp, shNBuckets)
+	if err := c.Take(); err != nil {
+		return err
+	}
+	if count <= n {
+		return nil
+	}
+	newN := n * 2
+	return c.Run(func(tx *pmemobj.Tx) {
+		oldBuckets := c.LoadOid(hp, shBuckets)
+		fresh, err := s.rt.TxAlloc(tx, newN*uint64(s.oidSize))
+		if err != nil {
+			c.Fail(err)
+			return
+		}
+		op := c.Direct(oldBuckets)
+		np := c.Direct(fresh)
+		for i := uint64(0); i < n && c.Err() == nil; i++ {
+			entry := c.LoadOid(op, int64(i)*s.oidSize)
+			for !entry.IsNull() && c.Err() == nil {
+				ep := c.Direct(entry)
+				next := c.LoadOid(ep, enNext)
+				klen := c.Load(ep, enKLen)
+				kb, err := hooks.LoadBytes(c.RT, c.RT.Gep(ep, s.entryDataOff()), klen)
+				if err != nil {
+					c.Fail(err)
+					return
+				}
+				field := int64(hashKey(kb)%newN) * s.oidSize
+				c.SnapshotField(tx, entry, enNext, uint64(s.oidSize))
+				ep = c.Direct(entry)
+				c.StoreOid(ep, enNext, c.LoadOid(np, field))
+				c.StoreOid(np, field, entry)
+				entry = next
+			}
+		}
+		if c.Err() != nil {
+			return
+		}
+		c.SnapshotField(tx, sh.hdr, shNBuckets, 8+uint64(s.oidSize))
+		nhp := c.Direct(sh.hdr)
+		c.Store(nhp, shNBuckets, newN)
+		c.StoreOid(nhp, shBuckets, fresh)
+		if err := c.RT.TxFree(tx, oldBuckets); err != nil {
+			c.Fail(err)
+		}
+	})
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key []byte) (bool, error) {
+	h := hashKey(key)
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	c := newCtx(s.rt)
+	removed := false
+	err := c.Run(func(tx *pmemobj.Tx) {
+		hp := c.Direct(sh.hdr)
+		n := c.Load(hp, shNBuckets)
+		buckets := c.LoadOid(hp, shBuckets)
+		field := int64(h%n) * s.oidSize
+		prev := pmemobj.OidNull
+		entry := c.LoadOid(c.Direct(buckets), field)
+		for !entry.IsNull() && c.Err() == nil {
+			ep := c.Direct(entry)
+			if s.keyEqual(c, ep, key) {
+				next := c.LoadOid(ep, enNext)
+				if prev.IsNull() {
+					c.SnapshotField(tx, buckets, field, uint64(s.oidSize))
+					c.StoreOid(c.Direct(buckets), field, next)
+				} else {
+					c.SnapshotField(tx, prev, enNext, uint64(s.oidSize))
+					c.StoreOid(c.Direct(prev), enNext, next)
+				}
+				if err := c.RT.TxFree(tx, entry); err != nil {
+					c.Fail(err)
+					return
+				}
+				c.SnapshotField(tx, sh.hdr, shCount, 8)
+				nhp := c.Direct(sh.hdr)
+				c.Store(nhp, shCount, c.Load(nhp, shCount)-1)
+				removed = true
+				return
+			}
+			prev = entry
+			entry = c.LoadOid(ep, enNext)
+		}
+	})
+	return removed, err
+}
+
+// Count returns the total number of keys.
+func (s *Store) Count() (uint64, error) {
+	var total uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		c := newCtx(s.rt)
+		total += c.Load(c.Direct(sh.hdr), shCount)
+		err := c.Take()
+		sh.mu.RUnlock()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// ctx aliases the shared sticky-error accessor.
+type ctx = pmaccess.Ctx
+
+func newCtx(rt hooks.Runtime) *ctx { return pmaccess.New(rt) }

@@ -1,0 +1,639 @@
+// Package phoenix ports the Phoenix 2.0 benchmark suite (Ranger et
+// al., HPCA'07) to persistent memory, as the paper does for Figure 6:
+// the seven kernels allocate their inputs and outputs as PM objects
+// through the PMDK-style API and run their compute loops over
+// instrumented PM accesses with a configurable number of worker
+// threads.
+//
+// Results are returned as checksums so tests can verify that every
+// protection variant computes identical answers.
+package phoenix
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+)
+
+// Kernels lists the suite in the paper's order.
+var Kernels = []string{
+	"histogram", "kmeans", "linear_regression", "matrix_multiply",
+	"pca", "string_match", "word_count",
+}
+
+// Run executes the named kernel at the given scale with the given
+// number of worker threads and returns a deterministic checksum.
+func Run(name string, rt hooks.Runtime, scale, threads int) (uint64, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	switch name {
+	case "histogram":
+		return histogram(rt, scale, threads)
+	case "kmeans":
+		return kmeans(rt, scale, threads)
+	case "linear_regression":
+		return linearRegression(rt, scale, threads)
+	case "matrix_multiply":
+		return matrixMultiply(rt, scale, threads)
+	case "pca":
+		return pca(rt, scale, threads)
+	case "string_match":
+		return stringMatch(rt, scale, threads, false)
+	case "word_count":
+		return wordCount(rt, scale, threads)
+	default:
+		return 0, fmt.Errorf("phoenix: unknown kernel %q", name)
+	}
+}
+
+// StringMatchBuggy runs string_match with the off-by-one read of the
+// upstream Phoenix bug (§VI-D: reading one byte past the input
+// buffer), which the protection variants detect.
+func StringMatchBuggy(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	return stringMatch(rt, scale, threads, true)
+}
+
+// xorshift is the deterministic input generator.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// allocInput allocates a PM object and fills it via the interposed
+// store path.
+func allocInput(rt hooks.Runtime, data []byte) (pmemobj.Oid, uint64, error) {
+	oid, err := rt.Alloc(uint64(len(data)))
+	if err != nil {
+		return pmemobj.OidNull, 0, err
+	}
+	p := rt.Direct(oid)
+	if err := hooks.StoreBytes(rt, p, data); err != nil {
+		return pmemobj.OidNull, 0, err
+	}
+	if err := rt.Pool().PersistRange(rt.External(p), uint64(len(data))); err != nil {
+		return pmemobj.OidNull, 0, err
+	}
+	return oid, p, nil
+}
+
+// parallel partitions [0, n) across workers and joins their errors.
+func parallel(threads, n int, fn func(worker, lo, hi int) error) error {
+	if threads > n && n > 0 {
+		threads = n
+	}
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histogram: 256-bin R/G/B histograms over scale pixels of 3 bytes.
+func histogram(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	n := scale * 3
+	rng := xorshift(1)
+	img := make([]byte, n)
+	for i := range img {
+		img[i] = byte(rng.next())
+	}
+	_, p, err := allocInput(rt, img)
+	if err != nil {
+		return 0, err
+	}
+	bins := make([][3 * 256]uint64, threads)
+	err = parallel(threads, scale, func(w, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for ch := 0; ch < 3; ch++ {
+				b, err := hooks.LoadU8(rt, rt.Gep(p, int64(i*3+ch)))
+				if err != nil {
+					return err
+				}
+				bins[w][ch*256+int(b)]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, bin := range bins {
+		for i, v := range bin {
+			sum += v * uint64(i+1)
+		}
+	}
+	return sum, nil
+}
+
+// kmeans: K-means over scale 3-d points, fixed 10 iterations — the
+// kernel that re-reads its whole working set every iteration and shows
+// the largest SPP overhead in Figure 6.
+func kmeans(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	const (
+		dim   = 3
+		k     = 8
+		iters = 10
+	)
+	rng := xorshift(2)
+	pts := make([]byte, scale*dim*8)
+	for i := 0; i < scale*dim; i++ {
+		v := rng.next() % 1000
+		putU64(pts[i*8:], v)
+	}
+	_, p, err := allocInput(rt, pts)
+	if err != nil {
+		return 0, err
+	}
+	centers := make([]float64, k*dim)
+	for i := range centers {
+		centers[i] = float64(rng.next() % 1000)
+	}
+	assign := make([]int, scale)
+	for it := 0; it < iters; it++ {
+		sums := make([][]float64, threads)
+		counts := make([][]int, threads)
+		err := parallel(threads, scale, func(w, lo, hi int) error {
+			s := make([]float64, k*dim)
+			cnt := make([]int, k)
+			for i := lo; i < hi; i++ {
+				var pt [dim]float64
+				for d := 0; d < dim; d++ {
+					v, err := hooks.LoadU64(rt, rt.Gep(p, int64((i*dim+d)*8)))
+					if err != nil {
+						return err
+					}
+					pt[d] = float64(v)
+				}
+				best, bestDist := 0, math.MaxFloat64
+				for c := 0; c < k; c++ {
+					var dist float64
+					for d := 0; d < dim; d++ {
+						diff := pt[d] - centers[c*dim+d]
+						dist += diff * diff
+					}
+					if dist < bestDist {
+						best, bestDist = c, dist
+					}
+				}
+				assign[i] = best
+				cnt[best]++
+				for d := 0; d < dim; d++ {
+					s[best*dim+d] += pt[d]
+				}
+			}
+			sums[w], counts[w] = s, cnt
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		for c := 0; c < k; c++ {
+			var cnt int
+			var s [dim]float64
+			for w := 0; w < threads; w++ {
+				if counts[w] == nil {
+					continue
+				}
+				cnt += counts[w][c]
+				for d := 0; d < dim; d++ {
+					s[d] += sums[w][c*dim+d]
+				}
+			}
+			if cnt > 0 {
+				for d := 0; d < dim; d++ {
+					centers[c*dim+d] = s[d] / float64(cnt)
+				}
+			}
+		}
+	}
+	var sum uint64
+	for i, a := range assign {
+		sum += uint64(a) * uint64(i+1)
+	}
+	return sum, nil
+}
+
+// linearRegression: least squares over scale (x, y) pairs.
+func linearRegression(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	rng := xorshift(3)
+	data := make([]byte, scale*16)
+	for i := 0; i < scale; i++ {
+		x := rng.next() % 4096
+		putU64(data[i*16:], x)
+		putU64(data[i*16+8:], 3*x+7+(rng.next()%11))
+	}
+	_, p, err := allocInput(rt, data)
+	if err != nil {
+		return 0, err
+	}
+	type sums struct{ sx, sy, sxx, sxy uint64 }
+	parts := make([]sums, threads)
+	err = parallel(threads, scale, func(w, lo, hi int) error {
+		var s sums
+		for i := lo; i < hi; i++ {
+			x, err := hooks.LoadU64(rt, rt.Gep(p, int64(i*16)))
+			if err != nil {
+				return err
+			}
+			y, err := hooks.LoadU64(rt, rt.Gep(p, int64(i*16+8)))
+			if err != nil {
+				return err
+			}
+			s.sx += x
+			s.sy += y
+			s.sxx += x * x
+			s.sxy += x * y
+		}
+		parts[w] = s
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total sums
+	for _, s := range parts {
+		total.sx += s.sx
+		total.sy += s.sy
+		total.sxx += s.sxx
+		total.sxy += s.sxy
+	}
+	return total.sx ^ total.sy ^ total.sxx ^ total.sxy, nil
+}
+
+// matrixMultiply: C = A×B over n×n u64 matrices in PM, n = scale.
+func matrixMultiply(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	n := scale
+	rng := xorshift(4)
+	mat := func() []byte {
+		m := make([]byte, n*n*8)
+		for i := 0; i < n*n; i++ {
+			putU64(m[i*8:], rng.next()%100)
+		}
+		return m
+	}
+	_, pa, err := allocInput(rt, mat())
+	if err != nil {
+		return 0, err
+	}
+	_, pb, err := allocInput(rt, mat())
+	if err != nil {
+		return 0, err
+	}
+	cOid, err := rt.Alloc(uint64(n * n * 8))
+	if err != nil {
+		return 0, err
+	}
+	pc := rt.Direct(cOid)
+	err = parallel(threads, n, func(w, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				var acc uint64
+				for k := 0; k < n; k++ {
+					a, err := hooks.LoadU64(rt, rt.Gep(pa, int64((i*n+k)*8)))
+					if err != nil {
+						return err
+					}
+					b, err := hooks.LoadU64(rt, rt.Gep(pb, int64((k*n+j)*8)))
+					if err != nil {
+						return err
+					}
+					acc += a * b
+				}
+				if err := hooks.StoreU64(rt, rt.Gep(pc, int64((i*n+j)*8)), acc); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for i := 0; i < n*n; i += 7 {
+		v, err := hooks.LoadU64(rt, rt.Gep(pc, int64(i*8)))
+		if err != nil {
+			return 0, err
+		}
+		sum ^= v
+	}
+	return sum, nil
+}
+
+// pca: column means and a band of the covariance matrix for a
+// scale×16 matrix.
+func pca(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	const cols = 16
+	rows := scale
+	rng := xorshift(5)
+	data := make([]byte, rows*cols*8)
+	for i := 0; i < rows*cols; i++ {
+		putU64(data[i*8:], rng.next()%1000)
+	}
+	_, p, err := allocInput(rt, data)
+	if err != nil {
+		return 0, err
+	}
+	// Column means.
+	colSums := make([][cols]uint64, threads)
+	err = parallel(threads, rows, func(w, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				v, err := hooks.LoadU64(rt, rt.Gep(p, int64((i*cols+j)*8)))
+				if err != nil {
+					return err
+				}
+				colSums[w][j] += v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var mean [cols]float64
+	for j := 0; j < cols; j++ {
+		var s uint64
+		for w := 0; w < threads; w++ {
+			s += colSums[w][j]
+		}
+		mean[j] = float64(s) / float64(rows)
+	}
+	// Covariance (upper triangle), accumulated per thread pair-block.
+	cov := make([][cols * cols]float64, threads)
+	err = parallel(threads, rows, func(w, lo, hi int) error {
+		var row [cols]float64
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				v, err := hooks.LoadU64(rt, rt.Gep(p, int64((i*cols+j)*8)))
+				if err != nil {
+					return err
+				}
+				row[j] = float64(v) - mean[j]
+			}
+			for a := 0; a < cols; a++ {
+				for b := a; b < cols; b++ {
+					cov[w][a*cols+b] += row[a] * row[b]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for a := 0; a < cols; a++ {
+		for b := a; b < cols; b++ {
+			var total float64
+			for w := 0; w < threads; w++ {
+				total += cov[w][a*cols+b]
+			}
+			sum += uint64(int64(total / float64(rows)))
+		}
+	}
+	return sum, nil
+}
+
+// stringMatch scans a PM text of space-separated words and counts
+// matches against four fixed keys, byte-comparing through the
+// instrumented loads like the Phoenix original. In buggy mode the
+// scanner peeks one byte past the input buffer when the text does not
+// end in a separator — the upstream off-by-one of §VI-D.
+func stringMatch(rt hooks.Runtime, scale, threads int, buggy bool) (uint64, error) {
+	keys := [4]string{"persistent", "memory", "safety", "pointer"}
+	words := [8]string{"persistent", "memory", "safety", "pointer", "buffer", "overflow", "tag", "check"}
+	rng := xorshift(6)
+	text := make([]byte, 0, scale*8)
+	for len(text) < scale*8 {
+		text = append(text, words[rng.next()%8]...)
+		text = append(text, ' ')
+	}
+	text = text[:len(text)-1] // no trailing separator: the final word ends at EOF
+	_, p, err := allocInput(rt, text)
+	if err != nil {
+		return 0, err
+	}
+	n := len(text)
+	loadAt := func(i int) (byte, error) { return hooks.LoadU8(rt, rt.Gep(p, int64(i))) }
+	counts := make([]uint64, threads)
+	err = parallel(threads, threads, func(w, _, _ int) error {
+		lo := w * n / threads
+		hi := (w + 1) * n / threads
+		// Skip a word straddling the range start; its owner is the
+		// previous worker.
+		if lo > 0 {
+			b, err := loadAt(lo - 1)
+			if err != nil {
+				return err
+			}
+			if b != ' ' {
+				for lo < n {
+					b, err := loadAt(lo)
+					if err != nil {
+						return err
+					}
+					lo++
+					if b == ' ' {
+						break
+					}
+				}
+			}
+		}
+		var cnt uint64
+		i := lo
+		for i < n {
+			b, err := loadAt(i)
+			if err != nil {
+				return err
+			}
+			if b == ' ' {
+				i++
+				continue
+			}
+			if i >= hi {
+				break // word belongs to the next worker
+			}
+			start := i
+			for i < n {
+				b, err := loadAt(i)
+				if err != nil {
+					return err
+				}
+				if b == ' ' {
+					break
+				}
+				i++
+			}
+			if buggy && i == n {
+				// Off-by-one: test for a terminator one past the end.
+				if _, err := loadAt(n); err != nil {
+					return err
+				}
+			}
+			wlen := i - start
+			for _, key := range keys {
+				if len(key) != wlen {
+					continue
+				}
+				match := true
+				for j := 0; j < wlen; j++ {
+					b, err := loadAt(start + j)
+					if err != nil {
+						return err
+					}
+					if b != key[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					cnt++
+					break
+				}
+			}
+		}
+		counts[w] = cnt
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// wordCount counts word frequencies in a PM text with per-thread
+// volatile maps merged at the end.
+func wordCount(rt hooks.Runtime, scale, threads int) (uint64, error) {
+	vocab := [16]string{
+		"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+		"iota", "kappa", "lambda", "mu", "nu", "xi", "omicron", "pi",
+	}
+	rng := xorshift(7)
+	text := make([]byte, 0, scale*8)
+	for len(text) < scale*8 {
+		text = append(text, vocab[rng.next()%16]...)
+		text = append(text, ' ')
+	}
+	_, p, err := allocInput(rt, text)
+	if err != nil {
+		return 0, err
+	}
+	n := len(text)
+	maps := make([]map[string]uint64, threads)
+	loadAt := func(i int) (byte, error) { return hooks.LoadU8(rt, rt.Gep(p, int64(i))) }
+	err = parallel(threads, threads, func(w, _, _ int) error {
+		lo := w * n / threads
+		hi := (w + 1) * n / threads
+		m := make(map[string]uint64, 32)
+		// A word straddling the range start belongs to the previous
+		// worker: skip it.
+		if lo > 0 {
+			b, err := loadAt(lo - 1)
+			if err != nil {
+				return err
+			}
+			if b != ' ' {
+				for lo < n {
+					b, err := loadAt(lo)
+					if err != nil {
+						return err
+					}
+					lo++
+					if b == ' ' {
+						break
+					}
+				}
+			}
+		}
+		var word []byte
+		i := lo
+		for i < n {
+			b, err := loadAt(i)
+			if err != nil {
+				return err
+			}
+			if b == ' ' {
+				i++
+				continue
+			}
+			if i >= hi {
+				break // the next worker owns words starting here
+			}
+			word = word[:0]
+			for i < n {
+				b, err := loadAt(i)
+				if err != nil {
+					return err
+				}
+				if b == ' ' {
+					break
+				}
+				word = append(word, b)
+				i++
+			}
+			m[string(word)]++
+		}
+		maps[w] = m
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := make(map[string]uint64)
+	for _, m := range maps {
+		for k, v := range m {
+			total[k] += v
+		}
+	}
+	var sum uint64
+	for _, w := range vocab {
+		sum = sum*31 + total[w]
+	}
+	return sum, nil
+}
+
+func putU64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,127 @@
+package phoenix
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hooks"
+	"repro/internal/variant"
+)
+
+func newEnv(t *testing.T, kind variant.Kind) *variant.Env {
+	t.Helper()
+	env, err := variant.New(kind, variant.Options{
+		PoolSize: 64 << 20,
+		TagBits:  core.PhoenixTagBits, // the paper uses 31 tag bits for Phoenix
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestUnknownKernel(t *testing.T) {
+	env := newEnv(t, variant.PMDK)
+	if _, err := Run("sorting", env.RT, 10, 1); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestKernelsDeterministicAcrossVariants: every kernel must compute
+// the same checksum under every protection mechanism — the
+// instrumentation may slow the run down but never change results.
+func TestKernelsDeterministicAcrossVariants(t *testing.T) {
+	scales := map[string]int{
+		"histogram":         4000,
+		"kmeans":            800,
+		"linear_regression": 4000,
+		"matrix_multiply":   24,
+		"pca":               300,
+		"string_match":      800,
+		"word_count":        800,
+	}
+	for _, kernel := range Kernels {
+		t.Run(kernel, func(t *testing.T) {
+			var want uint64
+			for i, kind := range []variant.Kind{variant.PMDK, variant.SPP, variant.SafePM} {
+				env := newEnv(t, kind)
+				got, err := Run(kernel, env.RT, scales[kernel], 4)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", kernel, kind, err)
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s under %s = %#x, want %#x", kernel, kind, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestThreadCountInvariant: results must not depend on parallelism.
+func TestThreadCountInvariant(t *testing.T) {
+	for _, kernel := range Kernels {
+		t.Run(kernel, func(t *testing.T) {
+			env1 := newEnv(t, variant.SPP)
+			one, err := Run(kernel, env1.RT, 500, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env8 := newEnv(t, variant.SPP)
+			eight, err := Run(kernel, env8.RT, 500, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if one != eight {
+				t.Errorf("1 thread = %#x, 8 threads = %#x", one, eight)
+			}
+		})
+	}
+}
+
+// TestStringMatchBugDetection reproduces §VI-D: the off-by-one read
+// past the input buffer is caught by SPP and SafePM and sails through
+// under native PMDK.
+func TestStringMatchBugDetection(t *testing.T) {
+	for _, tt := range []struct {
+		kind   variant.Kind
+		caught bool
+	}{
+		{variant.PMDK, false},
+		{variant.SPP, true},
+		{variant.SafePM, true},
+	} {
+		t.Run(string(tt.kind), func(t *testing.T) {
+			env := newEnv(t, tt.kind)
+			_, err := StringMatchBuggy(env.RT, 500, 1)
+			if tt.caught && !hooks.IsSafetyTrap(err) {
+				t.Errorf("off-by-one not caught: %v", err)
+			}
+			if !tt.caught && err != nil {
+				t.Errorf("native run failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestBuggyAndCleanAgreeWhenUndetected: the buggy scan differs from
+// the clean one only by the extra peek, so its match count is
+// unchanged where it survives.
+func TestBuggyAndCleanAgreeWhenUndetected(t *testing.T) {
+	env1 := newEnv(t, variant.PMDK)
+	clean, err := Run("string_match", env1.RT, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := newEnv(t, variant.PMDK)
+	buggy, err := StringMatchBuggy(env2.RT, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != buggy {
+		t.Errorf("clean = %d, buggy = %d", clean, buggy)
+	}
+}

@@ -1,0 +1,148 @@
+package pmaccess
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/pmem"
+	"repro/internal/pmemobj"
+	"repro/internal/vmem"
+)
+
+func newCtx(t *testing.T, sppMode bool) (*Ctx, *pmemobj.Pool) {
+	t.Helper()
+	dev := pmem.NewPool("pmaccess-test", 16<<20)
+	as := vmem.New()
+	pool, err := pmemobj.Create(dev, as, 0x10000, pmemobj.Config{SPP: sppMode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt hooks.Runtime
+	if sppMode {
+		rt, err = hooks.NewSPP(pool, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		rt = hooks.NewNative(pool, as)
+	}
+	return New(rt), pool
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c, _ := newCtx(t, true)
+	oid, err := c.RT.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Direct(oid)
+	c.Store(p, 8, 0xabcd)
+	if got := c.Load(p, 8); got != 0xabcd {
+		t.Errorf("Load = %#x", got)
+	}
+	c.StoreBytes(p, 16, []byte("hello"))
+	if got := c.LoadBytes(p, 16, 5); string(got) != "hello" {
+		t.Errorf("LoadBytes = %q", got)
+	}
+	if err := c.Take(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	c, _ := newCtx(t, true)
+	oid, _ := c.RT.Alloc(8)
+	p := c.Direct(oid)
+	// Trip the bound.
+	_ = c.Load(p, 8)
+	if c.Err() == nil {
+		t.Fatal("out-of-bounds load did not record an error")
+	}
+	// Everything after the first failure is a no-op.
+	c.Store(p, 0, 1)
+	if got := c.Load(p, 0); got != 0 {
+		t.Errorf("post-error Load = %d, want 0", got)
+	}
+	if got := c.LoadOid(p, 0); got != pmemobj.OidNull {
+		t.Errorf("post-error LoadOid = %v", got)
+	}
+	err := c.Take()
+	if !hooks.IsSafetyTrap(err) {
+		t.Errorf("Take = %v", err)
+	}
+	if c.Err() != nil {
+		t.Error("Take did not clear the error")
+	}
+	// The context is usable again.
+	c.Store(p, 0, 5)
+	if got := c.Load(p, 0); got != 5 || c.Err() != nil {
+		t.Errorf("recovered Load = %d, %v", got, c.Err())
+	}
+}
+
+func TestOidRoundTripBothLayouts(t *testing.T) {
+	for _, sppMode := range []bool{false, true} {
+		c, pool := newCtx(t, sppMode)
+		holder, err := c.RT.Alloc(2 * pool.OidPersistedSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		member, err := c.RT.Alloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.Direct(holder)
+		c.StoreOid(p, 0, member)
+		got := c.LoadOid(p, 0)
+		if err := c.Take(); err != nil {
+			t.Fatal(err)
+		}
+		if got.Off != member.Off || got.Pool != member.Pool {
+			t.Errorf("spp=%v: LoadOid = %v, want %v", sppMode, got, member)
+		}
+		if sppMode && got.Size != 48 {
+			t.Errorf("size field lost: %v", got)
+		}
+		if !sppMode && got.Size != 0 {
+			t.Errorf("native layout read a size: %v", got)
+		}
+	}
+}
+
+func TestRunCommitAndAbort(t *testing.T) {
+	c, pool := newCtx(t, true)
+	oid, _ := c.RT.Alloc(64)
+	p := c.Direct(oid)
+	c.Store(p, 0, 1)
+	if err := c.Take(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Device().Persist(oid.Off, 8)
+
+	// A failing body aborts and restores the snapshot.
+	sentinel := errors.New("boom")
+	err := c.Run(func(tx *pmemobj.Tx) {
+		c.Snapshot(tx, oid, 64)
+		c.Store(c.Direct(oid), 0, 999)
+		c.Fail(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run = %v", err)
+	}
+	if got := c.Load(p, 0); got != 1 || c.Take() != nil {
+		t.Errorf("after aborted Run = %d", got)
+	}
+
+	// A clean body commits.
+	err = c.Run(func(tx *pmemobj.Tx) {
+		c.SnapshotField(tx, oid, 0, 8)
+		c.Store(c.Direct(oid), 0, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Load(p, 0); got != 2 {
+		t.Errorf("after committed Run = %d", got)
+	}
+}

@@ -1,0 +1,274 @@
+// Package pmem models a byte-addressable persistent memory device.
+//
+// A Pool is the analog of a DAX-mapped PM file: a flat byte region with
+// explicit persistence operations. Stores land in the "CPU cache" (the
+// working image) immediately; they become durable only after a Flush of
+// their range followed by a Fence — the CLWB/SFENCE discipline that
+// PMDK's crash-consistency protocol is built on and that pmemcheck
+// verifies.
+//
+// With tracking enabled the pool keeps a separate durable image and an
+// event trace (stores, flushes, fences), which the pmemcheck package
+// replays to explore crash states. With tracking disabled every store
+// is immediately durable and the pool runs at full speed for the
+// performance experiments.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CachelineSize is the flush granularity of the simulated device.
+const CachelineSize = 64
+
+// StoreAtomicity is the size in bytes up to which an aligned store is
+// failure-atomic, matching the 8-byte powerfail atomicity of real PM.
+const StoreAtomicity = 8
+
+// ErrTrackingDisabled is returned by crash-simulation entry points when
+// the pool is running in performance mode.
+var ErrTrackingDisabled = errors.New("pmem: persistence tracking is disabled")
+
+// TraceSink receives the persistence event stream of a tracked pool.
+type TraceSink interface {
+	// RecordStore is called after data is written at off. The slice is
+	// owned by the sink.
+	RecordStore(off uint64, data []byte)
+	// RecordFlush is called when [off, off+size) is flushed.
+	RecordFlush(off, size uint64)
+	// RecordFence is called on a store fence.
+	RecordFence()
+}
+
+type flushRange struct {
+	off, size uint64
+}
+
+// Pool is a simulated persistent memory pool.
+type Pool struct {
+	data []byte
+	name string
+
+	mu        sync.Mutex
+	tracking  bool
+	persisted []byte       // durable image, valid while tracking
+	pending   []flushRange // flushed but not yet fenced
+	sink      TraceSink
+}
+
+// NewPool returns an in-memory pool of the given size with tracking
+// disabled.
+func NewPool(name string, size uint64) *Pool {
+	return &Pool{data: make([]byte, size), name: name}
+}
+
+// OpenFile loads a pool image from path, or creates a zeroed pool of
+// the given size if the file does not exist.
+func OpenFile(path string, size uint64) (*Pool, error) {
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if uint64(len(b)) != size {
+			return nil, fmt.Errorf("pmem: %s: image is %d bytes, want %d", path, len(b), size)
+		}
+		return &Pool{data: b, name: path}, nil
+	case os.IsNotExist(err):
+		return NewPool(path, size), nil
+	default:
+		return nil, fmt.Errorf("pmem: open %s: %w", path, err)
+	}
+}
+
+// SaveFile writes the working image to path.
+func (p *Pool) SaveFile(path string) error {
+	if err := os.WriteFile(path, p.data, 0o644); err != nil {
+		return fmt.Errorf("pmem: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Name returns the pool's identifier.
+func (p *Pool) Name() string { return p.name }
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() uint64 { return uint64(len(p.data)) }
+
+// Data exposes the working image. It is the slice to hand to
+// vmem.Mapping so the pool appears in the simulated address space.
+func (p *Pool) Data() []byte { return p.data }
+
+// EnableTracking switches the pool into crash-simulation mode: the
+// current working image becomes the durable image and all subsequent
+// stores/flushes/fences are reported to sink (which may be nil to track
+// durability only).
+func (p *Pool) EnableTracking(sink TraceSink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracking = true
+	p.sink = sink
+	p.persisted = make([]byte, len(p.data))
+	copy(p.persisted, p.data)
+	p.pending = nil
+}
+
+// DisableTracking returns the pool to performance mode. The working
+// image is kept; the durable image and any pending flushes are dropped.
+func (p *Pool) DisableTracking() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracking = false
+	p.sink = nil
+	p.persisted = nil
+	p.pending = nil
+}
+
+// Tracking reports whether crash-simulation mode is on.
+func (p *Pool) Tracking() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tracking
+}
+
+// recordStore notes a completed store at [off, off+size).
+func (p *Pool) recordStore(off, size uint64) {
+	if !p.tracking {
+		return
+	}
+	p.mu.Lock()
+	sink := p.sink
+	var cp []byte
+	if sink != nil {
+		cp = make([]byte, size)
+		copy(cp, p.data[off:off+size])
+	}
+	p.mu.Unlock()
+	if sink != nil {
+		sink.RecordStore(off, cp)
+	}
+}
+
+// ObserveStore implements vmem.StoreObserver so that application stores
+// through the simulated address space join the persistence trace.
+func (p *Pool) ObserveStore(off, size uint64) {
+	p.recordStore(off, size)
+}
+
+// ReadU64 reads a little-endian 64-bit value at off.
+func (p *Pool) ReadU64(off uint64) uint64 {
+	b := p.data[off : off+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// WriteU64 writes a little-endian 64-bit value at off.
+func (p *Pool) WriteU64(off uint64, v uint64) {
+	b := p.data[off : off+8]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+	p.recordStore(off, 8)
+}
+
+// ReadBytes copies size bytes at off into a fresh slice.
+func (p *Pool) ReadBytes(off, size uint64) []byte {
+	out := make([]byte, size)
+	copy(out, p.data[off:off+size])
+	return out
+}
+
+// WriteBytes writes b at off.
+func (p *Pool) WriteBytes(off uint64, b []byte) {
+	copy(p.data[off:], b)
+	p.recordStore(off, uint64(len(b)))
+}
+
+// Zero clears [off, off+size).
+func (p *Pool) Zero(off, size uint64) {
+	region := p.data[off : off+size]
+	for i := range region {
+		region[i] = 0
+	}
+	p.recordStore(off, size)
+}
+
+// Flush initiates write-back of [off, off+size), extended to cacheline
+// boundaries. The data is durable only after the next Fence.
+func (p *Pool) Flush(off, size uint64) {
+	if size == 0 {
+		return
+	}
+	start := off &^ (CachelineSize - 1)
+	end := (off + size + CachelineSize - 1) &^ (CachelineSize - 1)
+	if end > uint64(len(p.data)) {
+		end = uint64(len(p.data))
+	}
+	p.mu.Lock()
+	if !p.tracking {
+		p.mu.Unlock()
+		return
+	}
+	p.pending = append(p.pending, flushRange{start, end - start})
+	sink := p.sink
+	p.mu.Unlock()
+	if sink != nil {
+		sink.RecordFlush(start, end-start)
+	}
+}
+
+// Fence makes all pending flushed ranges durable.
+func (p *Pool) Fence() {
+	p.mu.Lock()
+	if !p.tracking {
+		p.mu.Unlock()
+		return
+	}
+	for _, r := range p.pending {
+		copy(p.persisted[r.off:r.off+r.size], p.data[r.off:r.off+r.size])
+	}
+	p.pending = p.pending[:0]
+	sink := p.sink
+	p.mu.Unlock()
+	if sink != nil {
+		sink.RecordFence()
+	}
+}
+
+// Persist is Flush followed by Fence, PMDK's pmemobj_persist.
+func (p *Pool) Persist(off, size uint64) {
+	p.Flush(off, size)
+	p.Fence()
+}
+
+// Crash reverts the working image to the durable image, simulating a
+// power failure. It requires tracking.
+func (p *Pool) Crash() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.tracking {
+		return ErrTrackingDisabled
+	}
+	copy(p.data, p.persisted)
+	p.pending = p.pending[:0]
+	return nil
+}
+
+// DurableImage returns a copy of the durable image. It requires
+// tracking.
+func (p *Pool) DurableImage() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.tracking {
+		return nil, ErrTrackingDisabled
+	}
+	out := make([]byte, len(p.persisted))
+	copy(out, p.persisted)
+	return out, nil
+}

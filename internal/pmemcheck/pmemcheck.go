@@ -1,0 +1,326 @@
+// Package pmemcheck reimplements the validation tools of §VI-E: a
+// store/flush/fence trace recorder in the spirit of Valgrind's
+// pmemcheck and a crash-state exploration engine in the spirit of
+// pmreorder.
+//
+// The Tracker plugs into a pmem.Pool as its TraceSink. Analyze reports
+// protocol violations in the recorded trace (stores that were never
+// made durable, flushes never fenced, redundant flushes). Explore
+// replays the trace, and at sampled crash points constructs candidate
+// power-loss images — the durable prefix plus subsets of the in-flight
+// stores — and runs a caller-supplied consistency check (typically:
+// recover the pool and validate the data structure) on each.
+package pmemcheck
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvStore EventKind = iota + 1
+	EvFlush
+	EvFence
+)
+
+// Event is one entry of the persistence trace.
+type Event struct {
+	Kind EventKind
+	Off  uint64
+	Size uint64
+	Data []byte // stores only
+}
+
+// Tracker records the persistence event stream of a pool.
+type Tracker struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// RecordStore implements pmem.TraceSink.
+func (t *Tracker) RecordStore(off uint64, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{Kind: EvStore, Off: off, Size: uint64(len(data)), Data: data})
+}
+
+// RecordFlush implements pmem.TraceSink.
+func (t *Tracker) RecordFlush(off, size uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{Kind: EvFlush, Off: off, Size: size})
+}
+
+// RecordFence implements pmem.TraceSink.
+func (t *Tracker) RecordFence() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{Kind: EvFence})
+}
+
+// Events returns a snapshot of the recorded trace.
+func (t *Tracker) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset clears the trace.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+}
+
+// Violation is one pmemcheck finding.
+type Violation struct {
+	Kind   string // "unflushed-store", "unfenced-flush"
+	Off    uint64
+	Size   uint64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: [%#x,+%d) %s", v.Kind, v.Off, v.Size, v.Detail)
+}
+
+// Report summarizes a trace analysis.
+type Report struct {
+	// Violations lists stores that never became durable and flushes
+	// that were never fenced by the end of the trace.
+	Violations []Violation
+	// RedundantFlushes counts flushes of ranges with no dirty store,
+	// a performance diagnostic pmemcheck also emits.
+	RedundantFlushes int
+	// Stores, Flushes, Fences count the trace events.
+	Stores, Flushes, Fences int
+}
+
+// Clean reports whether the trace has no violations.
+func (r Report) Clean() bool { return len(r.Violations) == 0 }
+
+type pendingStore struct {
+	off, size uint64
+	flushed   bool
+}
+
+// Analyze runs the pmemcheck protocol check over the trace: every
+// store must be covered by a flush after it, and that flush must be
+// followed by a fence, before the trace ends.
+func Analyze(events []Event) Report {
+	var rep Report
+	var inflight []pendingStore
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvStore:
+			rep.Stores++
+			inflight = append(inflight, pendingStore{ev.Off, ev.Size, false})
+		case EvFlush:
+			rep.Flushes++
+			hit := false
+			for i := range inflight {
+				s := &inflight[i]
+				if !s.flushed && s.off < ev.Off+ev.Size && ev.Off < s.off+s.size {
+					// Partial coverage only counts if the whole store
+					// range is inside the flushed range.
+					if s.off >= ev.Off && s.off+s.size <= ev.Off+ev.Size {
+						s.flushed = true
+					}
+					hit = true
+				}
+			}
+			if !hit {
+				rep.RedundantFlushes++
+			}
+		case EvFence:
+			rep.Fences++
+			kept := inflight[:0]
+			for _, s := range inflight {
+				if !s.flushed {
+					kept = append(kept, s)
+				}
+			}
+			inflight = kept
+		}
+	}
+	for _, s := range inflight {
+		kind, detail := "unflushed-store", "store never flushed"
+		if s.flushed {
+			kind, detail = "unfenced-flush", "flush never fenced"
+		}
+		rep.Violations = append(rep.Violations, Violation{Kind: kind, Off: s.off, Size: s.size, Detail: detail})
+	}
+	return rep
+}
+
+// Strategy selects which in-flight-store subsets Explore tries at a
+// crash point, mirroring pmreorder's engines.
+type Strategy int
+
+// Strategies.
+const (
+	// ReorderPartial (default) tries: no in-flight stores, all of
+	// them, and each single store (capped by MaxSingles).
+	ReorderPartial Strategy = iota
+	// ReorderAccumulative additionally tries every issue-order prefix
+	// of the in-flight stores — the "stores retire in order, cut
+	// anywhere" model.
+	ReorderAccumulative
+	// ReorderReverse additionally tries every issue-order suffix —
+	// the adversarial "later stores retired first" model.
+	ReorderReverse
+)
+
+// ExploreOptions bounds the crash-state search.
+type ExploreOptions struct {
+	// EveryNthFence samples crash points (1 = every fence).
+	EveryNthFence int
+	// MaxSingles caps how many single-in-flight-store images are
+	// tried per crash point.
+	MaxSingles int
+	// MaxStates caps the total number of images checked.
+	MaxStates int
+	// Strategy selects the subset engine.
+	Strategy Strategy
+}
+
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	if o.EveryNthFence == 0 {
+		o.EveryNthFence = 1
+	}
+	if o.MaxSingles == 0 {
+		o.MaxSingles = 16
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 10000
+	}
+	return o
+}
+
+// ConsistencyError wraps a check failure with the crash point that
+// produced it.
+type ConsistencyError struct {
+	CrashPoint int // event index
+	Image      string
+	Err        error
+}
+
+func (e *ConsistencyError) Error() string {
+	return fmt.Sprintf("pmemcheck: inconsistent crash state at event %d (%s): %v", e.CrashPoint, e.Image, e.Err)
+}
+
+func (e *ConsistencyError) Unwrap() error { return e.Err }
+
+// Explore replays the trace over a copy of the base image and, at
+// sampled fences, builds candidate power-loss images: the durable
+// state alone, the durable state plus every in-flight store, and the
+// durable state plus each single in-flight store. Each image is passed
+// to check; the first failure aborts the search. It returns the number
+// of states checked.
+func Explore(base []byte, events []Event, opts ExploreOptions, check func(img []byte) error) (int, error) {
+	opts = opts.withDefaults()
+	durable := make([]byte, len(base))
+	copy(durable, base)
+
+	type flushRange struct{ off, size uint64 }
+	var inflight []Event // stores not yet durable
+	var pendingFlushes []flushRange
+	states := 0
+	fences := 0
+
+	covered := func(s Event) bool {
+		for _, f := range pendingFlushes {
+			if s.Off >= f.off && s.Off+s.Size <= f.off+f.size {
+				return true
+			}
+		}
+		return false
+	}
+	tryImage := func(point int, name string, stores []Event) error {
+		if states >= opts.MaxStates {
+			return nil
+		}
+		img := make([]byte, len(durable))
+		copy(img, durable)
+		for _, s := range stores {
+			copy(img[s.Off:s.Off+s.Size], s.Data)
+		}
+		states++
+		if err := check(img); err != nil {
+			return &ConsistencyError{CrashPoint: point, Image: name, Err: err}
+		}
+		return nil
+	}
+
+	for i, ev := range events {
+		switch ev.Kind {
+		case EvStore:
+			inflight = append(inflight, ev)
+		case EvFlush:
+			pendingFlushes = append(pendingFlushes, flushRange{ev.Off, ev.Size})
+		case EvFence:
+			fences++
+			// Crash-point exploration happens just before the fence
+			// retires the pending flushes.
+			if fences%opts.EveryNthFence == 0 {
+				if err := tryImage(i, "durable-only", nil); err != nil {
+					return states, err
+				}
+				if len(inflight) > 0 {
+					if err := tryImage(i, "all-in-flight", inflight); err != nil {
+						return states, err
+					}
+					n := len(inflight)
+					if n > opts.MaxSingles {
+						n = opts.MaxSingles
+					}
+					for k := 0; k < n; k++ {
+						s := inflight[len(inflight)-1-k]
+						if err := tryImage(i, fmt.Sprintf("single-store[%#x]", s.Off), []Event{s}); err != nil {
+							return states, err
+						}
+					}
+					if opts.Strategy == ReorderAccumulative || opts.Strategy == ReorderReverse {
+						for k := 1; k < len(inflight); k++ {
+							if err := tryImage(i, fmt.Sprintf("prefix[%d]", k), inflight[:k]); err != nil {
+								return states, err
+							}
+						}
+					}
+					if opts.Strategy == ReorderReverse {
+						for k := 1; k < len(inflight); k++ {
+							if err := tryImage(i, fmt.Sprintf("suffix[%d]", k), inflight[k:]); err != nil {
+								return states, err
+							}
+						}
+					}
+				}
+			}
+			// Retire: flushed in-flight stores become durable.
+			kept := inflight[:0]
+			for _, s := range inflight {
+				if covered(s) {
+					copy(durable[s.Off:s.Off+s.Size], s.Data)
+				} else {
+					kept = append(kept, s)
+				}
+			}
+			inflight = kept
+			pendingFlushes = pendingFlushes[:0]
+		}
+	}
+	// Final state (no crash) must also be consistent.
+	if err := tryImage(len(events), "final", inflight); err != nil {
+		return states, err
+	}
+	return states, nil
+}

@@ -1,0 +1,288 @@
+package pmemcheck
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/indices"
+	"repro/internal/pmem"
+	"repro/internal/variant"
+)
+
+func TestAnalyzeCleanProtocol(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+	dev.WriteU64(0, 1)
+	dev.Persist(0, 8)
+	dev.WriteU64(64, 2)
+	dev.WriteU64(72, 3)
+	dev.Persist(64, 16)
+	rep := Analyze(tr.Events())
+	if !rep.Clean() {
+		t.Errorf("violations on clean protocol: %v", rep.Violations)
+	}
+	if rep.Stores != 3 || rep.Fences != 2 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+func TestAnalyzeFlagsUnflushedStore(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+	dev.WriteU64(0, 1) // never flushed
+	dev.WriteU64(128, 2)
+	dev.Persist(128, 8)
+	rep := Analyze(tr.Events())
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	v := rep.Violations[0]
+	if v.Kind != "unflushed-store" || v.Off != 0 {
+		t.Errorf("violation = %v", v)
+	}
+	if v.String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestAnalyzeFlagsUnfencedFlush(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+	dev.WriteU64(0, 1)
+	dev.Flush(0, 8) // no fence
+	rep := Analyze(tr.Events())
+	if len(rep.Violations) != 1 || rep.Violations[0].Kind != "unfenced-flush" {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeCountsRedundantFlush(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+	dev.Persist(512, 8) // nothing stored there
+	rep := Analyze(tr.Events())
+	if rep.RedundantFlushes != 1 {
+		t.Errorf("redundant flushes = %d", rep.RedundantFlushes)
+	}
+}
+
+// TestExploreCatchesOrderingBug builds the classic bug: a length field
+// persisted before its data. A crash between the two exposes a state
+// where the length is visible but the data is garbage.
+func TestExploreCatchesOrderingBug(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	base := make([]byte, dev.Size())
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+
+	// Buggy protocol: publish the valid flag first, then the value.
+	dev.WriteU64(0, 1) // valid = 1
+	dev.Persist(0, 8)
+	dev.WriteU64(128, 0x1234) // value (different cacheline)
+	dev.Persist(128, 8)
+
+	check := func(img []byte) error {
+		valid := uint64(img[0]) | uint64(img[1])<<8
+		value := uint64(img[128]) | uint64(img[129])<<8 | uint64(img[130])<<16
+		if valid == 1 && value != 0x1234 {
+			return errors.New("valid flag set but value missing")
+		}
+		return nil
+	}
+	_, err := Explore(base, tr.Events(), ExploreOptions{}, check)
+	var ce *ConsistencyError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ordering bug not caught: %v", err)
+	}
+
+	// The correct protocol (value first, then flag) passes.
+	tr.Reset()
+	dev2 := pmem.NewPool("t2", 1<<12)
+	dev2.EnableTracking(tr)
+	dev2.WriteU64(128, 0x1234)
+	dev2.Persist(128, 8)
+	dev2.WriteU64(0, 1)
+	dev2.Persist(0, 8)
+	states, err := Explore(base, tr.Events(), ExploreOptions{}, check)
+	if err != nil {
+		t.Fatalf("correct protocol flagged: %v", err)
+	}
+	if states < 4 {
+		t.Errorf("only %d states explored", states)
+	}
+}
+
+// TestIndexWorkloadIsCrashConsistent is the §VI-E experiment in
+// miniature: record an index workload, then verify every explored
+// crash state recovers to a structurally consistent pool.
+func TestIndexWorkloadIsCrashConsistent(t *testing.T) {
+	for _, kind := range []string{"ctree", "hashmap"} {
+		t.Run(kind, func(t *testing.T) {
+			env, err := variant.New(variant.SPP, variant.Options{PoolSize: 8 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := indices.New(kind, env.RT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Stabilize, then record a window of operations.
+			for k := uint64(1); k <= 20; k++ {
+				if err := m.Insert(k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base, snapErr := snapshot(env)
+			if snapErr != nil {
+				t.Fatal(snapErr)
+			}
+			tr := NewTracker()
+			env.Dev.EnableTracking(tr)
+			for k := uint64(21); k <= 40; k++ {
+				if err := m.Insert(k, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := uint64(1); k <= 10; k++ {
+				if _, err := m.Remove(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			env.Dev.DisableTracking()
+
+			rep := Analyze(tr.Events())
+			if !rep.Clean() {
+				t.Fatalf("protocol violations: %v", rep.Violations[:min(len(rep.Violations), 5)])
+			}
+
+			states, err := Explore(base, tr.Events(), ExploreOptions{EveryNthFence: 8, MaxSingles: 4, MaxStates: 400},
+				func(img []byte) error { return recoverAndValidate(img, kind) })
+			if err != nil {
+				t.Fatalf("crash state inconsistent: %v", err)
+			}
+			t.Logf("%s: %d crash states consistent", kind, states)
+		})
+	}
+}
+
+func snapshot(env *variant.Env) ([]byte, error) {
+	img := make([]byte, env.Dev.Size())
+	copy(img, env.Dev.Data())
+	return img, nil
+}
+
+// recoverAndValidate opens a pool from a crash image, runs recovery
+// and validates the index structurally.
+func recoverAndValidate(img []byte, kind string) error {
+	dev := pmem.NewPool("crash-image", uint64(len(img)))
+	copy(dev.Data(), img)
+	env, err := rebuildEnv(dev)
+	if err != nil {
+		return err
+	}
+	m, err := indices.New(kind, env.RT)
+	if err != nil {
+		return fmt.Errorf("index open: %w", err)
+	}
+	want, err := m.Count()
+	if err != nil {
+		return fmt.Errorf("count: %w", err)
+	}
+	// Walk every possible key of the workload; reachable entries must
+	// match the recorded count and round-trip correctly.
+	var got uint64
+	for k := uint64(1); k <= 60; k++ {
+		v, ok, err := m.Get(k)
+		if err != nil {
+			return fmt.Errorf("get(%d): %w", k, err)
+		}
+		if ok {
+			got++
+			if v != k {
+				return fmt.Errorf("key %d has value %d", k, v)
+			}
+		}
+	}
+	if got != want {
+		return fmt.Errorf("count %d but %d reachable keys", want, got)
+	}
+	return nil
+}
+
+func rebuildEnv(dev *pmem.Pool) (*variant.Env, error) {
+	return variant.Adopt(variant.SPP, dev)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestReorderStrategies: a bug visible only in an intermediate prefix
+// of in-flight stores — three fields where the invariant is
+// "b set implies a set" and the stores are issued b-first — escapes
+// the partial engine at some crash points but not the accumulative
+// one.
+func TestReorderStrategies(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	base := make([]byte, dev.Size())
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+	// Buggy issue order inside one fence epoch: b, filler, a.
+	dev.WriteU64(128, 1) // b
+	dev.WriteU64(256, 7) // unrelated filler
+	dev.WriteU64(0, 1)   // a
+	dev.Flush(0, 8)
+	dev.Flush(128, 8)
+	dev.Flush(256, 8)
+	dev.Fence()
+
+	check := func(img []byte) error {
+		a := img[0]
+		b := img[128]
+		if b == 1 && a != 1 {
+			return errors.New("b visible without a")
+		}
+		return nil
+	}
+	// The accumulative engine tries prefix {b} and prefix {b, filler},
+	// both violating the invariant.
+	_, err := Explore(base, tr.Events(), ExploreOptions{Strategy: ReorderAccumulative}, check)
+	var ce *ConsistencyError
+	if !errors.As(err, &ce) {
+		t.Fatalf("accumulative engine missed the prefix bug: %v", err)
+	}
+	// Reverse engine additionally tries suffixes; it must also catch it
+	// (the single-store image {b} is already in the partial set here,
+	// so use it to validate the suffix path runs without error on a
+	// correct trace).
+	tr.Reset()
+	dev2 := pmem.NewPool("t2", 1<<12)
+	dev2.EnableTracking(tr)
+	dev2.WriteU64(0, 1) // a first: correct order
+	dev2.WriteU64(128, 1)
+	dev2.Persist(0, 256)
+	states, err := Explore(base, tr.Events(), ExploreOptions{Strategy: ReorderReverse}, check)
+	if err == nil {
+		t.Fatalf("reverse engine should catch suffix {b}: states=%d", states)
+	}
+	// With a fully ordered protocol (a persisted before b is even
+	// stored), every engine passes.
+	tr.Reset()
+	dev3 := pmem.NewPool("t3", 1<<12)
+	dev3.EnableTracking(tr)
+	dev3.WriteU64(0, 1)
+	dev3.Persist(0, 8)
+	dev3.WriteU64(128, 1)
+	dev3.Persist(128, 8)
+	if _, err := Explore(base, tr.Events(), ExploreOptions{Strategy: ReorderReverse}, check); err != nil {
+		t.Fatalf("ordered protocol flagged: %v", err)
+	}
+}

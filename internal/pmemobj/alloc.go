@@ -1,0 +1,442 @@
+package pmemobj
+
+import (
+	"fmt"
+	"sync"
+)
+
+// allocator manages the persistent heap. Persistent state lives in the
+// block headers; the free lists are volatile and rebuilt on open,
+// matching PMDK's recovery-time heap boot.
+type allocator struct {
+	mu         sync.Mutex
+	free       map[uint64][]uint64 // block size -> block offsets
+	freeSet    map[uint64]uint64   // block offset -> size, for O(1) membership
+	usedBytes  uint64
+	usedBlocks uint64
+}
+
+func (a *allocator) addFree(off, size uint64) {
+	a.free[size] = append(a.free[size], off)
+	a.freeSet[off] = size
+}
+
+func (a *allocator) removeFree(off, size uint64) {
+	delete(a.freeSet, off)
+	bucket := a.free[size]
+	for i, b := range bucket {
+		if b == off {
+			bucket[i] = bucket[len(bucket)-1]
+			a.free[size] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(a.free[size]) == 0 {
+		delete(a.free, size)
+	}
+}
+
+// rebuild walks the heap, releases blocks left uncommitted by a crash,
+// persistently merges adjacent free blocks and reconstructs the
+// volatile free lists.
+func (a *allocator) rebuild(p *Pool) error {
+	a.free = make(map[uint64][]uint64)
+	a.freeSet = make(map[uint64]uint64)
+	a.usedBytes, a.usedBlocks = 0, 0
+
+	var runStart, runSize uint64
+	var runBlocks int
+	closeRun := func() {
+		if runBlocks == 0 {
+			return
+		}
+		if runBlocks > 1 {
+			p.dev.WriteU64(runStart, runSize)
+			p.dev.WriteU64(runStart+8, blockFree)
+			p.dev.Persist(runStart, blockHdrSize)
+		}
+		a.addFree(runStart, runSize)
+		runBlocks, runSize = 0, 0
+	}
+
+	off := p.heapOff
+	for off < p.heapEnd {
+		size := p.dev.ReadU64(off)
+		state := p.dev.ReadU64(off + 8)
+		if size < minBlockSize || size%blockAlign != 0 || off+size > p.heapEnd {
+			return fmt.Errorf("%w: block at %#x has size %d", ErrCorruptPool, off, size)
+		}
+		if state == blockUncommitted {
+			// Reserved by a transaction that never committed.
+			p.dev.WriteU64(off+8, blockFree)
+			p.dev.Persist(off+8, 8)
+			state = blockFree
+		}
+		switch state {
+		case blockFree:
+			if runBlocks == 0 {
+				runStart = off
+			}
+			runSize += size
+			runBlocks++
+		case blockAllocated:
+			closeRun()
+			a.usedBytes += size
+			a.usedBlocks++
+		default:
+			return fmt.Errorf("%w: block at %#x has state %d", ErrCorruptPool, off, state)
+		}
+		off += size
+	}
+	closeRun()
+	return nil
+}
+
+// compact persistently merges adjacent free blocks across the whole
+// heap and rebuilds the free lists. Unlike rebuild it runs on a live
+// pool, so uncommitted blocks (open-transaction reservations) are
+// treated as allocated. Caller holds a.mu.
+func (a *allocator) compact(p *Pool) error {
+	a.free = make(map[uint64][]uint64)
+	a.freeSet = make(map[uint64]uint64)
+
+	var runStart, runSize uint64
+	var runBlocks int
+	closeRun := func() {
+		if runBlocks == 0 {
+			return
+		}
+		if runBlocks > 1 {
+			p.dev.WriteU64(runStart, runSize)
+			p.dev.WriteU64(runStart+8, blockFree)
+			p.dev.Persist(runStart, blockHdrSize)
+		}
+		a.addFree(runStart, runSize)
+		runBlocks, runSize = 0, 0
+	}
+	for off := p.heapOff; off < p.heapEnd; {
+		size := p.dev.ReadU64(off)
+		state := p.dev.ReadU64(off + 8)
+		if size < minBlockSize || size%blockAlign != 0 || off+size > p.heapEnd {
+			return fmt.Errorf("%w: block at %#x has size %d", ErrCorruptPool, off, size)
+		}
+		if state == blockFree {
+			if runBlocks == 0 {
+				runStart = off
+			}
+			runSize += size
+			runBlocks++
+		} else {
+			closeRun()
+		}
+		off += size
+	}
+	closeRun()
+	return nil
+}
+
+// reservation is a block picked for an allocation but not yet
+// published: its header still reads as free (or carries the previous
+// state), so a crash before publication loses nothing.
+type reservation struct {
+	blk  uint64 // block header offset
+	size uint64 // block size to publish (header included)
+}
+
+func (r reservation) payloadOff() uint64 { return r.blk + blockHdrSize }
+
+// reserve picks and, if profitable, splits a free block for a payload
+// of the given size. The remainder's header is persisted before the
+// chosen block is published, so the heap walk stays consistent at
+// every intermediate state. Caller holds a.mu.
+func (a *allocator) reserve(p *Pool, payload uint64) (reservation, error) {
+	need := align16(payload) + blockHdrSize
+	if need < payload { // overflow
+		return reservation{}, ErrObjectTooBig
+	}
+	need = classSize(need)
+
+	size, off, ok := a.pick(need)
+	if !ok {
+		// Free-at-time coalescing only merges forward; fall back to a
+		// full defragmentation pass before giving up.
+		if err := a.compact(p); err != nil {
+			return reservation{}, err
+		}
+		if size, off, ok = a.pick(need); !ok {
+			return reservation{}, fmt.Errorf("%w: need %d bytes", ErrOutOfMemory, need)
+		}
+	}
+	a.removeFree(off, size)
+
+	if size-need >= minBlockSize {
+		rem := size - need
+		p.dev.WriteU64(off+need, rem)
+		p.dev.WriteU64(off+need+8, blockFree)
+		p.dev.Persist(off+need, blockHdrSize)
+		a.addFree(off+need, rem)
+		size = need
+	}
+	return reservation{blk: off, size: size}, nil
+}
+
+// classSize rounds a block size up to its allocation class, like
+// PMDK's class-based heap: a 128-byte minimum unit, 128-byte steps up
+// to 1 KiB and 256-byte steps beyond. Small layout growth — such as
+// SPP's extra 8 bytes per embedded oid in tree nodes — is absorbed by
+// the class padding, which is why Table III reports ~0% for ctree and
+// rbtree while rtree's 256-oid nodes cross into larger classes.
+func classSize(need uint64) uint64 {
+	switch {
+	case need <= 128:
+		return 128
+	case need <= 1024:
+		return (need + 127) &^ 127
+	default:
+		return (need + 255) &^ 255
+	}
+}
+
+// pick returns the best free block for a request of `need` bytes:
+// exact fit if available, else the smallest larger block.
+func (a *allocator) pick(need uint64) (size, off uint64, ok bool) {
+	if bucket := a.free[need]; len(bucket) > 0 {
+		return need, bucket[len(bucket)-1], true
+	}
+	best := ^uint64(0)
+	for s := range a.free {
+		if s >= need && s < best {
+			best = s
+		}
+	}
+	if best == ^uint64(0) {
+		return 0, 0, false
+	}
+	bucket := a.free[best]
+	return best, bucket[len(bucket)-1], true
+}
+
+// release returns a published-free block to the volatile lists,
+// merging it with an immediately following free block. The merge is
+// persisted through the caller's redo entries; release only updates
+// volatile state. Caller holds a.mu.
+func (a *allocator) release(off, size uint64) {
+	a.addFree(off, size)
+}
+
+// checkAllocSize validates a requested object size against the pool
+// configuration.
+func (p *Pool) checkAllocSize(size uint64) error {
+	if size == 0 {
+		return ErrZeroSizeAlloc
+	}
+	if p.spp && size > p.enc.MaxObjectSize() {
+		return fmt.Errorf("%w: %d > %d (tag bits %d)", ErrObjectTooBig, size, p.enc.MaxObjectSize(), p.enc.TagBits())
+	}
+	return nil
+}
+
+// allocEntries returns the redo entries that publish a reservation as
+// an allocated block.
+func allocEntries(r reservation) []redoEntry {
+	return []redoEntry{
+		{r.blk, r.size},
+		{r.blk + 8, blockAllocated},
+	}
+}
+
+// destOidEntries returns the redo entries that publish an oid into a
+// persistent destination. The size field precedes the offset field —
+// the SPP ordering requirement of §IV-F.
+func (p *Pool) destOidEntries(destOff uint64, oid Oid) []redoEntry {
+	if p.packed {
+		// The packed layout publishes offset and size in one word.
+		return []redoEntry{
+			{destOff + oidPoolField, oid.Pool},
+			{destOff + oidOffField, p.PackOff(oid.Off, oid.Size)},
+		}
+	}
+	var entries []redoEntry
+	if p.spp {
+		entries = append(entries, redoEntry{destOff + oidSizeField, oid.Size})
+	}
+	entries = append(entries,
+		redoEntry{destOff + oidPoolField, oid.Pool},
+		redoEntry{destOff + oidOffField, oid.Off},
+	)
+	return entries
+}
+
+// Alloc atomically allocates a zeroed object of the given size and
+// returns its oid to the (volatile) caller — pmemobj_alloc with a
+// stack-resident destination.
+func (p *Pool) Alloc(size uint64) (Oid, error) {
+	oid, _, err := p.allocCommon(size, nil)
+	return oid, err
+}
+
+// AllocAt atomically allocates a zeroed object and publishes its oid
+// into the pool at destOff, all through one redo log: either the
+// destination holds the complete oid (size before offset) or the
+// allocation never happened.
+func (p *Pool) AllocAt(destOff, size uint64) error {
+	_, _, err := p.allocCommon(size, &destOff)
+	return err
+}
+
+func (p *Pool) allocCommon(size uint64, destOff *uint64) (Oid, reservation, error) {
+	if err := p.checkAllocSize(size); err != nil {
+		return OidNull, reservation{}, err
+	}
+	lane := <-p.lanes
+	defer func() { p.lanes <- lane }()
+	p.heap.mu.Lock()
+	defer p.heap.mu.Unlock()
+
+	resv, err := p.heap.reserve(p, size)
+	if err != nil {
+		return OidNull, reservation{}, err
+	}
+	p.dev.Zero(resv.payloadOff(), resv.size-blockHdrSize)
+	p.dev.Persist(resv.payloadOff(), resv.size-blockHdrSize)
+
+	oid := Oid{Pool: p.uuid, Off: resv.payloadOff(), Size: size}
+	entries := allocEntries(resv)
+	if destOff != nil {
+		entries = append(entries, p.destOidEntries(*destOff, oid)...)
+	}
+	if err := p.publishRedo(p.laneOff(lane), entries); err != nil {
+		// Publication failed before the committed flag: hand the block
+		// back to the volatile lists; persistent state never changed.
+		p.heap.release(resv.blk, resv.size)
+		return OidNull, reservation{}, err
+	}
+	p.heap.usedBytes += resv.size
+	p.heap.usedBlocks++
+	return oid, resv, nil
+}
+
+// Free atomically releases the object behind oid (pmemobj_free with a
+// volatile oid variable).
+func (p *Pool) Free(oid Oid) error {
+	return p.freeCommon(oid, nil)
+}
+
+// FreeAt atomically releases the object whose oid is stored at destOff
+// and clears the stored oid, all in one redo log.
+func (p *Pool) FreeAt(destOff uint64) error {
+	oid := p.ReadOid(destOff)
+	return p.freeCommon(oid, &destOff)
+}
+
+func (p *Pool) freeCommon(oid Oid, destOff *uint64) error {
+	blk, err := p.validateOid(oid)
+	if err != nil {
+		return err
+	}
+	lane := <-p.lanes
+	defer func() { p.lanes <- lane }()
+	p.heap.mu.Lock()
+	defer p.heap.mu.Unlock()
+
+	size := p.dev.ReadU64(blk)
+	merged := size
+	next := blk + size
+	if nsize, ok := p.heap.freeSet[next]; ok {
+		// Forward coalescing: absorb the adjacent free block in the
+		// same redo publication.
+		p.heap.removeFree(next, nsize)
+		merged += nsize
+	}
+	entries := []redoEntry{{blk, merged}, {blk + 8, blockFree}}
+	if destOff != nil {
+		entries = append(entries, p.destOidEntries(*destOff, OidNull)...)
+	}
+	if err := p.publishRedo(p.laneOff(lane), entries); err != nil {
+		if merged != size {
+			p.heap.addFree(next, merged-size)
+		}
+		return err
+	}
+	p.heap.release(blk, merged)
+	p.heap.usedBytes -= size
+	p.heap.usedBlocks--
+	return nil
+}
+
+// Realloc atomically resizes the object behind oid, returning the new
+// oid to a volatile caller.
+func (p *Pool) Realloc(oid Oid, size uint64) (Oid, error) {
+	return p.reallocCommon(oid, size, nil)
+}
+
+// ReallocAt atomically resizes the object whose oid is stored at
+// destOff, publishing the entire new oid through the redo log — the
+// paper's "entire PMEMoid structure is captured in a log" (§IV-F).
+func (p *Pool) ReallocAt(destOff, size uint64) error {
+	oid := p.ReadOid(destOff)
+	if oid.IsNull() {
+		return p.AllocAt(destOff, size)
+	}
+	_, err := p.reallocCommon(oid, size, &destOff)
+	return err
+}
+
+func (p *Pool) reallocCommon(oid Oid, size uint64, destOff *uint64) (Oid, error) {
+	if err := p.checkAllocSize(size); err != nil {
+		return OidNull, err
+	}
+	blk, err := p.validateOid(oid)
+	if err != nil {
+		return OidNull, err
+	}
+	lane := <-p.lanes
+	defer func() { p.lanes <- lane }()
+	p.heap.mu.Lock()
+	defer p.heap.mu.Unlock()
+
+	oldSize := p.dev.ReadU64(blk)
+	newOid := Oid{Pool: p.uuid, Off: oid.Off, Size: size}
+	if align16(size)+blockHdrSize == oldSize {
+		// Same block footprint: only the logical size changes.
+		var entries []redoEntry
+		if destOff != nil {
+			entries = p.destOidEntries(*destOff, newOid)
+		}
+		if len(entries) > 0 {
+			if err := p.publishRedo(p.laneOff(lane), entries); err != nil {
+				return OidNull, err
+			}
+		}
+		return newOid, nil
+	}
+
+	resv, err := p.heap.reserve(p, size)
+	if err != nil {
+		return OidNull, err
+	}
+	// Move the payload before publication; the copy targets a block
+	// that is still free, so a crash loses nothing.
+	copyLen := oldSize - blockHdrSize
+	if newPayload := resv.size - blockHdrSize; newPayload < copyLen {
+		copyLen = newPayload
+	}
+	p.dev.WriteBytes(resv.payloadOff(), p.dev.ReadBytes(blk+blockHdrSize, copyLen))
+	if grow := resv.size - blockHdrSize - copyLen; grow > 0 {
+		p.dev.Zero(resv.payloadOff()+copyLen, grow)
+	}
+	p.dev.Persist(resv.payloadOff(), resv.size-blockHdrSize)
+
+	newOid.Off = resv.payloadOff()
+	entries := append(allocEntries(resv), redoEntry{blk + 8, blockFree})
+	if destOff != nil {
+		entries = append(entries, p.destOidEntries(*destOff, newOid)...)
+	}
+	if err := p.publishRedo(p.laneOff(lane), entries); err != nil {
+		p.heap.release(resv.blk, resv.size)
+		return OidNull, err
+	}
+	p.heap.release(blk, oldSize)
+	p.heap.usedBytes += resv.size - oldSize
+	return newOid, nil
+}

@@ -1,0 +1,201 @@
+package pmemobj
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// crashAfterFences is a trace sink that injects a power loss (panic,
+// recovered by the caller) after a chosen number of fences.
+type crashAfterFences struct {
+	remaining int
+	crashed   bool
+}
+
+func (c *crashAfterFences) RecordStore(off uint64, data []byte) {}
+func (c *crashAfterFences) RecordFlush(off, size uint64)        {}
+func (c *crashAfterFences) RecordFence() {
+	c.remaining--
+	if c.remaining == 0 {
+		c.crashed = true
+		panic("injected power loss")
+	}
+}
+
+// TestTxAtomicityUnderRandomCrashes drives random transactions — each
+// updating a generation counter and a data cell together — and crashes
+// at a random fence. After recovery, counter and cell must always
+// agree: either both from the last committed transaction or both from
+// an earlier one, never mixed.
+func TestTxAtomicityUnderRandomCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		dev := pmem.NewPool("atomicity", 1<<23)
+		p, err := Create(dev, nil, testBase, Config{SPP: true, UUID: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := p.Root(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Layout: [gen u64][cell u64].
+		dev.Persist(root.Off, 16)
+
+		committed := uint64(0)
+		runTx := func(gen uint64) error {
+			tx := p.Begin()
+			if err := tx.AddRange(root.Off, 16); err != nil {
+				return err
+			}
+			dev.WriteU64(root.Off, gen)
+			dev.WriteU64(root.Off+8, gen*1000)
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			committed = gen
+			return nil
+		}
+		// A few committed transactions before tracking starts.
+		for g := uint64(1); g <= 3; g++ {
+			if err := runTx(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		sink := &crashAfterFences{remaining: rng.Intn(30) + 1}
+		dev.EnableTracking(sink)
+		func() {
+			defer func() { _ = recover() }()
+			for g := uint64(4); g <= 10; g++ {
+				if err := runTx(g); err != nil {
+					t.Errorf("trial %d: tx: %v", trial, err)
+					return
+				}
+			}
+		}()
+		if sink.crashed {
+			if err := dev.Crash(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dev.DisableTracking()
+
+		q, err := Open(dev, nil, testBase)
+		if err != nil {
+			t.Fatalf("trial %d: recovery: %v", trial, err)
+		}
+		r, err := q.Root(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := dev.ReadU64(r.Off)
+		cell := dev.ReadU64(r.Off + 8)
+		if cell != gen*1000 {
+			t.Fatalf("trial %d: torn state after crash: gen=%d cell=%d", trial, gen, cell)
+		}
+		if sink.crashed {
+			// The recovered generation can be at most one behind the
+			// last commit that returned, and never ahead of the last
+			// attempted one.
+			if gen > 10 || (committed > 0 && gen+1 < committed) {
+				t.Fatalf("trial %d: impossible generation %d (committed through %d)", trial, gen, committed)
+			}
+		} else if gen != 10 {
+			t.Fatalf("trial %d: no crash but gen=%d", trial, gen)
+		}
+	}
+}
+
+// TestAllocatorConsistencyUnderRandomCrashes crashes random allocator
+// operation sequences at random fences and checks that recovery always
+// yields a walkable heap with no overlapping live blocks.
+func TestAllocatorConsistencyUnderRandomCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		dev := pmem.NewPool("alloc-crash", 1<<23)
+		p, err := Create(dev, nil, testBase, Config{SPP: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []Oid
+		// Pre-populate.
+		for i := 0; i < 8; i++ {
+			oid, err := p.Alloc(uint64(rng.Intn(500) + 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, oid)
+		}
+
+		sink := &crashAfterFences{remaining: rng.Intn(40) + 1}
+		dev.EnableTracking(sink)
+		func() {
+			defer func() { _ = recover() }()
+			for i := 0; i < 20; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					if oid, err := p.Alloc(uint64(rng.Intn(500) + 1)); err == nil {
+						live = append(live, oid)
+					}
+				case 1:
+					if len(live) > 0 {
+						i := rng.Intn(len(live))
+						_ = p.Free(live[i])
+						live = append(live[:i], live[i+1:]...)
+					}
+				case 2:
+					if len(live) > 0 {
+						i := rng.Intn(len(live))
+						if oid, err := p.Realloc(live[i], uint64(rng.Intn(800)+1)); err == nil {
+							live[i] = oid
+						}
+					}
+				}
+			}
+		}()
+		if sink.crashed {
+			if err := dev.Crash(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dev.DisableTracking()
+
+		q, err := Open(dev, nil, testBase)
+		if err != nil {
+			t.Fatalf("trial %d: recovery failed: %v", trial, err)
+		}
+		if err := walkCheck(q); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Recovery must be repeatable.
+		if _, err := Open(dev, nil, testBase); err != nil {
+			t.Fatalf("trial %d: second recovery failed: %v", trial, err)
+		}
+	}
+}
+
+// walkCheck validates heap structure: blocks tile the heap exactly and
+// no two live payloads overlap (guaranteed by tiling + state checks).
+func walkCheck(p *Pool) error {
+	var prevEnd uint64 = p.heapOff
+	count := 0
+	err := p.ForEachAllocated(func(off, size uint64) error {
+		if off < prevEnd {
+			return fmt.Errorf("allocation at %#x overlaps previous ending at %#x", off, prevEnd)
+		}
+		prevEnd = off + size
+		count++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if prevEnd > p.heapEnd {
+		return fmt.Errorf("allocations run past heap end")
+	}
+	return nil
+}

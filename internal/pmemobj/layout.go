@@ -1,0 +1,81 @@
+package pmemobj
+
+// Pool layout constants. All offsets are relative to the pool start.
+const (
+	poolMagic   = 0x314a424f4d505053 // "SPPMOBJ1" little-endian
+	poolVersion = 1
+
+	headerSize = 4096
+
+	// Header field offsets.
+	hMagic       = 0
+	hVersion     = 8
+	hUUID        = 16
+	hPoolSize    = 24
+	hOidSize     = 32 // 16 (PMDK) or 24 (SPP)
+	hTagBits     = 40
+	hHeapOff     = 48
+	hHeapSize    = 56
+	hNLanes      = 64
+	hLaneSize    = 72
+	hRedoEntries = 80
+	hUndoBytes   = 88
+	hRoot        = 96  // persisted oid (24 bytes reserved)
+	hRootSize    = 120 // requested root size, for Root() growth checks
+	hUserSlot    = 128 // persisted oid reserved for sanitizer metadata (SafePM shadow)
+	hPackedOid   = 152 // 1 = size packed into the oid offset field (16-byte SPP oids)
+
+	// Heap block header: {size, state}, each 8 bytes. size includes
+	// the header and is a multiple of blockAlign.
+	blockHdrSize = 16
+	blockAlign   = 16
+	minBlockSize = 32 // header + smallest payload
+
+	// Block states.
+	blockFree        = 0
+	blockAllocated   = 1
+	blockUncommitted = 2 // reserved inside an open transaction
+
+	// Lane sub-layout (offsets relative to the lane start). Like the
+	// undo log, the redo log grows into heap-allocated extension
+	// segments when a commit carries more entries than the lane holds.
+	laneRedoState = 0 // 0 = empty, 1 = committed
+	laneRedoCount = 8 // total entries, across extensions
+	laneRedoExt   = 16
+	laneRedoBase  = 24 // redoEntries × {off, val}
+
+	// Redo extension segment payload layout.
+	redoExtNextOff  = 0
+	redoExtCountOff = 8
+	redoExtDataOff  = 16
+
+	// Undo log header follows the redo area. The fixed in-lane data
+	// region is extended with heap-allocated overflow segments (PMDK's
+	// log extensions) chained through undoExtOff.
+	undoStateOff = 0 // relative to undo area: 0 = inactive, 1 = active
+	undoUsedOff  = 8
+	undoExtOff   = 16 // payload offset of the first extension, 0 = none
+	undoDataOff  = 24
+
+	// Extension segment payload layout.
+	extNextOff = 0 // payload offset of the next extension, 0 = none
+	extUsedOff = 8
+	extDataOff = 16
+
+	redoEmpty     = 0
+	redoCommitted = 1
+
+	undoInactive = 0
+	undoActive   = 1
+)
+
+// Defaults for Config.
+const (
+	DefaultNLanes      = 32
+	DefaultRedoEntries = 64
+	DefaultUndoBytes   = 1 << 15
+)
+
+func align16(n uint64) uint64 { return (n + blockAlign - 1) &^ (blockAlign - 1) }
+
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }

@@ -1,0 +1,218 @@
+package pmemobj
+
+import "fmt"
+
+// redoEntry is one 8-byte redo-log write: pool[off] = val.
+type redoEntry struct {
+	off, val uint64
+}
+
+// prepareRedo writes entries into the lane's redo log — spilling into
+// heap-allocated extension segments when they exceed the lane's
+// capacity — and marks it committed, but does not apply it. Used by
+// transaction commit, where the undo-log invalidation between prepare
+// and apply is the commit point. A crash after prepare is resolved by
+// recovery: the redo is applied if the lane's undo log is inactive and
+// discarded otherwise; extension blocks are in the uncommitted state
+// and are reclaimed by heap rebuild, which runs after lane recovery.
+//
+// Caller must hold p.heap.mu (extension reservation needs it). The
+// returned reservations must be released by the caller after apply.
+func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, error) {
+	inLane := len(entries)
+	if inLane > p.redoCap {
+		inLane = p.redoCap
+	}
+	for i, e := range entries[:inLane] {
+		base := lane + laneRedoBase + uint64(i)*16
+		p.dev.WriteU64(base, e.off)
+		p.dev.WriteU64(base+8, e.val)
+	}
+	p.dev.Flush(lane+laneRedoBase, uint64(inLane)*16)
+
+	var exts []reservation
+	prevLink := lane + laneRedoExt
+	p.dev.WriteU64(prevLink, 0)
+	rest := entries[inLane:]
+	for len(rest) > 0 {
+		n := len(rest)
+		if n > p.redoCap {
+			n = p.redoCap
+		}
+		resv, err := p.heap.reserve(p, redoExtDataOff+uint64(n)*16)
+		if err != nil {
+			for _, r := range exts {
+				p.dev.WriteU64(r.blk+8, blockFree)
+				p.dev.Persist(r.blk+8, 8)
+				p.heap.release(r.blk, r.size)
+			}
+			return nil, fmt.Errorf("redo log extension: %w", err)
+		}
+		p.dev.WriteU64(resv.blk, resv.size)
+		p.dev.Persist(resv.blk, 8)
+		p.dev.WriteU64(resv.blk+8, blockUncommitted)
+		p.dev.Persist(resv.blk+8, 8)
+		payload := resv.payloadOff()
+		p.dev.WriteU64(payload+redoExtNextOff, 0)
+		p.dev.WriteU64(payload+redoExtCountOff, uint64(n))
+		for i, e := range rest[:n] {
+			base := payload + redoExtDataOff + uint64(i)*16
+			p.dev.WriteU64(base, e.off)
+			p.dev.WriteU64(base+8, e.val)
+		}
+		p.dev.Flush(payload, redoExtDataOff+uint64(n)*16)
+		p.dev.WriteU64(prevLink, payload)
+		p.dev.Flush(prevLink, 8)
+		prevLink = payload + redoExtNextOff
+		exts = append(exts, resv)
+		rest = rest[n:]
+	}
+
+	p.dev.WriteU64(lane+laneRedoCount, uint64(len(entries)))
+	p.dev.Flush(lane+laneRedoCount, 8)
+	p.dev.Flush(lane+laneRedoExt, 8)
+	p.dev.Fence()
+	// The committed flag is a single 8-byte store: the atomicity point.
+	p.dev.WriteU64(lane+laneRedoState, redoCommitted)
+	p.dev.Persist(lane+laneRedoState, 8)
+	return exts, nil
+}
+
+// applyRedo replays a committed redo log in order and discards it.
+// Replay is idempotent: recovery can re-run it after a crash at any
+// point. Entry order guarantees SPP's invariant that the oid size
+// field is written before the offset field that validates the oid.
+func (p *Pool) applyRedo(lane uint64) {
+	count := p.dev.ReadU64(lane + laneRedoCount)
+	inLane := count
+	if inLane > uint64(p.redoCap) {
+		inLane = uint64(p.redoCap)
+	}
+	apply := func(base, n uint64) {
+		for i := uint64(0); i < n; i++ {
+			off := p.dev.ReadU64(base + i*16)
+			val := p.dev.ReadU64(base + i*16 + 8)
+			p.dev.WriteU64(off, val)
+			p.dev.Flush(off, 8)
+		}
+	}
+	apply(lane+laneRedoBase, inLane)
+	remaining := count - inLane
+	for ext := p.dev.ReadU64(lane + laneRedoExt); ext != 0 && remaining > 0; {
+		n := p.dev.ReadU64(ext + redoExtCountOff)
+		if n > remaining {
+			n = remaining
+		}
+		apply(ext+redoExtDataOff, n)
+		remaining -= n
+		ext = p.dev.ReadU64(ext + redoExtNextOff)
+	}
+	p.dev.Fence()
+	p.discardRedo(lane)
+}
+
+// publishRedo is prepare followed immediately by apply — the path for
+// atomic (non-transactional) operations. Caller holds p.heap.mu.
+func (p *Pool) publishRedo(lane uint64, entries []redoEntry) error {
+	exts, err := p.prepareRedo(lane, entries)
+	if err != nil {
+		return err
+	}
+	p.applyRedo(lane)
+	p.releaseRedoExts(exts)
+	return nil
+}
+
+// releaseRedoExts returns redo extension segments to the heap. Caller
+// holds p.heap.mu.
+func (p *Pool) releaseRedoExts(exts []reservation) {
+	for _, r := range exts {
+		p.dev.WriteU64(r.blk+8, blockFree)
+		p.dev.Persist(r.blk+8, 8)
+		p.heap.release(r.blk, r.size)
+	}
+}
+
+// discardRedo clears the lane's redo log.
+func (p *Pool) discardRedo(lane uint64) {
+	p.dev.WriteU64(lane+laneRedoState, redoEmpty)
+	p.dev.Persist(lane+laneRedoState, 8)
+}
+
+// writeUndoEntry appends one snapshot entry to a segment whose data
+// region starts at dataBase with the given used counter field. The
+// entry becomes valid only once the used counter is advanced (a
+// single 8-byte store), so a torn append is ignored by recovery.
+func (p *Pool) writeUndoEntry(dataBase, usedField, used, off, length uint64) {
+	base := dataBase + used
+	p.dev.WriteU64(base, off)
+	p.dev.WriteU64(base+8, length)
+	p.dev.WriteBytes(base+16, p.dev.ReadBytes(off, length))
+	p.dev.Flush(base, 16+align8(length))
+	p.dev.Fence()
+	p.dev.WriteU64(usedField, used+16+align8(length))
+	p.dev.Persist(usedField, 8)
+}
+
+// parseUndoSegment collects the valid entries of one undo segment.
+func (p *Pool) parseUndoSegment(dataBase, used uint64, entries []undoEntry) ([]undoEntry, error) {
+	for cur := uint64(0); cur < used; {
+		base := dataBase + cur
+		off := p.dev.ReadU64(base)
+		length := p.dev.ReadU64(base + 8)
+		need := 16 + align8(length)
+		if length == 0 || cur+need > used || off+length > p.dev.Size() || off+length < off {
+			return nil, fmt.Errorf("%w: bad undo entry at %#x+%d", ErrCorruptPool, dataBase, cur)
+		}
+		entries = append(entries, undoEntry{off, length, base + 16})
+		cur += need
+	}
+	return entries, nil
+}
+
+type undoEntry struct {
+	off, length, data uint64
+}
+
+// rollbackUndo restores all valid undo entries — from the in-lane
+// region and every extension segment — in reverse order, then
+// deactivates the log. Extension blocks themselves are left to the
+// caller (heap rebuild frees them during recovery, since they are in
+// the uncommitted state).
+func (p *Pool) rollbackUndo(undo uint64) error {
+	used := p.dev.ReadU64(undo + undoUsedOff)
+	if used > p.undoCap {
+		return fmt.Errorf("%w: undo used %d > capacity %d", ErrCorruptPool, used, p.undoCap)
+	}
+	entries, err := p.parseUndoSegment(undo+undoDataOff, used, nil)
+	if err != nil {
+		return err
+	}
+	seen := 0
+	for ext := p.dev.ReadU64(undo + undoExtOff); ext != 0; {
+		if ext+extDataOff > p.dev.Size() || seen > 1<<20 {
+			return fmt.Errorf("%w: bad undo extension chain at %#x", ErrCorruptPool, ext)
+		}
+		extUsed := p.dev.ReadU64(ext + extUsedOff)
+		if ext+extDataOff+extUsed > p.dev.Size() {
+			return fmt.Errorf("%w: undo extension at %#x overflows pool", ErrCorruptPool, ext)
+		}
+		entries, err = p.parseUndoSegment(ext+extDataOff, extUsed, entries)
+		if err != nil {
+			return err
+		}
+		ext = p.dev.ReadU64(ext + extNextOff)
+		seen++
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		p.dev.WriteBytes(e.off, p.dev.ReadBytes(e.data, e.length))
+		p.dev.Flush(e.off, e.length)
+	}
+	p.dev.Fence()
+	p.dev.WriteU64(undo+undoUsedOff, 0)
+	p.dev.WriteU64(undo+undoExtOff, 0)
+	p.dev.WriteU64(undo+undoStateOff, undoInactive)
+	p.dev.Persist(undo, undoDataOff)
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package pmemobj is a from-scratch persistent object store modeled on
+// PMDK's libpmemobj, with the SPP extensions of §IV-B of the paper.
+//
+// A pool is a pmem.Pool mapped into a simulated address space. It
+// contains a header, a set of lanes (each with a redo log for atomic
+// operations and an undo log for transactions) and a persistent heap.
+// Objects are addressed by PMEMoids; in SPP mode the persisted oid
+// carries the extra 8-byte size field and Direct returns tagged
+// pointers built by the SPP encoding.
+//
+// Crash consistency follows PMDK's protocol: atomic operations publish
+// their effects through a committed redo log (the SPP size field is
+// written to the log before the offset, so a valid offset implies a
+// valid size); transactions snapshot pre-images into an undo log whose
+// single-word invalidation is the commit point.
+package pmemobj
+
+import "fmt"
+
+// Oid is the in-memory persistent pointer (PMEMoid). In SPP mode all
+// three fields are persisted (24 bytes); in native-PMDK mode only Pool
+// and Off are (16 bytes) and Size is zero when read back.
+type Oid struct {
+	// Pool is the low half of the pool UUID, identifying the pool the
+	// object lives in.
+	Pool uint64
+	// Off is the object's offset from the beginning of the pool.
+	Off uint64
+	// Size is the SPP extension: the allocated object size, used to
+	// construct the pointer tag (§IV-B).
+	Size uint64
+}
+
+// OidNull is the invalid object ID.
+var OidNull = Oid{}
+
+// IsNull reports whether the oid addresses no object.
+func (o Oid) IsNull() bool { return o.Off == 0 }
+
+func (o Oid) String() string {
+	return fmt.Sprintf("oid{pool=%#x off=%#x size=%d}", o.Pool, o.Off, o.Size)
+}
+
+// Persisted oid field offsets relative to an oid location in the pool.
+const (
+	oidPoolField = 0
+	oidOffField  = 8
+	oidSizeField = 16
+
+	// OidSizePMDK is the persisted footprint of a native PMDK oid.
+	OidSizePMDK = 16
+	// OidSizeSPP is the persisted footprint of an SPP oid.
+	OidSizeSPP = 24
+)

@@ -1,0 +1,134 @@
+package pmemobj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func newPackedPool(t *testing.T) (*Pool, *pmem.Pool) {
+	t.Helper()
+	dev := pmem.NewPool("packed", 1<<23)
+	p, err := Create(dev, nil, testBase, Config{PackedOid: true, UUID: 0xfeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, dev
+}
+
+func TestPackedImpliesSPP(t *testing.T) {
+	p, dev := newPackedPool(t)
+	if !p.SPP() || !p.PackedOid() {
+		t.Fatalf("SPP=%v Packed=%v", p.SPP(), p.PackedOid())
+	}
+	if p.OidPersistedSize() != OidSizePMDK {
+		t.Errorf("packed oid footprint = %d, want 16", p.OidPersistedSize())
+	}
+	q := reopen(t, dev)
+	if !q.PackedOid() || q.OidPersistedSize() != OidSizePMDK {
+		t.Error("packed flag lost across reopen")
+	}
+}
+
+func TestPackedQuickRoundTrip(t *testing.T) {
+	p, _ := newPackedPool(t)
+	enc := p.Encoding()
+	f := func(offRaw, sizeRaw uint32) bool {
+		off := uint64(offRaw) % enc.MaxPoolEnd()
+		size := uint64(sizeRaw) % enc.MaxObjectSize()
+		word := p.PackOff(off, size)
+		gotOff, gotSize := p.UnpackOff(word)
+		return gotOff == off && gotSize == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedOidPublication(t *testing.T) {
+	p, dev := newPackedPool(t)
+	root, err := p.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AllocAt(root.Off, 4000); err != nil {
+		t.Fatal(err)
+	}
+	oid := p.ReadOid(root.Off)
+	if oid.Size != 4000 || oid.IsNull() {
+		t.Fatalf("published packed oid = %v", oid)
+	}
+	// The persisted footprint really is 16 bytes: the word at +16 is
+	// untouched.
+	if v := dev.ReadU64(root.Off + oidSizeField); v != 0 {
+		t.Errorf("third oid word written in packed mode: %#x", v)
+	}
+	// Direct produces a correctly tagged pointer.
+	ptr := p.Direct(oid)
+	if !core.IsPM(ptr) {
+		t.Error("untagged pointer")
+	}
+	enc := p.Encoding()
+	if core.Overflow(enc.Gep(ptr, 3999)) {
+		t.Error("in-bounds overflowed")
+	}
+	if !core.Overflow(enc.Gep(ptr, 4000)) {
+		t.Error("out-of-bounds did not overflow")
+	}
+	// Free clears the slot.
+	if err := p.FreeAt(root.Off); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ReadOid(root.Off); !got.IsNull() || got.Size != 0 {
+		t.Errorf("after FreeAt = %v", got)
+	}
+}
+
+func TestPackedSurvivesCrashRecovery(t *testing.T) {
+	p, dev := newPackedPool(t)
+	root, _ := p.Root(64)
+	if err := p.AllocAt(root.Off, 128); err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.AddOidRange(root.Off); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteOid(root.Off, OidNull) // clobber inside the tx, then crash
+	q := reopen(t, dev)
+	r, _ := q.Root(64)
+	got := q.ReadOid(r.Off)
+	if got.IsNull() || got.Size != 128 {
+		t.Errorf("rollback lost packed oid: %v", got)
+	}
+}
+
+// TestPackedSpaceEqualsPMDK is the future-work claim: rtree-style
+// oid-dense structures cost no extra PM under the packed layout.
+func TestPackedSpaceEqualsPMDK(t *testing.T) {
+	usage := func(cfg Config) uint64 {
+		dev := pmem.NewPool("x", 1<<23)
+		p, err := Create(dev, nil, testBase, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 16 nodes of 256 embedded oids each, like the rtree.
+		for i := 0; i < 16; i++ {
+			if _, err := p.Alloc(32 + 256*p.OidPersistedSize()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Stats().AllocatedBytes
+	}
+	pmdk := usage(Config{})
+	classic := usage(Config{SPP: true})
+	packed := usage(Config{PackedOid: true})
+	if packed != pmdk {
+		t.Errorf("packed usage %d != pmdk %d", packed, pmdk)
+	}
+	if classic <= pmdk {
+		t.Errorf("classic SPP usage %d not larger than pmdk %d", classic, pmdk)
+	}
+}

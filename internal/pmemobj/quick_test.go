@@ -1,0 +1,184 @@
+package pmemobj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestRandomOpsMaintainInvariants drives the allocator with a random
+// alloc/free/realloc sequence against an oracle and checks, at every
+// step, that live objects never overlap and their payloads survive.
+func TestRandomOpsMaintainInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p, dev := newTestPool(t, Config{SPP: true})
+
+	type live struct {
+		oid     Oid
+		pattern byte
+	}
+	var objs []live
+
+	fill := func(o live) {
+		b := make([]byte, o.oid.Size)
+		for i := range b {
+			b[i] = o.pattern
+		}
+		dev.WriteBytes(o.oid.Off, b)
+		dev.Persist(o.oid.Off, o.oid.Size)
+	}
+	check := func(o live) {
+		b := dev.ReadBytes(o.oid.Off, o.oid.Size)
+		for i, v := range b {
+			if v != o.pattern {
+				t.Fatalf("object %v corrupted at +%d: %#x != %#x", o.oid, i, v, o.pattern)
+			}
+		}
+	}
+	noOverlap := func() {
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for _, o := range objs {
+			lo := o.oid.Off - blockHdrSize
+			hi := o.oid.Off + p.dev.ReadU64(o.oid.Off-blockHdrSize) - blockHdrSize
+			for _, s := range spans {
+				if lo < s.hi && s.lo < hi {
+					t.Fatalf("blocks overlap: [%#x,%#x) vs [%#x,%#x)", lo, hi, s.lo, s.hi)
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(objs) == 0: // alloc
+			size := uint64(rng.Intn(2000) + 1)
+			oid, err := p.Alloc(size)
+			if err != nil {
+				t.Fatalf("step %d: Alloc(%d): %v", step, size, err)
+			}
+			o := live{oid: oid, pattern: byte(step + 1)}
+			fill(o)
+			objs = append(objs, o)
+		case op < 8: // free
+			i := rng.Intn(len(objs))
+			check(objs[i])
+			if err := p.Free(objs[i].oid); err != nil {
+				t.Fatalf("step %d: Free: %v", step, err)
+			}
+			objs = append(objs[:i], objs[i+1:]...)
+		default: // realloc
+			i := rng.Intn(len(objs))
+			check(objs[i])
+			size := uint64(rng.Intn(4000) + 1)
+			newOid, err := p.Realloc(objs[i].oid, size)
+			if err != nil {
+				t.Fatalf("step %d: Realloc: %v", step, err)
+			}
+			objs[i].oid = newOid
+			fill(objs[i]) // rewrite with the same pattern at new size
+		}
+		noOverlap()
+	}
+	for _, o := range objs {
+		check(o)
+	}
+	if got := p.Stats(); got.AllocatedObjects != uint64(len(objs)) {
+		t.Errorf("stats report %d objects, oracle has %d", got.AllocatedObjects, len(objs))
+	}
+
+	// Everything must survive a reopen.
+	q := reopen(t, dev)
+	for _, o := range objs {
+		if _, err := q.validateOid(o.oid); err != nil {
+			t.Errorf("object %v lost across reopen: %v", o.oid, err)
+		}
+		check(o)
+	}
+}
+
+// TestCrashAtEveryPersistencePoint exercises atomic allocation under
+// power loss injected after each fence: whatever the crash point, the
+// destination oid is either fully null or a fully valid allocation
+// whose size field is correct.
+func TestCrashAtEveryPersistencePoint(t *testing.T) {
+	for crashAt := 1; crashAt < 40; crashAt++ {
+		dev := pmemNew(t)
+		p, err := Create(dev, nil, testBase, Config{SPP: true, UUID: 0xbeef})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := p.Root(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Track fences and crash after the crashAt-th one.
+		sink := &fenceCounter{dev: dev, crashAt: crashAt}
+		dev.EnableTracking(sink)
+		func() {
+			defer func() { _ = recover() }() // crash aborts the op
+			_ = p.AllocAt(root.Off, 48)
+		}()
+		if !sink.crashed {
+			// Operation completed before the crash point: done.
+			dev.DisableTracking()
+			q := reopen(t, dev)
+			oid := q.ReadOid(root.Off)
+			if oid.IsNull() || oid.Size != 48 {
+				t.Fatalf("crashAt=%d: completed alloc lost: %v", crashAt, oid)
+			}
+			return
+		}
+		if err := dev.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		dev.DisableTracking()
+		q, err := Open(dev, nil, testBase)
+		if err != nil {
+			t.Fatalf("crashAt=%d: recovery failed: %v", crashAt, err)
+		}
+		oid := q.ReadOid(root.Off)
+		if !oid.IsNull() {
+			// Published: must be complete and valid.
+			if oid.Size != 48 || oid.Pool != 0xbeef {
+				t.Fatalf("crashAt=%d: torn oid %v", crashAt, oid)
+			}
+			if _, err := q.validateOid(oid); err != nil {
+				t.Fatalf("crashAt=%d: published oid invalid: %v", crashAt, err)
+			}
+		} else if oid.Size != 0 {
+			// SPP invariant: a null offset must never leave a stale
+			// size behind that a later publication could expose.
+			t.Fatalf("crashAt=%d: null oid with size %d", crashAt, oid.Size)
+		}
+		// The heap must stay walkable either way.
+		if _, err := Open(dev, nil, testBase); err != nil {
+			t.Fatalf("crashAt=%d: second recovery failed: %v", crashAt, err)
+		}
+	}
+}
+
+type fenceCounter struct {
+	dev     interface{ Crash() error }
+	fences  int
+	crashAt int
+	crashed bool
+}
+
+func (f *fenceCounter) RecordStore(off uint64, data []byte) {}
+func (f *fenceCounter) RecordFlush(off, size uint64)        {}
+func (f *fenceCounter) RecordFence() {
+	f.fences++
+	if f.fences == f.crashAt {
+		f.crashed = true
+		panic("injected crash")
+	}
+}
+
+func pmemNew(t *testing.T) *pmem.Pool {
+	t.Helper()
+	return pmem.NewPool("crash", 1<<23)
+}

@@ -1,0 +1,370 @@
+package pmemobj
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTxDone is returned when a finished transaction is used again.
+var ErrTxDone = errors.New("pmemobj: transaction already committed or aborted")
+
+type txRange struct {
+	off, size uint64
+}
+
+// Tx is an open software transaction, PMDK's TX_BEGIN block. A Tx is
+// bound to one lane and must be used from a single goroutine; it must
+// end in exactly one Commit or Abort.
+//
+// The commit point is the invalidation of the lane's undo log — a
+// single 8-byte store. Until then a crash rolls every snapshotted
+// range back and releases every block the transaction reserved; after
+// it, recovery completes the deferred frees and allocation state flips
+// from the prepared redo log.
+type Tx struct {
+	p       *Pool
+	lane    int
+	laneOff uint64
+	undoOff uint64
+	allocs  []reservation // blocks reserved (uncommitted) by this tx
+	frees   []uint64      // block offsets to release at commit
+	ranges  []txRange     // snapshotted ranges, flushed at commit
+	exts    []reservation // undo-log extension blocks
+	done    bool
+
+	// Active undo segment (the in-lane region first, then extensions).
+	segData      uint64 // pool offset of the segment's data region
+	segUsed      uint64 // bytes used in the active segment
+	segCap       uint64 // data capacity of the active segment
+	segUsedField uint64 // pool offset of the segment's used counter
+}
+
+// Begin opens a transaction. It blocks until a lane is available.
+func (p *Pool) Begin() *Tx {
+	lane := <-p.lanes
+	undo := p.undoOff(lane)
+	p.dev.WriteU64(undo+undoUsedOff, 0)
+	p.dev.WriteU64(undo+undoExtOff, 0)
+	p.dev.WriteU64(undo+undoStateOff, undoActive)
+	p.dev.Persist(undo, undoDataOff)
+	return &Tx{
+		p: p, lane: lane, laneOff: p.laneOff(lane), undoOff: undo,
+		segData:      undo + undoDataOff,
+		segCap:       p.undoCap,
+		segUsedField: undo + undoUsedOff,
+	}
+}
+
+// AddRange snapshots [off, off+size) of the pool into the undo log
+// (pmemobj_tx_add_range). Ranges snapshotted through this call are
+// flushed at commit, so the caller may store into them with plain
+// writes.
+func (tx *Tx) AddRange(off, size uint64) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if off+size > tx.p.dev.Size() || off+size < off {
+		return fmt.Errorf("%w: range [%#x,+%d) outside pool", ErrBadOid, off, size)
+	}
+	if err := tx.undoAppend(off, size); err != nil {
+		return err
+	}
+	tx.ranges = append(tx.ranges, txRange{off, size})
+	return nil
+}
+
+// undoAppend snapshots a range into the active undo segment, growing
+// the log with a heap extension when the segment is full (PMDK's undo
+// log extensions). Extensions are published in the uncommitted block
+// state, so a crash reclaims them automatically after rollback.
+func (tx *Tx) undoAppend(off, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	p := tx.p
+	need := 16 + align8(size)
+	if tx.segUsed+need > tx.segCap {
+		extPayload := need + extDataOff
+		if min := p.undoCap; extPayload < min {
+			extPayload = min
+		}
+		p.heap.mu.Lock()
+		resv, err := p.heap.reserve(p, extPayload)
+		if err != nil {
+			p.heap.mu.Unlock()
+			return fmt.Errorf("undo log extension: %w", err)
+		}
+		p.dev.WriteU64(resv.blk, resv.size)
+		p.dev.Persist(resv.blk, 8)
+		p.dev.WriteU64(resv.blk+8, blockUncommitted)
+		p.dev.Persist(resv.blk+8, 8)
+		p.heap.mu.Unlock()
+
+		payload := resv.payloadOff()
+		p.dev.WriteU64(payload+extNextOff, 0)
+		p.dev.WriteU64(payload+extUsedOff, 0)
+		p.dev.Persist(payload, extDataOff)
+		// Link the extension into the chain; the link is the validity
+		// point for the new segment.
+		var linkField uint64
+		if len(tx.exts) == 0 {
+			linkField = tx.undoOff + undoExtOff
+		} else {
+			linkField = tx.exts[len(tx.exts)-1].payloadOff() + extNextOff
+		}
+		p.dev.WriteU64(linkField, payload)
+		p.dev.Persist(linkField, 8)
+
+		tx.exts = append(tx.exts, resv)
+		tx.segData = payload + extDataOff
+		tx.segUsed = 0
+		tx.segCap = resv.size - blockHdrSize - extDataOff
+		tx.segUsedField = payload + extUsedOff
+		if need > tx.segCap {
+			return fmt.Errorf("%w: snapshot of %d bytes exceeds extension capacity", ErrLogFull, size)
+		}
+	}
+	p.writeUndoEntry(tx.segData, tx.segUsedField, tx.segUsed, off, size)
+	tx.segUsed += need
+	return nil
+}
+
+// releaseExts returns undo-log extension blocks to the heap after the
+// transaction has ended (in either direction).
+func (tx *Tx) releaseExts() {
+	if len(tx.exts) == 0 {
+		return
+	}
+	p := tx.p
+	p.heap.mu.Lock()
+	defer p.heap.mu.Unlock()
+	for _, r := range tx.exts {
+		p.dev.WriteU64(r.blk+8, blockFree)
+		p.dev.Persist(r.blk+8, 8)
+		p.heap.release(r.blk, r.size)
+	}
+	tx.exts = nil
+}
+
+// AddRangeAddr is AddRange for a cleaned virtual address.
+func (tx *Tx) AddRangeAddr(addr, size uint64) error {
+	off, err := tx.p.OffsetOf(addr)
+	if err != nil {
+		return err
+	}
+	return tx.AddRange(off, size)
+}
+
+// AddOidRange snapshots the persisted oid stored at off. With SPP this
+// covers 24 bytes — the implicit inclusion of the size field in the
+// undo log that §IV-F describes.
+func (tx *Tx) AddOidRange(off uint64) error {
+	return tx.AddRange(off, tx.p.OidPersistedSize())
+}
+
+// Alloc reserves a zeroed object inside the transaction
+// (pmemobj_tx_alloc). The block is persisted in the uncommitted state:
+// recovery from a crash before commit releases it.
+func (tx *Tx) Alloc(size uint64) (Oid, error) {
+	if tx.done {
+		return OidNull, ErrTxDone
+	}
+	if err := tx.p.checkAllocSize(size); err != nil {
+		return OidNull, err
+	}
+	tx.p.heap.mu.Lock()
+	defer tx.p.heap.mu.Unlock()
+	resv, err := tx.p.heap.reserve(tx.p, size)
+	if err != nil {
+		return OidNull, err
+	}
+	// Publish the reservation in the uncommitted state. Size first,
+	// fence, then state, so the heap walk never sees a sized state
+	// change with a stale size.
+	tx.p.dev.WriteU64(resv.blk, resv.size)
+	tx.p.dev.Persist(resv.blk, 8)
+	tx.p.dev.WriteU64(resv.blk+8, blockUncommitted)
+	tx.p.dev.Persist(resv.blk+8, 8)
+	tx.p.dev.Zero(resv.payloadOff(), resv.size-blockHdrSize)
+	tx.p.dev.Persist(resv.payloadOff(), resv.size-blockHdrSize)
+	tx.allocs = append(tx.allocs, resv)
+	return Oid{Pool: tx.p.uuid, Off: resv.payloadOff(), Size: size}, nil
+}
+
+// Free releases an object at commit (pmemobj_tx_free). Freeing an
+// object allocated by this same transaction releases it immediately.
+func (tx *Tx) Free(oid Oid) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	blk, err := tx.p.validateOid(oid)
+	if err != nil {
+		return err
+	}
+	for i, r := range tx.allocs {
+		if r.blk == blk {
+			tx.p.heap.mu.Lock()
+			tx.p.dev.WriteU64(blk+8, blockFree)
+			tx.p.dev.Persist(blk+8, 8)
+			tx.p.heap.release(blk, r.size)
+			tx.p.heap.mu.Unlock()
+			tx.allocs = append(tx.allocs[:i], tx.allocs[i+1:]...)
+			return nil
+		}
+	}
+	if tx.p.dev.ReadU64(blk+8) != blockAllocated {
+		return fmt.Errorf("%w: tx free of foreign uncommitted block", ErrBadOid)
+	}
+	tx.frees = append(tx.frees, blk)
+	return nil
+}
+
+// Realloc resizes an object transactionally (pmemobj_tx_realloc): a
+// new block is reserved, the payload moved, and the old block freed at
+// commit. Aborting restores the original object untouched.
+func (tx *Tx) Realloc(oid Oid, size uint64) (Oid, error) {
+	if tx.done {
+		return OidNull, ErrTxDone
+	}
+	blk, err := tx.p.validateOid(oid)
+	if err != nil {
+		return OidNull, err
+	}
+	newOid, err := tx.Alloc(size)
+	if err != nil {
+		return OidNull, err
+	}
+	oldPayload := tx.p.dev.ReadU64(blk) - blockHdrSize
+	copyLen := oldPayload
+	if size < copyLen {
+		copyLen = size
+	}
+	tx.p.dev.WriteBytes(newOid.Off, tx.p.dev.ReadBytes(oid.Off, copyLen))
+	tx.p.dev.Persist(newOid.Off, copyLen)
+	if err := tx.Free(oid); err != nil {
+		return OidNull, err
+	}
+	return newOid, nil
+}
+
+// Commit makes every change of the transaction durable and atomic.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	defer func() { tx.p.lanes <- tx.lane }()
+	p := tx.p
+
+	// 1. Make all stores into snapshotted ranges — and into objects
+	// allocated by this transaction — durable.
+	for _, r := range tx.ranges {
+		p.dev.Flush(r.off, r.size)
+	}
+	for _, r := range tx.allocs {
+		p.dev.Flush(r.blk+blockHdrSize, r.size-blockHdrSize)
+	}
+	p.dev.Fence()
+
+	p.heap.mu.Lock()
+	defer p.heap.mu.Unlock()
+
+	// 2. Prepare (but do not apply) the redo log with the allocation
+	// state flips and deferred frees.
+	type mergedFree struct {
+		blk, size, merged uint64
+	}
+	var entries []redoEntry
+	var freePlans []mergedFree
+	for _, r := range tx.allocs {
+		entries = append(entries, redoEntry{r.blk + 8, blockAllocated})
+	}
+	for _, blk := range tx.frees {
+		size := p.dev.ReadU64(blk)
+		merged := size
+		next := blk + size
+		if nsize, ok := p.heap.freeSet[next]; ok {
+			p.heap.removeFree(next, nsize)
+			merged += nsize
+		}
+		entries = append(entries, redoEntry{blk, merged}, redoEntry{blk + 8, blockFree})
+		freePlans = append(freePlans, mergedFree{blk, size, merged})
+	}
+	var redoExts []reservation
+	if len(entries) > 0 {
+		var err error
+		if redoExts, err = p.prepareRedo(tx.laneOff, entries); err != nil {
+			// Too many heap operations for the lane's redo capacity:
+			// the transaction cannot commit atomically; abort it.
+			for _, f := range freePlans {
+				if f.merged != f.size {
+					p.heap.addFree(f.blk+f.size, f.merged-f.size)
+				}
+			}
+			p.heap.mu.Unlock()
+			err2 := tx.abortLocked()
+			p.heap.mu.Lock() // re-acquire for the deferred unlock
+			if err2 != nil {
+				return err2
+			}
+			return err
+		}
+	}
+
+	// 3. Commit point: invalidate the undo log.
+	p.dev.WriteU64(tx.undoOff+undoStateOff, undoInactive)
+	p.dev.Persist(tx.undoOff+undoStateOff, 8)
+	p.dev.WriteU64(tx.undoOff+undoUsedOff, 0)
+	p.dev.Persist(tx.undoOff+undoUsedOff, 8)
+
+	// 4. Complete the heap updates.
+	if len(entries) > 0 {
+		p.applyRedo(tx.laneOff)
+		p.releaseRedoExts(redoExts)
+	}
+	for _, r := range tx.allocs {
+		p.heap.usedBytes += r.size
+		p.heap.usedBlocks++
+	}
+	for _, f := range freePlans {
+		p.heap.release(f.blk, f.merged)
+		p.heap.usedBytes -= f.size
+		p.heap.usedBlocks--
+	}
+	for _, r := range tx.exts {
+		p.dev.WriteU64(r.blk+8, blockFree)
+		p.dev.Persist(r.blk+8, 8)
+		p.heap.release(r.blk, r.size)
+	}
+	tx.exts = nil
+	return nil
+}
+
+// Abort rolls the transaction back: snapshotted ranges are restored
+// and reserved blocks are released.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	defer func() { tx.p.lanes <- tx.lane }()
+	return tx.abortLocked()
+}
+
+func (tx *Tx) abortLocked() error {
+	p := tx.p
+	p.discardRedo(tx.laneOff)
+	if err := p.rollbackUndo(tx.undoOff); err != nil {
+		return err
+	}
+	tx.releaseExts()
+	p.heap.mu.Lock()
+	defer p.heap.mu.Unlock()
+	for _, r := range tx.allocs {
+		p.dev.WriteU64(r.blk+8, blockFree)
+		p.dev.Persist(r.blk+8, 8)
+		p.heap.release(r.blk, r.size)
+	}
+	tx.allocs = nil
+	return nil
+}

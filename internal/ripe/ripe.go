@@ -1,0 +1,564 @@
+// Package ripe reimplements the buffer-overflow subset of the RIPE
+// runtime intrusion prevention evaluator (Wilander et al., ACSAC'11)
+// in its 64-bit PM port, as used for Table IV of the paper: a fixed
+// matrix of attack instances, each combining an overflow technique, an
+// overflow primitive, a victim location and a target, executed against
+// every protection variant.
+//
+// An attack is Successful when it corrupts its target without
+// triggering a trap, and Prevented otherwise (trapped, crashed, or
+// intrinsically failed — RIPE counts non-viable attacks as prevented).
+// Each mechanism's misses are emergent from its blind spots:
+//
+//   - every variant misses intra-object overflows (no mechanism has
+//     sub-object bounds) and attacks through pointers laundered via
+//     integers (the tag is stripped at PtrToInt, §IV-G);
+//   - SafePM additionally misses layout-adaptive jumps that skip its
+//     redzones and land inside a live neighbour;
+//   - memcheck additionally misses fixed-offset jumps into live
+//     neighbours, since without redzones its layout equals the
+//     baseline and it only tracks block-granular addressability.
+package ripe
+
+import (
+	"fmt"
+
+	"repro/internal/hooks"
+	"repro/internal/variant"
+)
+
+// Technique is how the out-of-bounds pointer is formed.
+type Technique string
+
+// Techniques.
+const (
+	Direct          Technique = "direct"           // contiguous walk off the buffer end
+	IndexedFixed    Technique = "indexed-fixed"    // single jump, offset from the baseline layout
+	IndexedAdaptive Technique = "indexed-adaptive" // single jump, offset read from the live layout
+	Laundered       Technique = "laundered"        // pointer round-tripped through an integer
+	Wraparound      Technique = "wraparound"       // offset past the tag representation range
+	IntoFree        Technique = "into-free"        // jump into freed space
+	OvershootPool   Technique = "overshoot-pool"   // offset beyond the pool mapping
+	IntraObject     Technique = "intra-object"     // overflow within one allocation
+)
+
+// Primitive is the code path performing the overflow writes.
+type Primitive string
+
+// Primitives.
+const (
+	LoopStore Primitive = "loop-store"
+	Memcpy    Primitive = "memcpy"
+	Memmove   Primitive = "memmove"
+	Strcpy    Primitive = "strcpy"
+	Strcat    Primitive = "strcat"
+	Sprintf   Primitive = "sprintf"
+	StoreU64  Primitive = "store-u64"
+)
+
+// Location is the victim/target placement.
+type Location string
+
+// Locations.
+const (
+	Adjacent Location = "adjacent" // target object directly after the victim
+	Spaced   Location = "spaced"   // a spacer object between victim and target
+)
+
+// TargetKind is what the attack corrupts.
+type TargetKind string
+
+// Targets (RIPE's code pointers, mapped to PM analogues).
+const (
+	FuncPtr   TargetKind = "funcptr" // a stored code-pointer slot
+	StoredOid TargetKind = "oid"     // a persisted PMEMoid
+	Data      TargetKind = "data"    // plain application data
+)
+
+// Payload shapes for direct attacks.
+type Payload string
+
+// Payloads.
+const (
+	Exact        Payload = "exact"         // reaches exactly through the target
+	Short        Payload = "short"         // stops halfway to the target
+	ShortQuarter Payload = "short-quarter" // stops a quarter of the way
+	WithNul      Payload = "with-nul"      // contains a 0x00 byte (string primitives truncate)
+	Overshoot    Payload = "overshoot"     // continues past the target
+)
+
+// Attack is one instance of the matrix.
+type Attack struct {
+	ID        int
+	Technique Technique
+	Primitive Primitive
+	Location  Location
+	Target    TargetKind
+	Payload   Payload
+	// Spot selects where a fixed-offset jump lands inside the target
+	// (0 = target slot, 1 = slot+8), a sub-variant dimension.
+	Spot int
+}
+
+func (a Attack) String() string {
+	return fmt.Sprintf("#%d %s/%s/%s/%s/%s", a.ID, a.Technique, a.Primitive, a.Location, a.Target, a.Payload)
+}
+
+var allTargets = []TargetKind{FuncPtr, StoredOid, Data}
+var allLocations = []Location{Adjacent, Spaced}
+var memPrimitives = []Primitive{LoopStore, Memcpy, Memmove}
+var allPrimitives = []Primitive{LoopStore, Memcpy, Memmove, Strcpy, Strcat, Sprintf}
+
+// Matrix generates the full attack set (223 instances).
+func Matrix() []Attack {
+	var out []Attack
+	add := func(a Attack) {
+		a.ID = len(out) + 1
+		out = append(out, a)
+	}
+	// Direct contiguous overflows: the bulk of the benchmark.
+	for _, prim := range allPrimitives {
+		for _, loc := range allLocations {
+			for _, tgt := range allTargets {
+				for _, pay := range []Payload{Exact, Short, ShortQuarter, WithNul} {
+					add(Attack{Technique: Direct, Primitive: prim, Location: loc, Target: tgt, Payload: pay})
+				}
+			}
+		}
+	}
+	// Overshooting variants for the memory primitives.
+	for _, prim := range memPrimitives {
+		for _, tgt := range allTargets {
+			add(Attack{Technique: Direct, Primitive: prim, Location: Adjacent, Target: tgt, Payload: Overshoot})
+		}
+	}
+	// Fixed-offset single-store jumps (14): layout-derived offsets.
+	for _, loc := range allLocations {
+		for _, tgt := range allTargets {
+			for spot := 0; spot < 2; spot++ {
+				add(Attack{Technique: IndexedFixed, Primitive: StoreU64, Location: loc, Target: tgt, Spot: spot})
+			}
+		}
+	}
+	add(Attack{Technique: IndexedFixed, Primitive: StoreU64, Location: Adjacent, Target: FuncPtr, Spot: 2})
+	add(Attack{Technique: IndexedFixed, Primitive: StoreU64, Location: Spaced, Target: FuncPtr, Spot: 2})
+	// Adaptive jumps (2): the attacker reads the live layout first.
+	add(Attack{Technique: IndexedAdaptive, Primitive: StoreU64, Location: Adjacent, Target: FuncPtr})
+	add(Attack{Technique: IndexedAdaptive, Primitive: StoreU64, Location: Spaced, Target: StoredOid})
+	// Laundered pointers (2): PtrToInt/IntToPtr strips the tag.
+	add(Attack{Technique: Laundered, Primitive: StoreU64, Location: Adjacent, Target: FuncPtr})
+	add(Attack{Technique: Laundered, Primitive: StoreU64, Location: Adjacent, Target: Data})
+	// Intra-object overflows (2): within one allocation's bounds.
+	add(Attack{Technique: IntraObject, Primitive: LoopStore, Location: Adjacent, Target: FuncPtr})
+	add(Attack{Technique: IntraObject, Primitive: StoreU64, Location: Adjacent, Target: Data})
+	// Wraparound attempts (14): offsets past the tag range.
+	for _, loc := range allLocations {
+		for _, tgt := range allTargets {
+			add(Attack{Technique: Wraparound, Primitive: StoreU64, Location: loc, Target: tgt})
+		}
+	}
+	for _, loc := range allLocations {
+		for _, tgt := range allTargets {
+			add(Attack{Technique: Wraparound, Primitive: LoopStore, Location: loc, Target: tgt})
+		}
+	}
+	add(Attack{Technique: Wraparound, Primitive: Memcpy, Location: Adjacent, Target: FuncPtr})
+	add(Attack{Technique: Wraparound, Primitive: Memcpy, Location: Spaced, Target: FuncPtr})
+	// Jumps into freed space (18): nothing to corrupt there.
+	for _, prim := range []Primitive{StoreU64, LoopStore, Memcpy} {
+		for _, loc := range allLocations {
+			for _, tgt := range allTargets {
+				add(Attack{Technique: IntoFree, Primitive: prim, Location: loc, Target: tgt})
+			}
+		}
+	}
+	// Offsets beyond the pool mapping (18): fault everywhere.
+	for _, prim := range allPrimitives {
+		for _, tgt := range allTargets {
+			add(Attack{Technique: OvershootPool, Primitive: prim, Location: Adjacent, Target: tgt})
+		}
+	}
+	return out
+}
+
+// Outcome of one attack execution.
+type Outcome int
+
+// Outcomes.
+const (
+	Successful Outcome = iota + 1
+	Prevented
+)
+
+func (o Outcome) String() string {
+	if o == Successful {
+		return "successful"
+	}
+	return "prevented"
+}
+
+// RowKind names a Table IV row.
+type RowKind string
+
+// Table IV rows.
+const (
+	VolatileHeap RowKind = "volatile-heap"
+	PMPoolHeap   RowKind = "pm-pool-heap"
+	RowSafePM    RowKind = "safepm"
+	RowSPP       RowKind = "spp"
+	RowMemcheck  RowKind = "memcheck"
+)
+
+// Rows lists Table IV in the paper's order.
+var Rows = []RowKind{VolatileHeap, PMPoolHeap, RowSafePM, RowSPP, RowMemcheck}
+
+func (r RowKind) variantKind() variant.Kind {
+	switch r {
+	case RowSafePM:
+		return variant.SafePM
+	case RowSPP:
+		return variant.SPP
+	case RowMemcheck:
+		return variant.Memcheck
+	default:
+		return variant.PMDK
+	}
+}
+
+const (
+	// victimSize is chosen so SafePM's 32 bytes of redzone push the
+	// padded allocation into the next size class: fixed-offset attacks
+	// compiled against the baseline layout then miss under SafePM.
+	victimSize = 112
+	spacerSize = 128
+	intraSize  = 160
+	// attackerWord is the value the attack tries to plant.
+	attackerWord = 0x4141414141414141
+)
+
+// baselineDist is the victim-payload to target-payload distance under
+// the unprotected layout of the given environment class. Fixed-offset
+// attacks are compiled against this layout; runtime layouts that
+// differ (SafePM's redzones) send them astray.
+func baselineDist(row RowKind, loc Location) int64 {
+	if row == VolatileHeap {
+		// Bump allocator: 16-aligned, no headers.
+		d := int64(victimSize)
+		if loc == Spaced {
+			d += spacerSize
+		}
+		return d
+	}
+	// Pool allocator: class-rounded block (header included).
+	d := int64(128) // class of a 112-byte object
+	if loc == Spaced {
+		d += 256 // class of a 128-byte spacer
+	}
+	return d
+}
+
+// scenario is a prepared attack site.
+type scenario struct {
+	rt        hooks.Runtime
+	bufPtr    uint64 // victim buffer pointer (tagged under SPP)
+	targetPtr uint64 // plain address of the target slot, for verification
+	dist      int64  // actual payload-to-target distance in this run
+	poolSize  uint64
+	tagBits   uint
+}
+
+// Runner executes attacks.
+type Runner struct {
+	// PoolSize for per-attack environments.
+	PoolSize uint64
+}
+
+// Execute runs one attack under one row's protection and reports the
+// outcome.
+func (r *Runner) Execute(a Attack, row RowKind) (Outcome, error) {
+	poolSize := r.PoolSize
+	if poolSize == 0 {
+		poolSize = 8 << 20
+	}
+	env, err := variant.New(row.variantKind(), variant.Options{
+		PoolSize: poolSize,
+		NLanes:   4,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sc, err := r.setup(a, row, env)
+	if err != nil {
+		return 0, err
+	}
+	trapErr := r.attack(a, row, sc)
+	if hooks.IsSafetyTrap(trapErr) {
+		return Prevented, nil
+	}
+	if trapErr != nil {
+		return 0, trapErr
+	}
+	// No trap: did the target get corrupted?
+	v, err := env.AS.LoadU64(sc.targetPtr)
+	if err != nil {
+		return 0, fmt.Errorf("verify target: %w", err)
+	}
+	if v == attackerWord {
+		return Successful, nil
+	}
+	return Prevented, nil
+}
+
+// setup allocates the victim, spacer and target per the attack's
+// location and returns the prepared scenario.
+func (r *Runner) setup(a Attack, row RowKind, env *variant.Env) (*scenario, error) {
+	rt := env.RT
+	sc := &scenario{
+		rt:       rt,
+		poolSize: env.Dev.Size(),
+		tagBits:  env.Pool.Encoding().TagBits(),
+	}
+	alloc := func(size uint64) (ptr, plain uint64, free func() error, err error) {
+		if row == VolatileHeap {
+			p, err := env.Heap.Alloc(size)
+			return p, p, func() error { env.Heap.Free(p); return nil }, err
+		}
+		oid, err := rt.Alloc(size)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		p := rt.Direct(oid)
+		return p, rt.External(p), func() error { return rt.Free(oid) }, nil
+	}
+
+	if a.Technique == IntraObject {
+		p, plain, _, err := alloc(intraSize)
+		if err != nil {
+			return nil, err
+		}
+		sc.bufPtr = p
+		sc.dist = 96 // sibling field inside the same struct
+		sc.targetPtr = plain + 96
+		return sc, nil
+	}
+
+	victim, victimPlain, _, err := alloc(victimSize)
+	if err != nil {
+		return nil, err
+	}
+	if a.Location == Spaced {
+		if _, _, _, err := alloc(spacerSize); err != nil {
+			return nil, err
+		}
+	}
+	var freedPlain uint64
+	var freeVictimGap func() error
+	if a.Technique == IntoFree {
+		// An extra object freed before the attack: its space holds no
+		// target.
+		_, fplain, ffree, err := alloc(victimSize)
+		if err != nil {
+			return nil, err
+		}
+		freedPlain, freeVictimGap = fplain, ffree
+	}
+	_, targetPlain, _, err := alloc(victimSize)
+	if err != nil {
+		return nil, err
+	}
+	sc.bufPtr = victim
+	sc.targetPtr = targetPlain
+	if a.Technique == IndexedFixed {
+		// Spot sub-variants aim at different slots of the target.
+		sc.targetPtr = targetPlain + uint64(a.Spot*8)
+	}
+	sc.dist = int64(targetPlain - victimPlain)
+	if a.Technique == IntoFree {
+		sc.dist = int64(freedPlain - victimPlain)
+		if err := freeVictimGap(); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// buildPayload constructs the byte string a direct attack writes: a
+// filler run ending in the attacker word placed over the target slot.
+func buildPayload(a Attack, dist int64) []byte {
+	full := int(dist) + 8
+	switch a.Payload {
+	case Short:
+		full = int(dist) / 2
+	case ShortQuarter:
+		full = int(dist) / 4
+	case Overshoot:
+		full += 64
+	}
+	p := make([]byte, full)
+	for i := range p {
+		p[i] = 0x42
+	}
+	if a.Payload == WithNul {
+		p[len(p)/3] = 0x00
+	}
+	// Plant the attacker word over the target slot if the payload
+	// reaches it.
+	if full >= int(dist)+8 {
+		for i := 0; i < 8; i++ {
+			p[int(dist)+i] = byte(uint64(attackerWord) >> (8 * i))
+		}
+	}
+	return p
+}
+
+// attack performs the overflow. The returned error is the trap (if
+// any); a nil error means the writes completed.
+func (r *Runner) attack(a Attack, row RowKind, sc *scenario) error {
+	rt := sc.rt
+	buf := sc.bufPtr
+
+	switch a.Technique {
+	case Direct, IntraObject:
+		return r.writePayload(a, rt, buf, buildPayload(a, sc.dist))
+
+	case IndexedFixed:
+		off := baselineDist(row, a.Location) + int64(a.Spot*8)
+		return hooks.StoreU64(rt, rt.Gep(buf, off), attackerWord)
+
+	case IndexedAdaptive, IntoFree:
+		return hooks.StoreU64(rt, rt.Gep(buf, sc.dist), attackerWord)
+
+	case Laundered:
+		// PtrToInt: the instrumentation masks the tag; IntToPtr yields
+		// an untagged pointer (§IV-G) through which SPP is blind.
+		laundered := rt.External(buf)
+		return hooks.StoreU64(rt, rt.Gep(laundered, sc.dist), attackerWord)
+
+	case Wraparound:
+		// Drive the tag+overflow field all the way around: the offset
+		// must be a multiple of 2^(tag+1) past the target. The address
+		// moves with it, far beyond the pool.
+		off := sc.dist + int64(uint64(1)<<(sc.tagBits+1))
+		if a.Primitive == LoopStore {
+			p := rt.Gep(buf, off)
+			for i := int64(0); i < 8; i++ {
+				if err := hooks.StoreU8(rt, rt.Gep(p, i), 0x41); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if a.Primitive == Memcpy {
+			return hooks.Memcpy(rt, rt.Gep(buf, off), buf, 8)
+		}
+		return hooks.StoreU64(rt, rt.Gep(buf, off), attackerWord)
+
+	case OvershootPool:
+		off := int64(sc.poolSize)
+		return r.writePayload(a, rt, rt.Gep(buf, off), []byte{0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41})
+
+	default:
+		return fmt.Errorf("ripe: unknown technique %q", a.Technique)
+	}
+}
+
+// writePayload runs the attack's overflow primitive.
+func (r *Runner) writePayload(a Attack, rt hooks.Runtime, dst uint64, payload []byte) error {
+	switch a.Primitive {
+	case LoopStore, StoreU64, Sprintf:
+		// sprintf formats into a local buffer and then stores byte by
+		// byte — identical at the memory interface.
+		for i, b := range payload {
+			if a.Primitive == Sprintf && b == 0 {
+				return nil // %s formatting stops at NUL
+			}
+			if err := hooks.StoreU8(rt, rt.Gep(dst, int64(i)), b); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Memcpy, Memmove:
+		src, err := r.stage(rt, payload, false)
+		if err != nil {
+			return err
+		}
+		if a.Primitive == Memcpy {
+			return hooks.Memcpy(rt, dst, src, uint64(len(payload)))
+		}
+		return hooks.Memmove(rt, dst, src, uint64(len(payload)))
+	case Strcpy:
+		src, err := r.stage(rt, payload, true)
+		if err != nil {
+			return err
+		}
+		return hooks.Strcpy(rt, dst, src)
+	case Strcat:
+		src, err := r.stage(rt, payload, true)
+		if err != nil {
+			return err
+		}
+		// The destination currently starts with a zero byte, so the
+		// concatenation begins at dst.
+		return hooks.Strcat(rt, dst, src)
+	default:
+		return fmt.Errorf("ripe: unknown primitive %q", a.Primitive)
+	}
+}
+
+// stage places the payload into an attacker-controlled staging object
+// (NUL-terminated for the string primitives).
+func (r *Runner) stage(rt hooks.Runtime, payload []byte, asString bool) (uint64, error) {
+	data := payload
+	if asString {
+		data = append(append([]byte{}, payload...), 0)
+	}
+	oid, err := rt.Alloc(uint64(len(data)))
+	if err != nil {
+		return 0, err
+	}
+	p := rt.Direct(oid)
+	if err := rt.Space().StoreBytes(rt.External(p), data); err != nil {
+		return 0, err
+	}
+	return p, nil
+}
+
+// RowResult is one Table IV row.
+type RowResult struct {
+	Row        RowKind
+	Successful int
+	Prevented  int
+	// SucceededIDs lists the attacks that got through, for diagnosis.
+	SucceededIDs []int
+}
+
+// RunRow executes the whole matrix against one row.
+func (r *Runner) RunRow(row RowKind) (RowResult, error) {
+	res := RowResult{Row: row}
+	for _, a := range Matrix() {
+		out, err := r.Execute(a, row)
+		if err != nil {
+			return res, fmt.Errorf("%s under %s: %w", a, row, err)
+		}
+		if out == Successful {
+			res.Successful++
+			res.SucceededIDs = append(res.SucceededIDs, a.ID)
+		} else {
+			res.Prevented++
+		}
+	}
+	return res, nil
+}
+
+// RunTable executes the matrix against every row of Table IV.
+func (r *Runner) RunTable() ([]RowResult, error) {
+	out := make([]RowResult, 0, len(Rows))
+	for _, row := range Rows {
+		res, err := r.RunRow(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package ripe
+
+import "testing"
+
+func TestMatrixSize(t *testing.T) {
+	m := Matrix()
+	if len(m) != 223 {
+		t.Fatalf("matrix has %d attacks, want 223 (RIPE's buffer-overflow subset)", len(m))
+	}
+	seen := make(map[int]bool, len(m))
+	for _, a := range m {
+		if a.ID == 0 || seen[a.ID] {
+			t.Fatalf("bad or duplicate attack ID %d", a.ID)
+		}
+		seen[a.ID] = true
+		if a.String() == "" {
+			t.Error("empty attack description")
+		}
+	}
+}
+
+// TestTableIV reproduces the paper's Table IV exactly: the same attack
+// counts survive or are prevented under each protection row.
+func TestTableIV(t *testing.T) {
+	want := map[RowKind]struct{ successful, prevented int }{
+		VolatileHeap: {83, 140},
+		PMPoolHeap:   {83, 140},
+		RowSafePM:    {6, 217},
+		RowSPP:       {4, 219},
+		RowMemcheck:  {20, 203},
+	}
+	r := &Runner{}
+	results, err := r.RunTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		w := want[res.Row]
+		if res.Successful != w.successful || res.Prevented != w.prevented {
+			t.Errorf("%s: got %d/%d, want %d/%d (succeeded: %v)",
+				res.Row, res.Successful, res.Prevented, w.successful, w.prevented, res.SucceededIDs)
+		}
+	}
+}
+
+// TestSPPMissesAreExplained: every attack surviving SPP must be of a
+// class the paper concedes (laundered pointers or intra-object).
+func TestSPPMissesAreExplained(t *testing.T) {
+	r := &Runner{}
+	res, err := r.RunRow(RowSPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int]Attack)
+	for _, a := range Matrix() {
+		byID[a.ID] = a
+	}
+	for _, id := range res.SucceededIDs {
+		a := byID[id]
+		if a.Technique != Laundered && a.Technique != IntraObject {
+			t.Errorf("SPP missed %s, which it should catch", a)
+		}
+	}
+}
+
+// TestMechanismOrdering: the precision ordering of the mechanisms must
+// hold attack-by-attack, not just in aggregate: anything SPP misses is
+// also missed by SafePM and memcheck (their blind spots are supersets).
+func TestMechanismOrdering(t *testing.T) {
+	r := &Runner{}
+	spp, err := r.RunRow(RowSPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safepm, err := r.RunRow(RowSafePM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := r.RunRow(RowMemcheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSafe := make(map[int]bool)
+	for _, id := range safepm.SucceededIDs {
+		inSafe[id] = true
+	}
+	inMc := make(map[int]bool)
+	for _, id := range mc.SucceededIDs {
+		inMc[id] = true
+	}
+	for _, id := range spp.SucceededIDs {
+		if !inSafe[id] || !inMc[id] {
+			t.Errorf("attack %d missed by SPP but caught by a weaker mechanism", id)
+		}
+	}
+	for _, id := range safepm.SucceededIDs {
+		if !inMc[id] {
+			t.Errorf("attack %d missed by SafePM but caught by memcheck", id)
+		}
+	}
+}
+
+// TestBaselineLayoutAssumption pins the layout constants that the
+// fixed-offset attacks are compiled against.
+func TestBaselineLayoutAssumption(t *testing.T) {
+	if d := baselineDist(PMPoolHeap, Adjacent); d != 128 {
+		t.Errorf("pool adjacent baseline = %d, want 128", d)
+	}
+	if d := baselineDist(PMPoolHeap, Spaced); d != 384 {
+		t.Errorf("pool spaced baseline = %d, want 384", d)
+	}
+	if d := baselineDist(VolatileHeap, Adjacent); d != 112 {
+		t.Errorf("volatile adjacent baseline = %d, want 112", d)
+	}
+	// Verify against a live unprotected environment.
+	r := &Runner{}
+	a := Attack{Technique: IndexedAdaptive, Primitive: StoreU64, Location: Adjacent, Target: FuncPtr}
+	out, err := r.Execute(a, PMPoolHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Successful {
+		t.Error("adaptive jump failed on unprotected pool; layout drifted")
+	}
+}

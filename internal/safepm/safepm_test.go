@@ -1,0 +1,263 @@
+package safepm
+
+import (
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/pmem"
+	"repro/internal/pmemobj"
+	"repro/internal/vmem"
+)
+
+func newRuntime(t *testing.T) (*Runtime, *pmemobj.Pool) {
+	t.Helper()
+	dev := pmem.NewPool("safepm-test", 16<<20)
+	as := vmem.New()
+	pool, err := pmemobj.Create(dev, as, 0x10000, pmemobj.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Attach(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, pool
+}
+
+func TestAttachRejectsSPPPool(t *testing.T) {
+	dev := pmem.NewPool("spp", 16<<20)
+	pool, err := pmemobj.Create(dev, nil, 0x10000, pmemobj.Config{SPP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(pool, nil); err == nil {
+		t.Error("Attach on an SPP pool succeeded")
+	}
+}
+
+func TestRedzonesPoisoned(t *testing.T) {
+	rt, _ := newRuntime(t)
+	oid, err := rt.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Direct(oid)
+	// Every byte of the object is addressable.
+	for i := uint64(0); i < 40; i++ {
+		if _, err := rt.Check(p+i, 1); err != nil {
+			t.Fatalf("in-bounds byte %d flagged: %v", i, err)
+		}
+	}
+	// The byte after the object (partial-granule tail) is poisoned.
+	if _, err := rt.Check(p+40, 1); err == nil {
+		t.Error("first redzone byte addressable")
+	}
+	// The byte before is the left redzone.
+	if _, err := rt.Check(p-1, 1); err == nil {
+		t.Error("left redzone addressable")
+	}
+	// A range straddling the end is flagged even when it starts valid.
+	if _, err := rt.Check(p+36, 8); err == nil {
+		t.Error("straddling range addressable")
+	}
+}
+
+func TestFreePoisonsUserRange(t *testing.T) {
+	rt, _ := newRuntime(t)
+	oid, _ := rt.Alloc(64)
+	p := rt.Direct(oid)
+	if err := rt.Free(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Check(p, 8); err == nil {
+		t.Error("freed memory still addressable")
+	}
+	// Double free is rejected via the redzone header check.
+	if err := rt.Free(oid); err == nil {
+		t.Error("double free succeeded")
+	}
+}
+
+func TestPartialGranuleSemantics(t *testing.T) {
+	// A 13-byte object: granule 0 fully addressable, granule 1 allows
+	// 5 bytes.
+	rt, _ := newRuntime(t)
+	oid, _ := rt.Alloc(13)
+	p := rt.Direct(oid)
+	if _, err := rt.Check(p+12, 1); err != nil {
+		t.Errorf("last byte flagged: %v", err)
+	}
+	if _, err := rt.Check(p+13, 1); err == nil {
+		t.Error("byte 13 addressable in a 13-byte object")
+	}
+	if _, err := rt.Check(p+8, 5); err != nil {
+		t.Errorf("tail range flagged: %v", err)
+	}
+	if _, err := rt.Check(p+8, 6); err == nil {
+		t.Error("tail range + 1 addressable")
+	}
+}
+
+func TestNonPoolPointersPassThrough(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if _, err := rt.Check(0xdead0000000, 8); err != nil {
+		t.Errorf("non-pool pointer flagged: %v", err)
+	}
+	if got := rt.Gep(100, 5); got != 105 {
+		t.Errorf("Gep = %d", got)
+	}
+	if got := rt.External(12345); got != 12345 {
+		t.Errorf("External = %d", got)
+	}
+}
+
+func TestViolationErrorDetail(t *testing.T) {
+	rt, _ := newRuntime(t)
+	oid, _ := rt.Alloc(16)
+	p := rt.Direct(oid)
+	_, err := rt.Check(p+16, 8)
+	if !hooks.IsSafetyTrap(err) {
+		t.Fatalf("no violation: %v", err)
+	}
+	if err.Error() == "" {
+		t.Error("empty violation message")
+	}
+}
+
+func TestReallocMovesRedzones(t *testing.T) {
+	rt, _ := newRuntime(t)
+	oid, _ := rt.Alloc(32)
+	p := rt.Direct(oid)
+	if _, err := rt.Check(p, 32); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := rt.Realloc(oid, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := rt.Direct(grown)
+	if _, err := rt.Check(gp, 200); err != nil {
+		t.Errorf("grown object flagged: %v", err)
+	}
+	if _, err := rt.Check(gp+200, 1); err == nil {
+		t.Error("grown object's redzone addressable")
+	}
+	// The old location is poisoned.
+	if _, err := rt.Check(p, 8); err == nil {
+		t.Error("old location still addressable after realloc")
+	}
+}
+
+func TestShadowLatencyAblatable(t *testing.T) {
+	old := ShadowLatencyLoops
+	defer func() { ShadowLatencyLoops = old }()
+	ShadowLatencyLoops = 0
+	rt, _ := newRuntime(t)
+	oid, _ := rt.Alloc(16)
+	p := rt.Direct(oid)
+	if _, err := rt.Check(p, 8); err != nil {
+		t.Errorf("check with zero latency: %v", err)
+	}
+}
+
+func TestRebuildHandlesForeignAllocations(t *testing.T) {
+	// An allocation made directly through the pool (no SafePM header)
+	// must be fully addressable after rebuild, not poisoned.
+	rt, pool := newRuntime(t)
+	raw, err := pool.Alloc(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Check(rt.Pool().Base()+raw.Off, 48); err != nil {
+		t.Errorf("foreign allocation poisoned: %v", err)
+	}
+}
+
+// TestShadowCrashConsistency: power loss at any fence during a SafePM
+// allocation must leave persistent state from which Attach rebuilds a
+// correct shadow — live objects addressable, everything else poisoned
+// (the SafePM property §II-D demands and §VI-E verifies).
+func TestShadowCrashConsistency(t *testing.T) {
+	for crashAt := 1; crashAt < 25; crashAt++ {
+		dev := pmem.NewPool("safepm-crash", 16<<20)
+		as := vmem.New()
+		pool, err := pmemobj.Create(dev, as, 0x10000, pmemobj.Config{UUID: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := Attach(pool, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable, err := rt.Alloc(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sink := &fenceCrash{crashAt: crashAt}
+		dev.EnableTracking(sink)
+		var crashed bool
+		func() {
+			defer func() {
+				if recover() != nil {
+					crashed = true
+				}
+			}()
+			if _, err := rt.Alloc(64); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		if crashed {
+			if err := dev.Crash(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dev.DisableTracking()
+
+		// Restart: recovery + shadow rebuild.
+		pool2, err := pmemobj.Open(dev, nil, 0x10000)
+		if err != nil {
+			t.Fatalf("crashAt=%d: recovery: %v", crashAt, err)
+		}
+		as2 := vmem.New()
+		if err := as2.Map(&vmem.Mapping{Base: 0x10000, Data: dev.Data(), Name: "p"}); err != nil {
+			t.Fatal(err)
+		}
+		rt2, err := attachAt(pool2, as2)
+		if err != nil {
+			t.Fatalf("crashAt=%d: attach: %v", crashAt, err)
+		}
+		// The pre-crash object is fully usable with intact redzones.
+		p := rt2.Direct(stable)
+		if _, err := rt2.Check(p, 40); err != nil {
+			t.Fatalf("crashAt=%d: stable object poisoned: %v", crashAt, err)
+		}
+		if _, err := rt2.Check(p+40, 1); err == nil {
+			t.Fatalf("crashAt=%d: stable object's redzone addressable", crashAt)
+		}
+		if !crashed {
+			return // allocation completed before the crash point
+		}
+	}
+}
+
+func attachAt(pool *pmemobj.Pool, as *vmem.AddressSpace) (*Runtime, error) {
+	return Attach(pool, as)
+}
+
+type fenceCrash struct {
+	fences  int
+	crashAt int
+}
+
+func (f *fenceCrash) RecordStore(off uint64, data []byte) {}
+func (f *fenceCrash) RecordFlush(off, size uint64)        {}
+func (f *fenceCrash) RecordFence() {
+	f.fences++
+	if f.fences == f.crashAt {
+		panic("injected power loss")
+	}
+}

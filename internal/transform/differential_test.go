@@ -1,0 +1,149 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/variant"
+)
+
+// genProgram builds a random straight-line program that stays in
+// bounds: it allocates a few PM and volatile objects, performs random
+// in-range geps, loads, stores, integer arithmetic, ptr/int round
+// trips, memory intrinsics and external calls, and returns a checksum
+// of everything it loaded.
+func genProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("extern @ext_identity\nextern @ext_load8\nfunc @main() {\nentry:\n")
+	fmt.Fprintf(&b, "  %%objsize = const %d\n", 256)
+	fmt.Fprintf(&b, "  %%zero = const 0\n")
+
+	nPM := rng.Intn(3) + 1
+	nVol := rng.Intn(2) + 1
+	var ptrs []string // pointer values with 256-byte valid range
+	for i := 0; i < nPM; i++ {
+		fmt.Fprintf(&b, "  %%oid%d = pmalloc %%objsize\n", i)
+		fmt.Fprintf(&b, "  %%pm%d = direct %%oid%d\n", i, i)
+		ptrs = append(ptrs, fmt.Sprintf("%%pm%d", i))
+	}
+	for i := 0; i < nVol; i++ {
+		fmt.Fprintf(&b, "  %%vol%d = malloc %%objsize\n", i)
+		ptrs = append(ptrs, fmt.Sprintf("%%vol%d", i))
+	}
+	fmt.Fprintf(&b, "  %%acc0 = add %%zero, %%zero\n")
+	acc := "%acc0"
+
+	vals := []string{"%zero", "%objsize"}
+	tmp := 0
+	fresh := func(prefix string) string {
+		tmp++
+		return fmt.Sprintf("%%%s%d", prefix, tmp)
+	}
+	steps := rng.Intn(25) + 10
+	for s := 0; s < steps; s++ {
+		base := ptrs[rng.Intn(len(ptrs))]
+		switch rng.Intn(8) {
+		case 0: // gep + store
+			off := rng.Intn(31) * 8
+			q := fresh("q")
+			v := vals[rng.Intn(len(vals))]
+			fmt.Fprintf(&b, "  %s = gep %s, %d\n", q, base, off)
+			fmt.Fprintf(&b, "  store.8 %s, %s\n", q, v)
+		case 1: // gep + load into the accumulator
+			off := rng.Intn(31) * 8
+			q := fresh("q")
+			x := fresh("x")
+			a2 := fresh("acc")
+			fmt.Fprintf(&b, "  %s = gep %s, %d\n", q, base, off)
+			fmt.Fprintf(&b, "  %s = load.8 %s\n", x, q)
+			fmt.Fprintf(&b, "  %s = add %s, %s\n", a2, acc, x)
+			acc = a2
+			vals = append(vals, x)
+		case 2: // integer arithmetic
+			x := fresh("i")
+			a, c := vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]
+			op := []string{"add", "sub", "mul"}[rng.Intn(3)]
+			fmt.Fprintf(&b, "  %s = %s %s, %s\n", x, op, a, c)
+			vals = append(vals, x)
+		case 3: // ptr -> int -> comparison (cleaned values compare equal)
+			i1, i2, eq := fresh("i"), fresh("i"), fresh("c")
+			a2 := fresh("acc")
+			fmt.Fprintf(&b, "  %s = ptrtoint %s\n", i1, base)
+			fmt.Fprintf(&b, "  %s = ptrtoint %s\n", i2, base)
+			fmt.Fprintf(&b, "  %s = icmp.eq %s, %s\n", eq, i1, i2)
+			fmt.Fprintf(&b, "  %s = add %s, %s\n", a2, acc, eq)
+			acc = a2
+		case 4: // in-bounds memcpy between two objects
+			dst := ptrs[rng.Intn(len(ptrs))]
+			n := fresh("n")
+			fmt.Fprintf(&b, "  %s = const %d\n", n, rng.Intn(16)*8+8)
+			fmt.Fprintf(&b, "  memcpy %s, %s, %s\n", dst, base, n)
+		case 5: // memset a prefix
+			n, c := fresh("n"), fresh("cv")
+			fmt.Fprintf(&b, "  %s = const %d\n", n, rng.Intn(32)+1)
+			fmt.Fprintf(&b, "  %s = const %d\n", c, rng.Intn(256))
+			fmt.Fprintf(&b, "  memset %s, %s, %s\n", base, c, n)
+		case 6: // external call with a masked pointer
+			r := fresh("r")
+			a2 := fresh("acc")
+			fmt.Fprintf(&b, "  %s = callext @ext_load8, %s\n", r, base)
+			fmt.Fprintf(&b, "  %s = add %s, %s\n", a2, acc, r)
+			acc = a2
+		case 7: // chained gep back and forth
+			q1, q2 := fresh("q"), fresh("q")
+			off := rng.Intn(28)*8 + 16
+			fmt.Fprintf(&b, "  %s = gep %s, %d\n", q1, base, off)
+			fmt.Fprintf(&b, "  %s = gep %s, %d\n", q2, q1, -8)
+			fmt.Fprintf(&b, "  store.8 %s, %s\n", q2, vals[rng.Intn(len(vals))])
+		}
+	}
+	fmt.Fprintf(&b, "  ret %s\n}\n", acc)
+	return b.String()
+}
+
+// TestDifferentialRandomPrograms: for random in-bounds programs, the
+// instrumented binary under every protection variant must compute
+// exactly what the uninstrumented binary computes natively — the
+// compiler pass must never change program semantics.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	passConfigs := []Options{
+		{},
+		{DisablePointerTracking: true},
+		{DisablePreemption: true, DisableHoisting: true},
+		{RestoreIntPtr: true},
+	}
+	for trial := 0; trial < 40; trial++ {
+		src := genProgram(rng)
+		mod, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v\n%s", trial, err, src)
+		}
+		// Ground truth: uninstrumented on native.
+		envN := newEnv(t, variant.PMDK)
+		want, err := interp.New(mod, envN).Run("main")
+		if err != nil {
+			t.Fatalf("trial %d: native run failed: %v\n%s", trial, err, src)
+		}
+		for ci, opts := range passConfigs {
+			instrumented, _, err := Apply(mod, opts)
+			if err != nil {
+				t.Fatalf("trial %d cfg %d: %v", trial, ci, err)
+			}
+			for _, kind := range []variant.Kind{variant.PMDK, variant.SPP, variant.SafePM, variant.SPPPacked} {
+				env := newEnv(t, kind)
+				got, err := interp.New(instrumented, env).Run("main")
+				if err != nil {
+					t.Fatalf("trial %d cfg %d %s: run failed: %v\n%s", trial, ci, kind, err, src)
+				}
+				if got != want {
+					t.Fatalf("trial %d cfg %d %s: got %d want %d\n%s", trial, ci, kind, got, want, src)
+				}
+			}
+		}
+	}
+}

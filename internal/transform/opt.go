@@ -1,0 +1,311 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// useCounts maps every value name to the number of instructions that
+// read it.
+func useCounts(f *ir.Func) map[string]int {
+	uses := make(map[string]int)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			for _, a := range in.Args {
+				uses[a]++
+			}
+		}
+	}
+	return uses
+}
+
+// constValues maps names of Const results to their values.
+func constValues(f *ir.Func) map[string]int64 {
+	consts := make(map[string]int64)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.Const {
+				consts[in.Dst] = in.Imm
+			}
+		}
+	}
+	return consts
+}
+
+// preemptChecks implements bound-check preemption (§IV-E): when a
+// basic block dereferences the same pointer several times through
+// constant offsets, a single check of the maximum extent replaces the
+// per-access checks and the accesses use the masked pointer.
+func preemptChecks(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {
+	uses := useCounts(f)
+	for _, blk := range f.Blocks {
+		type access struct {
+			gep   *ir.Instr // nil for a direct deref of the base
+			deref *ir.Instr
+			end   int64 // last byte offset touched + 1
+		}
+		groups := make(map[string][]access)
+		order := make([]string, 0, 4)
+		gepsByDst := make(map[string]*ir.Instr)
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Gep:
+				if len(in.Args) == 1 { // constant offset
+					gepsByDst[in.Dst] = in
+				}
+			case ir.Load, ir.Store:
+				addr := in.Args[0]
+				if g, ok := gepsByDst[addr]; ok && uses[g.Dst] == 1 {
+					base := g.Args[0]
+					if !opts.DisablePointerTracking && classes[base] == Volatile {
+						continue
+					}
+					if _, seen := groups[base]; !seen {
+						order = append(order, base)
+					}
+					groups[base] = append(groups[base], access{gep: g, deref: in, end: g.Imm + int64(in.Size)})
+				} else if _, isGep := gepsByDst[addr]; !isGep {
+					if !opts.DisablePointerTracking && classes[addr] == Volatile {
+						continue
+					}
+					if _, seen := groups[addr]; !seen {
+						order = append(order, addr)
+					}
+					groups[addr] = append(groups[addr], access{deref: in, end: int64(in.Size)})
+				}
+			}
+		}
+		for _, base := range order {
+			accs := groups[base]
+			if len(accs) < 2 {
+				continue
+			}
+			var maxEnd int64
+			for _, a := range accs {
+				if a.end > maxEnd {
+					maxEnd = a.end
+				}
+				if a.end <= 0 {
+					maxEnd = -1
+					break
+				}
+			}
+			if maxEnd <= 0 {
+				continue // negative offsets: leave per-access checks
+			}
+			masked := fmt.Sprintf("%s.pre", base)
+			pre := &ir.Instr{
+				Op: ir.SppCheckBound, Dst: masked, Args: []string{base},
+				Size:    uint64(maxEnd),
+				KnownPM: !opts.DisablePointerTracking && classes[base] == Persistent,
+			}
+			// Insert the merged check before the first access of the
+			// group (its gep if it has one).
+			first := accs[0].deref
+			if accs[0].gep != nil {
+				first = accs[0].gep
+			}
+			blk.Instrs = insertBefore(blk.Instrs, first, pre)
+			for _, a := range accs {
+				if a.gep != nil {
+					a.gep.Args[0] = masked
+					a.gep.SkipTagUpdate = true
+				} else {
+					a.deref.Args[0] = masked
+				}
+				a.deref.SkipCheck = true
+			}
+			stats.Preempted += len(accs) - 1
+			stats.CheckBounds++
+			if pre.KnownPM {
+				stats.DirectHooks++
+			}
+		}
+	}
+}
+
+// hoistLoopChecks implements loop bound-check hoisting (§V-C): in a
+// block annotated with its trip count, a dereference through
+// base + induction*stride is covered by one check of the maximum
+// offset placed in the preheader.
+func hoistLoopChecks(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {
+	consts := constValues(f)
+	for bi, blk := range f.Blocks {
+		if blk.LoopBound <= 0 {
+			continue
+		}
+		pre := preheader(f, bi)
+		if pre == nil {
+			continue
+		}
+		defined := make(map[string]bool)
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defined[in.Dst] = true
+			}
+		}
+		// Find mul-by-constant offsets.
+		strides := make(map[string]int64) // offset value -> stride
+		for _, in := range blk.Instrs {
+			if in.Op != ir.Mul || len(in.Args) != 2 {
+				continue
+			}
+			if c, ok := consts[in.Args[1]]; ok {
+				strides[in.Dst] = c
+			} else if c, ok := consts[in.Args[0]]; ok {
+				strides[in.Dst] = c
+			}
+		}
+		for _, in := range blk.Instrs {
+			if in.Op != ir.Gep || len(in.Args) != 2 {
+				continue
+			}
+			base, off := in.Args[0], in.Args[1]
+			stride, ok := strides[off]
+			if !ok || stride <= 0 || defined[base] {
+				continue // not the recognized pattern, or base not invariant
+			}
+			if !opts.DisablePointerTracking && classes[base] == Volatile {
+				continue
+			}
+			// Find the dereferences of this gep's result in the block.
+			var derefs []*ir.Instr
+			for _, d := range blk.Instrs {
+				if (d.Op == ir.Load || d.Op == ir.Store) && d.Args[0] == in.Dst {
+					derefs = append(derefs, d)
+				}
+			}
+			if len(derefs) == 0 {
+				continue
+			}
+			var maxSize uint64
+			for _, d := range derefs {
+				if d.Size > maxSize {
+					maxSize = d.Size
+				}
+			}
+			maxEnd := (blk.LoopBound-1)*stride + int64(maxSize)
+			masked := fmt.Sprintf("%s.h", base)
+			hook := &ir.Instr{
+				Op: ir.SppCheckBound, Dst: masked, Args: []string{base},
+				Size:    uint64(maxEnd),
+				KnownPM: !opts.DisablePointerTracking && classes[base] == Persistent,
+			}
+			pre.Instrs = insertBefore(pre.Instrs, pre.Instrs[len(pre.Instrs)-1], hook)
+			in.Args[0] = masked
+			in.SkipTagUpdate = true
+			for _, d := range derefs {
+				d.SkipCheck = true
+				stats.Hoisted++
+			}
+			stats.CheckBounds++
+			if hook.KnownPM {
+				stats.DirectHooks++
+			}
+		}
+	}
+}
+
+// preheader returns the unique block outside the loop that branches to
+// f.Blocks[bi], or nil.
+func preheader(f *ir.Func, bi int) *ir.Block {
+	loop := f.Blocks[bi]
+	var pre *ir.Block
+	for _, blk := range f.Blocks {
+		if blk == loop {
+			continue
+		}
+		term := blk.Instrs[len(blk.Instrs)-1]
+		if term.Sym == loop.Name || term.SymElse == loop.Name {
+			if pre != nil {
+				return nil // multiple entries: cannot hoist
+			}
+			pre = blk
+		}
+	}
+	return pre
+}
+
+func insertBefore(list []*ir.Instr, target, insert *ir.Instr) []*ir.Instr {
+	for i, in := range list {
+		if in == target {
+			out := make([]*ir.Instr, 0, len(list)+1)
+			out = append(out, list[:i]...)
+			out = append(out, insert)
+			out = append(out, list[i:]...)
+			return out
+		}
+	}
+	return append(list, insert)
+}
+
+// restoreIntPtr rewrites IntToPtr instructions whose integer operand
+// provably derives from a PtrToInt of a known pointer — directly, or
+// through one addition / constant subtraction — into pointer
+// arithmetic on the original (tagged) pointer. This is the paper's
+// suggested use-def-chain mitigation for the integer-laundering blind
+// spot (§IV-G). It runs before classification so the restored pointers
+// are tracked and instrumented like any other.
+func restoreIntPtr(f *ir.Func) int {
+	defs := make(map[string]*ir.Instr)
+	consts := constValues(f)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defs[in.Dst] = in
+			}
+		}
+	}
+	// ptrOrigin resolves an integer value to (pointer, constOff,
+	// varOff) when it derives from a PtrToInt.
+	ptrOrigin := func(v string) (ptr string, imm int64, varOff string, ok bool) {
+		d := defs[v]
+		if d == nil {
+			return "", 0, "", false
+		}
+		switch d.Op {
+		case ir.PtrToInt:
+			return d.Args[0], 0, "", true
+		case ir.Add:
+			for i := 0; i < 2; i++ {
+				if pi := defs[d.Args[i]]; pi != nil && pi.Op == ir.PtrToInt {
+					other := d.Args[1-i]
+					if c, isConst := consts[other]; isConst {
+						return pi.Args[0], c, "", true
+					}
+					return pi.Args[0], 0, other, true
+				}
+			}
+		case ir.Sub:
+			if pi := defs[d.Args[0]]; pi != nil && pi.Op == ir.PtrToInt {
+				if c, isConst := consts[d.Args[1]]; isConst {
+					return pi.Args[0], -c, "", true
+				}
+			}
+		}
+		return "", 0, "", false
+	}
+	restored := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op != ir.IntToPtr {
+				continue
+			}
+			ptr, imm, varOff, ok := ptrOrigin(in.Args[0])
+			if !ok {
+				continue
+			}
+			in.Op = ir.Gep
+			if varOff != "" {
+				in.Args = []string{ptr, varOff}
+				in.Imm = 0
+			} else {
+				in.Args = []string{ptr}
+				in.Imm = imm
+			}
+			restored++
+		}
+	}
+	return restored
+}

@@ -1,0 +1,376 @@
+// Package transform implements SPP's compiler passes over the mini-IR
+// (§IV-C, §V-A of the paper):
+//
+//   - the transformation pass injects __spp_updatetag after pointer
+//     arithmetic, __spp_checkbound before dereferences and
+//     __spp_cleantag before pointer-to-integer conversions;
+//   - the LTO pass masks pointer arguments of external calls, marks
+//     memory/string intrinsics for interposition, and refines pointer
+//     classes across function boundaries from call-site information;
+//   - pointer tracking classifies every value as volatile, persistent
+//     or unknown and prunes instrumentation for volatile pointers,
+//     while persistent pointers use the _direct hook variants;
+//   - bound-check preemption merges consecutive checks on the same
+//     pointer within a basic block, and loop hoisting moves the check
+//     of a constant-stride access pattern into the preheader (§IV-E,
+//     §V-C).
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Class is a pointer-tracking classification.
+type Class int
+
+// Classes (§IV-E "Pointer tracking").
+const (
+	Unknown    Class = iota // instrument, test the PM bit at run time
+	Volatile                // skip instrumentation entirely
+	Persistent              // instrument with _direct hooks
+)
+
+func (c Class) String() string {
+	switch c {
+	case Volatile:
+		return "volatile"
+	case Persistent:
+		return "persistent"
+	default:
+		return "unknown"
+	}
+}
+
+// Options selects which passes run. The zero value runs everything,
+// matching the paper's default build.
+type Options struct {
+	// DisablePointerTracking instruments every pointer (no pruning).
+	DisablePointerTracking bool
+	// DisablePreemption turns off in-block bound-check merging.
+	DisablePreemption bool
+	// DisableHoisting turns off loop bound-check hoisting.
+	DisableHoisting bool
+	// DisableLTO skips the link-time pass (no cross-function class
+	// refinement; external calls are still masked, since unmasked tags
+	// would crash the callee).
+	DisableLTO bool
+	// RestoreIntPtr enables the §IV-G future-work mitigation: an
+	// integer-to-pointer conversion whose integer provably derives
+	// from a pointer-to-integer conversion (via the use-def chain,
+	// optionally through one addition or constant subtraction) is
+	// rewritten to re-derive the original tagged pointer, restoring
+	// SPP protection across the laundering.
+	RestoreIntPtr bool
+}
+
+// Stats reports what the instrumentation did, for tests and the
+// ablation benchmarks.
+type Stats struct {
+	UpdateTags     int // __spp_updatetag calls injected
+	CheckBounds    int // __spp_checkbound calls injected
+	CleanTags      int // __spp_cleantag before ptr-to-int
+	CleanExternals int // __spp_cleantag_external before external calls
+	WrappedIntrins int // memcpy/memset/strcpy interpositions
+	PrunedVolatile int // hooks omitted thanks to volatile classification
+	DirectHooks    int // hooks emitted as the _direct variant
+	Preempted      int // checks merged by bound-check preemption
+	Hoisted        int // checks hoisted out of annotated loops
+	RestoredPtrs   int // int-to-ptr conversions re-derived from their pointer origin
+}
+
+// Apply runs the passes over a copy of m and returns the instrumented
+// module and statistics.
+func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
+	out := m.Clone()
+	var stats Stats
+
+	if opts.RestoreIntPtr {
+		for _, f := range out.Funcs {
+			if !f.External {
+				stats.RestoredPtrs += restoreIntPtr(f)
+			}
+		}
+	}
+	classes := classify(out, !opts.DisableLTO)
+
+	for _, f := range out.Funcs {
+		if f.External {
+			continue
+		}
+		fc := classes[f.Name]
+		if !opts.DisablePreemption {
+			preemptChecks(f, fc, opts, &stats)
+		}
+		if !opts.DisableHoisting {
+			hoistLoopChecks(f, fc, opts, &stats)
+		}
+		instrumentFunc(f, fc, opts, &stats)
+	}
+	if err := out.Verify(); err != nil {
+		return nil, stats, fmt.Errorf("transform: instrumented module invalid: %w", err)
+	}
+	return out, stats, nil
+}
+
+// classify runs pointer tracking for every function; with LTO it also
+// propagates argument classes across call edges until a fixpoint.
+func classify(m *ir.Module, lto bool) map[string]map[string]Class {
+	classes := make(map[string]map[string]Class, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if !f.External {
+			classes[f.Name] = classifyFunc(f, nil)
+		}
+	}
+	if !lto {
+		return classes
+	}
+	// LTO: derive parameter classes from every call site (§IV-E: a
+	// parameter gets a class only if all callers agree).
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		paramClasses := make(map[string][]Class)
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				for _, in := range blk.Instrs {
+					if in.Op != ir.Call {
+						continue
+					}
+					callee := m.Func(in.Sym)
+					if callee == nil || callee.External {
+						continue
+					}
+					cur, ok := paramClasses[in.Sym]
+					if !ok {
+						cur = make([]Class, len(callee.Params))
+						for i := range cur {
+							cur[i] = -1 // unseen
+						}
+						paramClasses[in.Sym] = cur
+					}
+					for i := range callee.Params {
+						var argClass Class = Unknown
+						if i < len(in.Args) {
+							argClass = classes[f.Name][in.Args[i]]
+						}
+						if cur[i] == -1 {
+							cur[i] = argClass
+						} else if cur[i] != argClass {
+							cur[i] = Unknown
+						}
+					}
+				}
+			}
+		}
+		for name, pcs := range paramClasses {
+			f := m.Func(name)
+			seed := make(map[string]Class, len(pcs))
+			for i, pc := range pcs {
+				if pc == Volatile || pc == Persistent {
+					seed[f.Params[i]] = pc
+				}
+			}
+			next := classifyFunc(f, seed)
+			if !sameClasses(classes[name], next) {
+				classes[name] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return classes
+}
+
+func sameClasses(a, b map[string]Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyFunc assigns classes to every value of f, seeded with
+// parameter classes from the LTO pass.
+func classifyFunc(f *ir.Func, seed map[string]Class) map[string]Class {
+	c := make(map[string]Class)
+	for _, p := range f.Params {
+		if cl, ok := seed[p]; ok {
+			c[p] = cl
+		} else {
+			c[p] = Unknown
+		}
+	}
+	// Iterate to a fixpoint so gep chains across blocks settle.
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		set := func(name string, cl Class) {
+			if name == "" {
+				return
+			}
+			if old, ok := c[name]; !ok || old != cl {
+				c[name] = cl
+				changed = true
+			}
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Op {
+				case ir.Const, ir.Add, ir.Sub, ir.Mul, ir.ICmpLt, ir.ICmpEq, ir.PtrToInt:
+					set(in.Dst, Volatile) // integers carry no tag
+				case ir.Malloc:
+					set(in.Dst, Volatile)
+				case ir.CallExt:
+					// Pointers returned by external functions are
+					// untagged: treated as volatile (§V-C).
+					set(in.Dst, Volatile)
+				case ir.IntToPtr:
+					// An integer-born pointer has no tag; SPP cannot
+					// protect it (§IV-G) and skips its hooks.
+					set(in.Dst, Volatile)
+				case ir.PmemAlloc:
+					set(in.Dst, Persistent) // oid handle
+				case ir.PmemDirect:
+					set(in.Dst, Persistent)
+				case ir.Gep:
+					set(in.Dst, c[in.Args[0]])
+				case ir.Load, ir.Call:
+					if _, ok := c[in.Dst]; !ok && in.Dst != "" {
+						set(in.Dst, Unknown)
+					}
+				case ir.SppCheckBound, ir.SppUpdateTag, ir.SppCleanTag, ir.SppCleanExternal, ir.SppMemIntrCheck:
+					set(in.Dst, c[in.Args[0]])
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return c
+}
+
+// instrumentFunc performs the transformation pass proper.
+func instrumentFunc(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {
+	fresh := 0
+	gen := func(base string, kind string) string {
+		fresh++
+		return fmt.Sprintf("%s.%s%d", base, kind, fresh)
+	}
+	classOf := func(v string) Class {
+		if opts.DisablePointerTracking {
+			return Unknown
+		}
+		return classes[v]
+	}
+
+	for _, blk := range f.Blocks {
+		out := make([]*ir.Instr, 0, len(blk.Instrs)*2)
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Gep:
+				if in.NoTagUpdate() {
+					// Rebased onto a masked pointer by preemption or
+					// hoisting; accounted there.
+					out = append(out, in)
+					continue
+				}
+				cls := classOf(in.Args[0])
+				if cls == Volatile {
+					stats.PrunedVolatile++
+					out = append(out, in)
+					continue
+				}
+				raw := gen(in.Dst, "g")
+				hook := &ir.Instr{
+					Op: ir.SppUpdateTag, Dst: in.Dst, Args: []string{raw},
+					Imm: in.Imm, KnownPM: cls == Persistent,
+				}
+				if len(in.Args) == 2 { // variable offset
+					hook.Args = append(hook.Args, in.Args[1])
+				}
+				in.Dst = raw
+				out = append(out, in, hook)
+				stats.UpdateTags++
+				if cls == Persistent {
+					stats.DirectHooks++
+				}
+
+			case ir.Load, ir.Store:
+				if in.PreChecked() {
+					out = append(out, in)
+					continue
+				}
+				addr := in.Args[0]
+				cls := classOf(addr)
+				if cls == Volatile {
+					stats.PrunedVolatile++
+					out = append(out, in)
+					continue
+				}
+				checked := gen(addr, "c")
+				out = append(out, &ir.Instr{
+					Op: ir.SppCheckBound, Dst: checked, Args: []string{addr},
+					Size: in.Size, KnownPM: cls == Persistent,
+				})
+				in.Args[0] = checked
+				out = append(out, in)
+				stats.CheckBounds++
+				if cls == Persistent {
+					stats.DirectHooks++
+				}
+
+			case ir.PtrToInt:
+				cls := classOf(in.Args[0])
+				if cls == Volatile {
+					stats.PrunedVolatile++
+					out = append(out, in)
+					continue
+				}
+				cleaned := gen(in.Args[0], "i")
+				out = append(out, &ir.Instr{
+					Op: ir.SppCleanTag, Dst: cleaned, Args: []string{in.Args[0]},
+					KnownPM: cls == Persistent,
+				})
+				in.Args[0] = cleaned
+				out = append(out, in)
+				stats.CleanTags++
+
+			case ir.CallExt:
+				// The LTO pass masks every non-volatile pointer
+				// argument before the uninstrumented callee sees it.
+				for i, arg := range in.Args {
+					cls := classOf(arg)
+					if cls == Volatile {
+						stats.PrunedVolatile++
+						continue
+					}
+					masked := gen(arg, "x")
+					out = append(out, &ir.Instr{
+						Op: ir.SppCleanExternal, Dst: masked, Args: []string{arg},
+						KnownPM: cls == Persistent,
+					})
+					in.Args[i] = masked
+					stats.CleanExternals++
+				}
+				out = append(out, in)
+
+			case ir.MemCpy, ir.MemSet, ir.StrCpy:
+				// Interposed with the checking wrappers at link time.
+				in.Wrapped = true
+				stats.WrappedIntrins++
+				out = append(out, in)
+
+			default:
+				out = append(out, in)
+			}
+		}
+		blk.Instrs = out
+	}
+}

@@ -1,0 +1,596 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/variant"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func apply(t *testing.T, m *ir.Module, opts Options) (*ir.Module, Stats) {
+	t.Helper()
+	out, stats, err := Apply(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func newEnv(t *testing.T, kind variant.Kind) *variant.Env {
+	t.Helper()
+	env, err := variant.New(kind, variant.Options{PoolSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+const basicProgram = `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 7
+  store.8 %p, %v
+  %q = gep %p, 8
+  %x = load.8 %q
+  ret %x
+}
+`
+
+func TestInstrumentationSites(t *testing.T) {
+	m := parse(t, basicProgram)
+	out, stats := apply(t, m, Options{DisablePreemption: true, DisableHoisting: true})
+	if stats.UpdateTags != 1 {
+		t.Errorf("UpdateTags = %d, want 1 (one gep)", stats.UpdateTags)
+	}
+	if stats.CheckBounds != 2 {
+		t.Errorf("CheckBounds = %d, want 2 (store + load)", stats.CheckBounds)
+	}
+	// Persistent pointers get _direct hooks.
+	if stats.DirectHooks != 3 {
+		t.Errorf("DirectHooks = %d, want 3", stats.DirectHooks)
+	}
+	text := out.String()
+	for _, want := range []string{"spp.updatetag", "spp.checkbound.8"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("instrumented module lacks %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestVolatilePruning(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %m = malloc %s
+  %v = const 1
+  store.8 %m, %v
+  %q = gep %m, 8
+  %x = load.8 %q
+  ret %x
+}
+`)
+	_, stats := apply(t, m, Options{})
+	if stats.CheckBounds != 0 || stats.UpdateTags != 0 {
+		t.Errorf("volatile code instrumented: %+v", stats)
+	}
+	if stats.PrunedVolatile < 3 {
+		t.Errorf("PrunedVolatile = %d, want >= 3", stats.PrunedVolatile)
+	}
+	// With tracking disabled everything is instrumented.
+	_, stats = apply(t, m, Options{DisablePointerTracking: true, DisablePreemption: true, DisableHoisting: true})
+	if stats.CheckBounds != 2 || stats.UpdateTags != 1 {
+		t.Errorf("tracking-off stats: %+v", stats)
+	}
+}
+
+func TestEndToEndOverflowDetection(t *testing.T) {
+	overflow := `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 7
+  %q = gep %p, 64
+  store.8 %q, %v
+  ret %v
+}
+`
+	m := parse(t, overflow)
+	instrumented, _ := apply(t, m, Options{})
+
+	// Under SPP the instrumented out-of-bounds store faults.
+	env := newEnv(t, variant.SPP)
+	// A neighbour so the raw store has somewhere to land.
+	if _, err := env.RT.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.New(instrumented, env).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("instrumented overflow not trapped: %v", err)
+	}
+
+	// The same binary on the native toolchain sails through.
+	envN := newEnv(t, variant.PMDK)
+	if _, err := envN.RT.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.New(instrumented, envN).Run("main"); err != nil {
+		t.Errorf("native run failed: %v", err)
+	}
+
+	// In-bounds instrumented code runs cleanly under SPP.
+	ok := parse(t, basicProgram)
+	okInst, _ := apply(t, ok, Options{})
+	env2 := newEnv(t, variant.SPP)
+	if _, err := interp.New(okInst, env2).Run("main"); err != nil {
+		t.Errorf("in-bounds instrumented run failed: %v", err)
+	}
+}
+
+func TestUninstrumentedTaggedPointerFaults(t *testing.T) {
+	// Running an UNinstrumented module against the SPP toolchain
+	// faults on the very first access: Direct returns tagged pointers
+	// that raw dereferences cannot use. This is why SPP requires
+	// recompilation, as the paper explains.
+	m := parse(t, basicProgram)
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(m, env).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("raw tagged dereference did not fault: %v", err)
+	}
+}
+
+func TestExternalCallMasking(t *testing.T) {
+	m := parse(t, `
+extern @ext_store8
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 42
+  %r = callext @ext_store8, %p, %v
+  %x = load.8 %p
+  ret %x
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.CleanExternals != 1 {
+		t.Errorf("CleanExternals = %d, want 1 (%%v is volatile)", stats.CleanExternals)
+	}
+	env := newEnv(t, variant.SPP)
+	got, err := interp.New(instrumented, env).Run("main")
+	if err != nil {
+		t.Fatalf("external call through masked pointer failed: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("external store not visible: %d", got)
+	}
+	// Without the LTO masking the external callee faults on the tag.
+	raw := parse(t, `
+extern @ext_store8
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 42
+  %r = callext @ext_store8, %p, %v
+  ret %v
+}
+`)
+	env2 := newEnv(t, variant.SPP)
+	if _, err := interp.New(raw, env2).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("unmasked external call did not fault: %v", err)
+	}
+}
+
+func TestPtrToIntCleaning(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %i = ptrtoint %p
+  %j = ptrtoint %p
+  %eq = icmp.eq %i, %j
+  ret %eq
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.CleanTags != 2 {
+		t.Errorf("CleanTags = %d, want 2", stats.CleanTags)
+	}
+	env := newEnv(t, variant.SPP)
+	got, err := interp.New(instrumented, env).Run("main")
+	if err != nil || got != 1 {
+		t.Errorf("pointer comparison after cleaning = %d, %v", got, err)
+	}
+}
+
+func TestLaunderedPointerEscapesInstrumentation(t *testing.T) {
+	// §IV-G: an integer-born pointer carries no tag; the pass
+	// classifies it volatile and SPP is blind to its overflow.
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %oid2 = pmalloc %s
+  %p2 = direct %oid2
+  %i = ptrtoint %p
+  %lp = inttoptr %i
+  %lq = gep %lp, 64
+  %v = const 7
+  store.8 %lq, %v
+  ret %v
+}
+`)
+	instrumented, _ := apply(t, m, Options{})
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(instrumented, env).Run("main"); err != nil {
+		t.Errorf("laundered overflow was trapped (SPP should be blind): %v", err)
+	}
+}
+
+func TestMemIntrinsicWrapping(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %n = const 65
+  %oid2 = pmalloc %n
+  %src = direct %oid2
+  memcpy %p, %src, %n
+  %r = const 0
+  ret %r
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.WrappedIntrins != 1 {
+		t.Errorf("WrappedIntrins = %d", stats.WrappedIntrins)
+	}
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(instrumented, env).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("wrapped memcpy overflow not trapped: %v", err)
+	}
+	// Unwrapped (uninstrumented) on native: plain copy, no trap.
+	envN := newEnv(t, variant.PMDK)
+	if _, err := interp.New(m, envN).Run("main"); err != nil {
+		t.Errorf("native memcpy failed: %v", err)
+	}
+}
+
+func TestBoundCheckPreemption(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 1
+  %a = gep %p, 0
+  store.8 %a, %v
+  %b = gep %p, 8
+  store.8 %b, %v
+  %c = gep %p, 16
+  %x = load.8 %c
+  ret %x
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.Preempted != 2 {
+		t.Errorf("Preempted = %d, want 2 (three checks merged into one)", stats.Preempted)
+	}
+	if stats.CheckBounds != 1 {
+		t.Errorf("CheckBounds = %d, want 1 merged check\n%s", stats.CheckBounds, instrumented)
+	}
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(instrumented, env).Run("main"); err != nil {
+		t.Errorf("preempted in-bounds run failed: %v", err)
+	}
+
+	// The merged check still catches an overflow in the group.
+	m2 := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 1
+  %a = gep %p, 0
+  store.8 %a, %v
+  %b = gep %p, 60
+  store.8 %b, %v
+  ret %v
+}
+`)
+	inst2, _ := apply(t, m2, Options{})
+	env2 := newEnv(t, variant.SPP)
+	if _, err := env2.RT.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.New(inst2, env2).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("merged check missed overflow: %v", err)
+	}
+}
+
+const loopProgram = `
+func @main() {
+entry:
+  %s = const 80
+  %oid = pmalloc %s
+  %p = direct %oid
+  %eight = const 8
+  %islot = malloc %eight
+  %zero = const 0
+  store.8 %islot, %zero
+  br loop
+loop: !loop.bound 10
+  %i = load.8 %islot
+  %c8 = const 8
+  %off = mul %i, %c8
+  %q = gep %p, %off
+  store.8 %q, %i
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %islot, %i2
+  %n = const 10
+  %c = icmp.lt %i2, %n
+  condbr %c, loop, done
+done:
+  %first = load.8 %p
+  %last = gep %p, 72
+  %lv = load.8 %last
+  %sum = add %first, %lv
+  ret %sum
+}
+`
+
+func TestLoopHoisting(t *testing.T) {
+	m := parse(t, loopProgram)
+	hoistOn, on := apply(t, m, Options{})
+	if on.Hoisted != 1 {
+		t.Fatalf("Hoisted = %d, want 1\n%s", on.Hoisted, hoistOn)
+	}
+	_, off := apply(t, m, Options{DisableHoisting: true})
+	if off.Hoisted != 0 {
+		t.Errorf("Hoisted = %d with hoisting disabled", off.Hoisted)
+	}
+	// The win is dynamic: the loop body must contain no bound check
+	// (it would run every iteration); the check sits in the preheader.
+	loopBlk := hoistOn.Func("main").Block("loop")
+	for _, in := range loopBlk.Instrs {
+		if in.Op == ir.SppCheckBound {
+			t.Errorf("bound check left in loop body: %s", in)
+		}
+	}
+	entryText := blockText(hoistOn.Func("main").Block("entry"))
+	if !strings.Contains(entryText, "spp.checkbound.80") {
+		t.Errorf("preheader lacks hoisted check of max extent:\n%s", entryText)
+	}
+	// The hoisted program computes the same result under SPP.
+	env := newEnv(t, variant.SPP)
+	got, err := interp.New(hoistOn, env).Run("main")
+	if err != nil {
+		t.Fatalf("hoisted run failed: %v", err)
+	}
+	if got != 9 { // first element 0 + last element 9
+		t.Errorf("hoisted result = %d, want 9", got)
+	}
+}
+
+func TestLoopHoistingCatchesOverflowConservatively(t *testing.T) {
+	// The annotated bound exceeds the object: the hoisted preheader
+	// check traps before the loop runs.
+	src := strings.Replace(loopProgram, "%s = const 80", "%s = const 72", 1)
+	m := parse(t, src)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.Hoisted != 1 {
+		t.Fatalf("Hoisted = %d", stats.Hoisted)
+	}
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(instrumented, env).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("hoisted check missed loop overflow: %v", err)
+	}
+}
+
+func TestLTORefinesParameterClasses(t *testing.T) {
+	m := parse(t, `
+func @writeslot(%ptr, %val) {
+entry:
+  store.8 %ptr, %val
+  ret %val
+}
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 5
+  %r = call @writeslot, %p, %v
+  %r2 = call @writeslot, %p, %r
+  ret %r2
+}
+`)
+	_, withLTO := apply(t, m, Options{DisablePreemption: true, DisableHoisting: true})
+	_, noLTO := apply(t, m, Options{DisableLTO: true, DisablePreemption: true, DisableHoisting: true})
+	// With LTO the callee's %ptr is known persistent: its check
+	// becomes a _direct hook.
+	if withLTO.DirectHooks <= noLTO.DirectHooks {
+		t.Errorf("LTO did not refine classes: direct hooks %d vs %d", withLTO.DirectHooks, noLTO.DirectHooks)
+	}
+	env := newEnv(t, variant.SPP)
+	inst, _ := apply(t, m, Options{})
+	if got, err := interp.New(inst, env).Run("main"); err != nil || got != 5 {
+		t.Errorf("LTO-refined run = %d, %v", got, err)
+	}
+}
+
+func TestInstrumentedRunsOnAllVariants(t *testing.T) {
+	m := parse(t, basicProgram)
+	instrumented, _ := apply(t, m, Options{})
+	for _, kind := range variant.Kinds {
+		env := newEnv(t, kind)
+		if _, err := interp.New(instrumented, env).Run("main"); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestInterpCallAndControlFlow(t *testing.T) {
+	m := parse(t, `
+func @fib(%n) {
+entry:
+  %one = const 1
+  %two = const 2
+  %c = icmp.lt %n, %two
+  condbr %c, base, rec
+base:
+  ret %n
+rec:
+  %n1 = sub %n, %one
+  %n2 = sub %n, %two
+  %a = call @fib, %n1
+  %b = call @fib, %n2
+  %r = add %a, %b
+  ret %r
+}
+func @main() {
+entry:
+  %ten = const 10
+  %r = call @fib, %ten
+  ret %r
+}
+`)
+	env := newEnv(t, variant.PMDK)
+	got, err := interp.New(m, env).Run("main")
+	if err != nil || got != 55 {
+		t.Errorf("fib(10) = %d, %v", got, err)
+	}
+}
+
+func TestInterpStepBudget(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  br entry
+}
+`)
+	env := newEnv(t, variant.PMDK)
+	mach := interp.New(m, env)
+	mach.MaxSteps = 1000
+	if _, err := mach.Run("main"); err == nil {
+		t.Error("infinite loop not stopped")
+	}
+}
+
+func blockText(b *ir.Block) string {
+	var sb strings.Builder
+	for _, in := range b.Instrs {
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestRestoreIntPtr: the §IV-G future-work mitigation re-derives
+// laundered pointers from their use-def origin, restoring SPP's
+// protection through integer round trips.
+func TestRestoreIntPtr(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %oid2 = pmalloc %s
+  %p2 = direct %oid2
+  %i = ptrtoint %p
+  %sixtyfour = const 64
+  %j = add %i, %sixtyfour
+  %lq = inttoptr %j
+  %v = const 7
+  store.8 %lq, %v
+  ret %v
+}
+`
+	m := parse(t, src)
+
+	// Without the mitigation the laundered overflow is invisible.
+	plain, _ := apply(t, m, Options{})
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(plain, env).Run("main"); err != nil {
+		t.Fatalf("baseline laundering unexpectedly trapped: %v", err)
+	}
+
+	// With it, the int-to-ptr is rewritten to gep %p, 64 and the store
+	// traps.
+	hardened, stats := apply(t, m, Options{RestoreIntPtr: true})
+	if stats.RestoredPtrs != 1 {
+		t.Fatalf("RestoredPtrs = %d", stats.RestoredPtrs)
+	}
+	env2 := newEnv(t, variant.SPP)
+	if _, err := interp.New(hardened, env2).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("restored pointer overflow not trapped: %v", err)
+	}
+
+	// Direct round trip (no arithmetic) restores too, and in-bounds
+	// use keeps working.
+	ok := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %i = ptrtoint %p
+  %lp = inttoptr %i
+  %v = const 9
+  store.8 %lp, %v
+  %x = load.8 %lp
+  ret %x
+}
+`)
+	inst, stats2 := apply(t, ok, Options{RestoreIntPtr: true})
+	if stats2.RestoredPtrs != 1 {
+		t.Fatalf("RestoredPtrs = %d", stats2.RestoredPtrs)
+	}
+	env3 := newEnv(t, variant.SPP)
+	got, err := interp.New(inst, env3).Run("main")
+	if err != nil || got != 9 {
+		t.Errorf("in-bounds restored use = %d, %v", got, err)
+	}
+
+	// Integers from elsewhere (no pointer origin) are left alone.
+	wild := parse(t, `
+func @main() {
+entry:
+  %c = const 65536
+  %wp = inttoptr %c
+  ret %c
+}
+`)
+	_, stats3 := apply(t, wild, Options{RestoreIntPtr: true})
+	if stats3.RestoredPtrs != 0 {
+		t.Errorf("restored a pointer with no origin: %d", stats3.RestoredPtrs)
+	}
+}

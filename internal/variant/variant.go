@@ -1,0 +1,157 @@
+// Package variant wires up the benchmarking environments of Table I:
+// a simulated PM device, the simulated address space, an object pool
+// and the protection runtime for each mechanism under evaluation.
+package variant
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hooks"
+	"repro/internal/memcheck"
+	"repro/internal/pmem"
+	"repro/internal/pmemobj"
+	"repro/internal/safepm"
+	"repro/internal/vmem"
+)
+
+// Kind selects the protection mechanism.
+type Kind string
+
+// The evaluated variants (Table I plus the memcheck row of Table IV).
+const (
+	PMDK     Kind = "pmdk"
+	SPP      Kind = "spp"
+	SafePM   Kind = "safepm"
+	Memcheck Kind = "memcheck"
+	// SPPPacked is the paper's future-work oid layout (§VI-C): SPP
+	// protection with the size packed into the offset word, keeping
+	// oids at PMDK's 16-byte footprint.
+	SPPPacked Kind = "spp-packed"
+)
+
+// Kinds lists all variants in presentation order.
+var Kinds = []Kind{PMDK, SafePM, SPP, Memcheck}
+
+// DefaultBase is where pools map in the simulated address space: low,
+// as the paper configures via PMEM_MMAP_HINT=0.
+const DefaultBase = 0x10000
+
+// Options sizes the environment.
+type Options struct {
+	// PoolSize is the PM pool size in bytes.
+	PoolSize uint64
+	// TagBits is the SPP tag width (core.DefaultTagBits when zero).
+	TagBits uint
+	// HeapSize is the simulated volatile heap size (16 MiB when zero).
+	HeapSize uint64
+	// NLanes, RedoEntries, UndoBytes override pool log geometry.
+	NLanes      int
+	RedoEntries int
+	UndoBytes   uint64
+}
+
+// Env is an assembled environment.
+type Env struct {
+	Kind Kind
+	Dev  *pmem.Pool
+	AS   *vmem.AddressSpace
+	Pool *pmemobj.Pool
+	RT   hooks.Runtime
+	Heap *vmem.Heap
+
+	base uint64
+}
+
+// New builds a fresh environment of the given kind.
+func New(kind Kind, opts Options) (*Env, error) {
+	if opts.PoolSize == 0 {
+		return nil, fmt.Errorf("variant: PoolSize required")
+	}
+	return Format(kind, pmem.NewPool(string(kind), opts.PoolSize), opts)
+}
+
+// Format builds an environment over a caller-supplied device, creating
+// the pool layout on it.
+func Format(kind Kind, dev *pmem.Pool, opts Options) (*Env, error) {
+	if opts.HeapSize == 0 {
+		opts.HeapSize = 16 << 20
+	}
+	if opts.TagBits == 0 {
+		opts.TagBits = core.DefaultTagBits
+	}
+	as := vmem.New()
+	heap, err := vmem.NewHeap(as, vmem.DefaultHeapBase, opts.HeapSize)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pmemobj.Config{
+		SPP:         kind == SPP || kind == SPPPacked,
+		PackedOid:   kind == SPPPacked,
+		TagBits:     opts.TagBits,
+		NLanes:      opts.NLanes,
+		RedoEntries: opts.RedoEntries,
+		UndoBytes:   opts.UndoBytes,
+	}
+	pool, err := pmemobj.Create(dev, as, DefaultBase, cfg)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Kind: kind, Dev: dev, AS: as, Pool: pool, Heap: heap, base: DefaultBase}
+	if err := env.attach(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+func (e *Env) attach() error {
+	var err error
+	switch e.Kind {
+	case PMDK:
+		e.RT = hooks.NewNative(e.Pool, e.AS)
+	case SPP, SPPPacked:
+		e.RT, err = hooks.NewSPP(e.Pool, e.AS)
+	case SafePM:
+		e.RT, err = safepm.Attach(e.Pool, e.AS)
+	case Memcheck:
+		e.RT, err = memcheck.Attach(e.Pool, e.AS)
+	default:
+		err = fmt.Errorf("variant: unknown kind %q", e.Kind)
+	}
+	return err
+}
+
+// Adopt opens an environment over an existing device image (e.g. a
+// crash state produced by the pmemcheck exploration engine), running
+// pool recovery and attaching the runtime.
+func Adopt(kind Kind, dev *pmem.Pool) (*Env, error) {
+	as := vmem.New()
+	heap, err := vmem.NewHeap(as, vmem.DefaultHeapBase, 16<<20)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pmemobj.Open(dev, as, DefaultBase)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Kind: kind, Dev: dev, AS: as, Pool: pool, Heap: heap, base: DefaultBase}
+	if err := env.attach(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// Reopen simulates an application restart: the pool is unmapped and
+// re-opened from the same device, running recovery and rebuilding the
+// runtime's metadata.
+func (e *Env) Reopen() error {
+	if err := e.Pool.Close(); err != nil {
+		return err
+	}
+	pool, err := pmemobj.Open(e.Dev, e.AS, e.base)
+	if err != nil {
+		return err
+	}
+	e.Pool = pool
+	return e.attach()
+}

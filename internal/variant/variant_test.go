@@ -1,0 +1,503 @@
+package variant
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/vmem"
+)
+
+func newEnv(t *testing.T, kind Kind) *Env {
+	t.Helper()
+	env, err := New(kind, Options{PoolSize: 8 << 20})
+	if err != nil {
+		t.Fatalf("New(%s): %v", kind, err)
+	}
+	return env
+}
+
+// TestAllVariantsBasicUsage drives the same program through every
+// variant: allocate, write, read back, free. In-bounds behaviour must
+// be identical everywhere.
+func TestAllVariantsBasicUsage(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newEnv(t, kind)
+			rt := env.RT
+			oid, err := rt.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := rt.Direct(oid)
+			for i := int64(0); i < 8; i++ {
+				if err := hooks.StoreU64(rt, rt.Gep(p, i*8), uint64(i)*7); err != nil {
+					t.Fatalf("store %d: %v", i, err)
+				}
+			}
+			for i := int64(0); i < 8; i++ {
+				v, err := hooks.LoadU64(rt, rt.Gep(p, i*8))
+				if err != nil {
+					t.Fatalf("load %d: %v", i, err)
+				}
+				if v != uint64(i)*7 {
+					t.Errorf("slot %d = %d", i, v)
+				}
+			}
+			if err := rt.Free(oid); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOverflowDetectionByVariant is the mechanism-level contract
+// behind Table IV: a one-past-the-end store must be detected by every
+// protection variant and sail through on native PMDK.
+func TestOverflowDetectionByVariant(t *testing.T) {
+	tests := []struct {
+		kind   Kind
+		caught bool
+	}{
+		{PMDK, false},
+		{SPP, true},
+		{SafePM, true},
+		{Memcheck, true},
+	}
+	for _, tt := range tests {
+		t.Run(string(tt.kind), func(t *testing.T) {
+			env := newEnv(t, tt.kind)
+			rt := env.RT
+			// Surround the victim with live neighbours so the native
+			// run has mapped memory to scribble on.
+			pre, err := rt.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim, err := rt.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = pre
+			p := rt.Direct(victim)
+			err = hooks.StoreU64(rt, rt.Gep(p, 64), 0xbad)
+			if tt.caught && !hooks.IsSafetyTrap(err) {
+				t.Errorf("overflow not caught: err=%v", err)
+			}
+			if !tt.caught && err != nil {
+				t.Errorf("native run trapped unexpectedly: %v", err)
+			}
+		})
+	}
+}
+
+// TestAdjacentObjectOverflowEscapesMemcheck encodes the precision
+// ordering of the mechanisms: an overflow that jumps over any redzone
+// straight into an adjacent live object is caught by SPP (tag carries
+// per-object bounds) but missed by memcheck (block-granular
+// addressability).
+func TestAdjacentObjectOverflowEscapesMemcheck(t *testing.T) {
+	// Allocate two equal objects back to back; under memcheck they
+	// are contiguous live blocks.
+	env := newEnv(t, Memcheck)
+	rt := env.RT
+	a, _ := rt.Alloc(64)
+	b, _ := rt.Alloc(64)
+	dist := int64(b.Off) - int64(a.Off)
+	if dist <= 0 {
+		t.Skip("allocator did not place b after a")
+	}
+	p := rt.Direct(a)
+	if err := hooks.StoreU64(rt, rt.Gep(p, dist), 0xbad); err != nil {
+		t.Errorf("memcheck caught adjacent-object overflow (too precise): %v", err)
+	}
+
+	envS := newEnv(t, SPP)
+	rtS := envS.RT
+	a2, _ := rtS.Alloc(64)
+	b2, _ := rtS.Alloc(64)
+	dist2 := int64(b2.Off) - int64(a2.Off)
+	p2 := rtS.Direct(a2)
+	if err := hooks.StoreU64(rtS, rtS.Gep(p2, dist2), 0xbad); !hooks.IsSafetyTrap(err) {
+		t.Errorf("SPP missed adjacent-object overflow: %v", err)
+	}
+}
+
+// TestFarOverflowEscapesSafePMRedzone: a strided write that skips the
+// redzone and lands in the next object's user range evades SafePM but
+// not SPP — the paper's explanation for SafePM's 6 surviving RIPE
+// attacks vs SPP's 4.
+func TestFarOverflowEscapesSafePMRedzone(t *testing.T) {
+	env := newEnv(t, SafePM)
+	rt := env.RT
+	a, _ := rt.Alloc(64)
+	b, _ := rt.Alloc(64)
+	dist := int64(b.Off) - int64(a.Off)
+	if dist <= 64 {
+		t.Fatalf("objects not disjoint: dist=%d", dist)
+	}
+	p := rt.Direct(a)
+	// Jump directly into b's user range: both endpoints addressable.
+	if err := hooks.StoreU64(rt, rt.Gep(p, dist), 0xbad); err != nil {
+		t.Errorf("SafePM caught a redzone-skipping write (unexpected): %v", err)
+	}
+	// But a write into the redzone itself is caught.
+	if err := hooks.StoreU64(rt, rt.Gep(p, 64), 0xbad); !hooks.IsSafetyTrap(err) {
+		t.Errorf("SafePM missed a redzone write: %v", err)
+	}
+}
+
+// TestIntToPtrLaunderingEscapesSPP: converting a tagged pointer to an
+// integer and back strips the tag (§IV-G), so a subsequent overflow is
+// invisible to SPP. SafePM, checking addresses rather than tags, still
+// catches it.
+func TestIntToPtrLaunderingEscapesSPP(t *testing.T) {
+	env := newEnv(t, SPP)
+	rt := env.RT
+	pre, _ := rt.Alloc(64)
+	victim, _ := rt.Alloc(64)
+	_ = pre
+	p := rt.Direct(victim)
+	// PtrToInt: the compiler inserts __spp_cleantag, yielding the bare
+	// address; IntToPtr yields an untagged pointer.
+	laundered := env.Pool.Encoding().CleanTag(p)
+	err := hooks.StoreU64(rt, rt.Gep(laundered, 64), 0xbad)
+	if err != nil {
+		t.Errorf("SPP caught laundered overflow (should be blind): %v", err)
+	}
+
+	envS := newEnv(t, SafePM)
+	rtS := envS.RT
+	v2, _ := rtS.Alloc(64)
+	p2 := rtS.Direct(v2) // untagged already; laundering is a no-op
+	if err := hooks.StoreU64(rtS, rtS.Gep(p2, 64), 0xbad); !hooks.IsSafetyTrap(err) {
+		t.Errorf("SafePM missed laundered overflow: %v", err)
+	}
+}
+
+func TestMemIntrinsicsChecked(t *testing.T) {
+	for _, kind := range []Kind{SPP, SafePM, Memcheck} {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newEnv(t, kind)
+			rt := env.RT
+			src, _ := rt.Alloc(128)
+			dst, _ := rt.Alloc(64)
+			ps, pd := rt.Direct(src), rt.Direct(dst)
+			if err := hooks.Memcpy(rt, pd, ps, 64); err != nil {
+				t.Fatalf("in-bounds memcpy: %v", err)
+			}
+			if err := hooks.Memcpy(rt, pd, ps, 65); !hooks.IsSafetyTrap(err) {
+				t.Errorf("memcpy overflow not caught: %v", err)
+			}
+			if err := hooks.Memset(rt, pd, 0xAA, 65); !hooks.IsSafetyTrap(err) {
+				t.Errorf("memset overflow not caught: %v", err)
+			}
+		})
+	}
+}
+
+func TestStringWrappersChecked(t *testing.T) {
+	for _, kind := range []Kind{SPP, SafePM} {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newEnv(t, kind)
+			rt := env.RT
+			src, _ := rt.Alloc(32)
+			dst, _ := rt.Alloc(8)
+			ps, pd := rt.Direct(src), rt.Direct(dst)
+			if err := hooks.StoreBytes(rt, ps, append([]byte("0123456789"), 0)); err != nil {
+				t.Fatal(err)
+			}
+			// 11 bytes into an 8-byte buffer.
+			if err := hooks.Strcpy(rt, pd, ps); !hooks.IsSafetyTrap(err) {
+				t.Errorf("strcpy overflow not caught: %v", err)
+			}
+			// A short string fits.
+			if err := hooks.StoreBytes(rt, ps, append([]byte("ok"), 0)); err != nil {
+				t.Fatal(err)
+			}
+			if err := hooks.Strcpy(rt, pd, ps); err != nil {
+				t.Errorf("in-bounds strcpy failed: %v", err)
+			}
+			n, err := hooks.Strlen(rt, pd)
+			if err != nil || n != 2 {
+				t.Errorf("strlen = %d, %v", n, err)
+			}
+			c, err := hooks.Strcmp(rt, pd, ps)
+			if err != nil || c != 0 {
+				t.Errorf("strcmp = %d, %v", c, err)
+			}
+		})
+	}
+}
+
+func TestStrcatChecked(t *testing.T) {
+	env := newEnv(t, SPP)
+	rt := env.RT
+	dst, _ := rt.Alloc(8)
+	src, _ := rt.Alloc(8)
+	pd, ps := rt.Direct(dst), rt.Direct(src)
+	if err := hooks.StoreBytes(rt, pd, append([]byte("abc"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hooks.StoreBytes(rt, ps, append([]byte("de"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hooks.Strcat(rt, pd, ps); err != nil {
+		t.Fatalf("in-bounds strcat: %v", err)
+	}
+	n, _ := hooks.Strlen(rt, pd)
+	if n != 5 {
+		t.Errorf("after strcat len = %d", n)
+	}
+	// Appending 4 more bytes (3 + NUL) to the 6 used exceeds 8.
+	if err := hooks.StoreBytes(rt, ps, append([]byte("xyz"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hooks.Strcat(rt, pd, ps); !hooks.IsSafetyTrap(err) {
+		t.Errorf("strcat overflow not caught: %v", err)
+	}
+}
+
+// TestSafePMShadowSurvivesReopen: the shadow is persistent and
+// rebuilt, so redzone protection holds across restarts — including on
+// the recovery path (design goal #4, evaluated for SafePM in §VI).
+func TestSafePMShadowSurvivesReopen(t *testing.T) {
+	env := newEnv(t, SafePM)
+	oid, err := env.RT.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	rt := env.RT
+	p := rt.Direct(oid)
+	if err := hooks.StoreU64(rt, p, 1); err != nil {
+		t.Fatalf("in-bounds store after reopen: %v", err)
+	}
+	if err := hooks.StoreU8(rt, rt.Gep(p, 40), 1); !hooks.IsSafetyTrap(err) {
+		t.Errorf("redzone not restored after reopen: %v", err)
+	}
+}
+
+// TestSPPTagsSurviveReopen: the persisted size field lets Direct
+// reconstruct identical tagged pointers after a restart (§IV-B).
+func TestSPPTagsSurviveReopen(t *testing.T) {
+	env := newEnv(t, SPP)
+	root, err := env.RT.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.RT.AllocAt(root.Off, 48); err != nil {
+		t.Fatal(err)
+	}
+	before := env.RT.Direct(env.Pool.ReadOid(root.Off))
+	if err := env.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	after := env.RT.Direct(env.Pool.ReadOid(root.Off))
+	if before != after {
+		t.Errorf("tagged pointer changed across reopen: %#x vs %#x", before, after)
+	}
+	rt := env.RT
+	if err := hooks.StoreU8(rt, rt.Gep(after, 48), 1); !hooks.IsSafetyTrap(err) {
+		t.Errorf("bounds not enforced after reopen: %v", err)
+	}
+}
+
+func TestMemcheckDetectionSurvivesReopen(t *testing.T) {
+	env := newEnv(t, Memcheck)
+	oid, err := env.RT.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := env.RT.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.RT.Free(free); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	rt := env.RT
+	p := rt.Direct(oid)
+	if err := hooks.StoreU64(rt, p, 1); err != nil {
+		t.Fatalf("in-bounds store after reopen: %v", err)
+	}
+	// The freed neighbour must be non-addressable after rebuild.
+	if err := hooks.StoreU64(rt, rt.Gep(p, int64(free.Off)-int64(oid.Off)), 1); !hooks.IsSafetyTrap(err) {
+		t.Errorf("freed block addressable after reopen: %v", err)
+	}
+}
+
+func TestTxThroughHooks(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newEnv(t, kind)
+			rt := env.RT
+			root, err := rt.Root(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx := env.Pool.Begin()
+			// 112 is 16-aligned so even block-granular memcheck sees
+			// the first out-of-bounds byte as outside the allocation.
+			oid, err := rt.TxAlloc(tx, 112)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.AddRange(root.Off, env.Pool.OidPersistedSize()); err != nil {
+				t.Fatal(err)
+			}
+			env.Pool.WriteOid(root.Off, oid)
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			p := rt.Direct(env.Pool.ReadOid(root.Off))
+			if err := hooks.StoreU64(rt, p, 42); err != nil {
+				t.Fatalf("store into tx-allocated object: %v", err)
+			}
+			if kind != PMDK {
+				if err := hooks.StoreU8(rt, rt.Gep(p, 112), 1); !hooks.IsSafetyTrap(err) {
+					t.Errorf("overflow on tx-allocated object not caught: %v", err)
+				}
+			}
+			tx2 := env.Pool.Begin()
+			if err := rt.TxFree(tx2, env.Pool.ReadOid(root.Off)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReallocThroughHooks(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newEnv(t, kind)
+			rt := env.RT
+			oid, err := rt.Alloc(32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hooks.StoreU64(rt, rt.Direct(oid), 0x77); err != nil {
+				t.Fatal(err)
+			}
+			grown, err := rt.Realloc(oid, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := hooks.LoadU64(rt, rt.Direct(grown))
+			if err != nil || v != 0x77 {
+				t.Errorf("payload after realloc = %#x, %v", v, err)
+			}
+			if kind != PMDK {
+				p := rt.Direct(grown)
+				if err := hooks.StoreU8(rt, rt.Gep(p, 512), 1); !hooks.IsSafetyTrap(err) {
+					t.Errorf("overflow after realloc not caught: %v", err)
+				}
+			}
+			if err := rt.Free(grown); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllocAtFreeAtThroughHooks(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			env := newEnv(t, kind)
+			rt := env.RT
+			root, err := rt.Root(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.AllocAt(root.Off, 80); err != nil {
+				t.Fatal(err)
+			}
+			oid := env.Pool.ReadOid(root.Off)
+			if oid.IsNull() {
+				t.Fatal("AllocAt left null oid")
+			}
+			if err := hooks.StoreU64(rt, rt.Direct(oid), 5); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.ReallocAt(root.Off, 160); err != nil {
+				t.Fatal(err)
+			}
+			v, err := hooks.LoadU64(rt, rt.Direct(env.Pool.ReadOid(root.Off)))
+			if err != nil || v != 5 {
+				t.Errorf("after ReallocAt = %d, %v", v, err)
+			}
+			if err := rt.FreeAt(root.Off); err != nil {
+				t.Fatal(err)
+			}
+			if got := env.Pool.ReadOid(root.Off); !got.IsNull() {
+				t.Errorf("oid after FreeAt = %v", got)
+			}
+		})
+	}
+}
+
+func TestExternalMasking(t *testing.T) {
+	env := newEnv(t, SPP)
+	rt := env.RT
+	oid, _ := rt.Alloc(64)
+	p := rt.Direct(oid)
+	masked := rt.External(p)
+	// An external library receives a plain address it can use directly.
+	if err := env.AS.StoreU64(masked, 9); err != nil {
+		t.Fatalf("external store through masked pointer: %v", err)
+	}
+	if v, _ := hooks.LoadU64(rt, p); v != 9 {
+		t.Error("external store not visible through tagged pointer")
+	}
+}
+
+func TestVolatileHeapUnchecked(t *testing.T) {
+	// Pointers into the volatile heap pass through every mechanism
+	// (design goal #3: only PM pointers are instrumented).
+	for _, kind := range Kinds {
+		env := newEnv(t, kind)
+		rt := env.RT
+		a, err := env.Heap.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hooks.StoreU64(rt, a, 3); err != nil {
+			t.Errorf("%s: volatile store failed: %v", kind, err)
+		}
+		if v, err := hooks.LoadU64(rt, a); err != nil || v != 3 {
+			t.Errorf("%s: volatile load = %d, %v", kind, v, err)
+		}
+	}
+}
+
+func TestNewRequiresPoolSize(t *testing.T) {
+	if _, err := New(SPP, Options{}); err == nil {
+		t.Error("New without PoolSize succeeded")
+	}
+	if _, err := New(Kind("bogus"), Options{PoolSize: 8 << 20}); err == nil {
+		t.Error("New with bogus kind succeeded")
+	}
+}
+
+func TestFaultErrorSurfacesFromSPP(t *testing.T) {
+	env := newEnv(t, SPP)
+	rt := env.RT
+	oid, _ := rt.Alloc(8)
+	p := rt.Direct(oid)
+	_, err := hooks.LoadU64(rt, rt.Gep(p, 8))
+	var fe *vmem.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("SPP overflow error = %T %v, want vmem.FaultError", err, err)
+	}
+	if fe.Addr&(1<<62) == 0 {
+		t.Errorf("faulting address %#x lacks overflow bit", fe.Addr)
+	}
+}

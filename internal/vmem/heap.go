@@ -1,0 +1,76 @@
+package vmem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultHeapBase is where the simulated volatile heap is mapped. It
+// sits high in the usable address range but below bit 62, so volatile
+// pointers never collide with the SPP overflow bit or with PM pools,
+// which are mapped low (PMEM_MMAP_HINT=0 in the paper's setup).
+const DefaultHeapBase Addr = 0x3000_0000_0000
+
+// Heap is a simple bump allocator over a mapped region. It models the
+// volatile heap of an instrumented process: pointers it returns are
+// plain (untagged) addresses, exactly like malloc results that SPP's
+// pointer tracking classifies as volatile and leaves uninstrumented.
+//
+// Free only recycles the most recent allocation (LIFO); general reuse
+// is not needed by the workloads, which model process-lifetime volatile
+// state.
+type Heap struct {
+	mu   sync.Mutex
+	base Addr
+	size uint64
+	next uint64
+	last uint64 // offset of the most recent allocation, for LIFO free
+}
+
+// NewHeap maps a volatile heap of the given size at base and returns
+// the allocator.
+func NewHeap(as *AddressSpace, base Addr, size uint64) (*Heap, error) {
+	m := &Mapping{Base: base, Data: make([]byte, size), Name: "volatile-heap"}
+	if err := as.Map(m); err != nil {
+		return nil, err
+	}
+	return &Heap{base: base, size: size}, nil
+}
+
+// Alloc returns the address of a fresh, zeroed region of n bytes,
+// aligned to 16 bytes.
+func (h *Heap) Alloc(n uint64) (Addr, error) {
+	if n == 0 {
+		n = 1
+	}
+	n = (n + 15) &^ 15
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.next+n > h.size || h.next+n < h.next {
+		return 0, fmt.Errorf("vmem: volatile heap exhausted (%d of %d bytes used)", h.next, h.size)
+	}
+	off := h.next
+	h.last = off
+	h.next += n
+	return h.base + off, nil
+}
+
+// Free releases the allocation at addr if it was the most recent one;
+// otherwise it is a no-op, as in a bump allocator.
+func (h *Heap) Free(addr Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if addr == h.base+h.last {
+		h.next = h.last
+	}
+}
+
+// Base returns the heap's base address.
+func (h *Heap) Base() Addr { return h.base }
+
+// Used reports the number of bytes currently allocated.
+func (h *Heap) Used() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next
+}

@@ -1,0 +1,298 @@
+package spp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hooks"
+	"repro/internal/pmem"
+	"repro/internal/pmemobj"
+	"repro/internal/variant"
+	"repro/internal/vmem"
+)
+
+// Oid is a persistent object identifier (PMEMoid). Under SPP
+// protection the persisted representation carries the object size used
+// to build pointer tags (§IV-B of the paper).
+type Oid = pmemobj.Oid
+
+// OidNull is the null object identifier.
+var OidNull = pmemobj.OidNull
+
+// Tx is an open transaction (PMDK's TX_BEGIN block).
+type Tx = pmemobj.Tx
+
+// Runtime is the instrumentation surface a protection mechanism
+// implements; advanced callers can drive it directly.
+type Runtime = hooks.Runtime
+
+// Protection selects the memory-safety mechanism guarding a pool.
+type Protection string
+
+// Supported protection mechanisms (the paper's Table I variants plus
+// the memcheck baseline).
+const (
+	// ProtectionNone is native PMDK behaviour: no checks.
+	ProtectionNone Protection = "none"
+	// ProtectionSPP enables safe persistent pointers: tagged pointers
+	// with implicit bounds checks (the paper's contribution).
+	ProtectionSPP Protection = "spp"
+	// ProtectionSafePM enables the shadow-memory SafePM baseline.
+	ProtectionSafePM Protection = "safepm"
+	// ProtectionMemcheck enables the addressability-tracking baseline.
+	ProtectionMemcheck Protection = "memcheck"
+)
+
+// Options configures Open.
+type Options struct {
+	// PoolSize is the persistent pool size in bytes (required).
+	PoolSize uint64
+	// Protection selects the mechanism; ProtectionSPP by default.
+	Protection Protection
+	// TagBits is the SPP tag width (26 by default, as in the paper's
+	// evaluation; Phoenix-style workloads with large objects use 31).
+	TagBits uint
+	// VolatileHeapSize sizes the simulated volatile heap.
+	VolatileHeapSize uint64
+}
+
+// ErrDetected wraps memory-safety violations for errors.Is matching.
+var ErrDetected = errors.New("spp: memory-safety violation detected")
+
+// Pool is an open protected persistent memory pool.
+type Pool struct {
+	env *variant.Env
+}
+
+// Open creates a fresh in-memory pool with the configured protection.
+func Open(opts Options) (*Pool, error) {
+	kind, err := kindOf(opts.Protection)
+	if err != nil {
+		return nil, err
+	}
+	env, err := variant.New(kind, variant.Options{
+		PoolSize: opts.PoolSize,
+		TagBits:  opts.TagBits,
+		HeapSize: opts.VolatileHeapSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{env: env}, nil
+}
+
+// OpenFile opens a pool persisted in a file, creating and formatting
+// it when the file does not exist. Pair with SaveFile to carry a pool
+// across process runs; on re-open, recovery runs and protection
+// metadata (SPP tags, SafePM shadow) is rebuilt from persistent state.
+func OpenFile(path string, opts Options) (*Pool, error) {
+	kind, err := kindOf(opts.Protection)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(path); err == nil {
+		dev, err := pmem.OpenFile(path, opts.PoolSize)
+		if err != nil {
+			return nil, err
+		}
+		env, err := variant.Adopt(kind, dev)
+		if err != nil {
+			return nil, err
+		}
+		return &Pool{env: env}, nil
+	}
+	dev := pmem.NewPool(path, opts.PoolSize)
+	env, err := variant.Format(kind, dev, variant.Options{
+		PoolSize: opts.PoolSize,
+		TagBits:  opts.TagBits,
+		HeapSize: opts.VolatileHeapSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{env: env}, nil
+}
+
+// SaveFile writes the pool image to path; OpenFile restores it.
+func (p *Pool) SaveFile(path string) error { return p.env.Dev.SaveFile(path) }
+
+func kindOf(p Protection) (variant.Kind, error) {
+	switch p {
+	case ProtectionNone:
+		return variant.PMDK, nil
+	case ProtectionSPP, "":
+		return variant.SPP, nil
+	case ProtectionSafePM:
+		return variant.SafePM, nil
+	case ProtectionMemcheck:
+		return variant.Memcheck, nil
+	default:
+		return "", fmt.Errorf("spp: unknown protection %q", p)
+	}
+}
+
+// wrap converts detected violations into ErrDetected-matching errors.
+func wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	if hooks.IsSafetyTrap(err) {
+		return fmt.Errorf("%w: %w", ErrDetected, err)
+	}
+	return err
+}
+
+// Protection reports the pool's mechanism.
+func (p *Pool) Protection() Protection {
+	switch p.env.Kind {
+	case variant.PMDK:
+		return ProtectionNone
+	case variant.SafePM:
+		return ProtectionSafePM
+	case variant.Memcheck:
+		return ProtectionMemcheck
+	default:
+		return ProtectionSPP
+	}
+}
+
+// Runtime exposes the underlying instrumentation surface.
+func (p *Pool) Runtime() Runtime { return p.env.RT }
+
+// TagBits returns the configured SPP tag width.
+func (p *Pool) TagBits() uint { return p.env.Pool.Encoding().TagBits() }
+
+// MaxObjectSize returns the largest protectable object (1 << TagBits).
+func (p *Pool) MaxObjectSize() uint64 { return p.env.Pool.Encoding().MaxObjectSize() }
+
+// Root returns the pool's root object of at least the given size,
+// allocating or growing it as needed.
+func (p *Pool) Root(size uint64) (Oid, error) { return p.env.RT.Root(size) }
+
+// Alloc atomically allocates a zeroed object.
+func (p *Pool) Alloc(size uint64) (Oid, error) { return p.env.RT.Alloc(size) }
+
+// Free atomically releases an object.
+func (p *Pool) Free(oid Oid) error { return p.env.RT.Free(oid) }
+
+// Realloc atomically resizes an object, preserving its prefix.
+func (p *Pool) Realloc(oid Oid, size uint64) (Oid, error) { return p.env.RT.Realloc(oid, size) }
+
+// AllocAt allocates an object and atomically publishes its oid at the
+// given pool offset (typically inside another persistent object).
+func (p *Pool) AllocAt(destOff, size uint64) error { return p.env.RT.AllocAt(destOff, size) }
+
+// FreeAt releases the object whose oid is stored at destOff and
+// atomically clears the stored oid.
+func (p *Pool) FreeAt(destOff uint64) error { return p.env.RT.FreeAt(destOff) }
+
+// ReadOid reads a persisted oid stored at a pool offset.
+func (p *Pool) ReadOid(off uint64) Oid { return p.env.Pool.ReadOid(off) }
+
+// WriteOid persists an oid at a pool offset (size field first, as
+// SPP's crash-consistency protocol requires).
+func (p *Pool) WriteOid(off uint64, oid Oid) { p.env.Pool.WriteOid(off, oid) }
+
+// Begin opens a transaction.
+func (p *Pool) Begin() *Tx { return p.env.Pool.Begin() }
+
+// TxAlloc allocates inside a transaction.
+func (p *Pool) TxAlloc(tx *Tx, size uint64) (Oid, error) { return p.env.RT.TxAlloc(tx, size) }
+
+// TxFree frees inside a transaction (at commit).
+func (p *Pool) TxFree(tx *Tx, oid Oid) error { return p.env.RT.TxFree(tx, oid) }
+
+// Direct converts an oid to a pointer: tagged under SPP protection,
+// plain otherwise (pmemobj_direct).
+func (p *Pool) Direct(oid Oid) uint64 { return p.env.RT.Direct(oid) }
+
+// Gep performs pointer arithmetic, maintaining the SPP tag
+// (GetElementPtr plus the injected __spp_updatetag).
+func (p *Pool) Gep(ptr uint64, off int64) uint64 { return p.env.RT.Gep(ptr, off) }
+
+// LoadU64 reads 8 bytes through the protection's bounds check.
+func (p *Pool) LoadU64(ptr uint64) (uint64, error) {
+	v, err := hooks.LoadU64(p.env.RT, ptr)
+	return v, wrap(err)
+}
+
+// StoreU64 writes 8 bytes through the protection's bounds check.
+func (p *Pool) StoreU64(ptr uint64, v uint64) error {
+	return wrap(hooks.StoreU64(p.env.RT, ptr, v))
+}
+
+// LoadU8 reads one byte through the protection's bounds check.
+func (p *Pool) LoadU8(ptr uint64) (byte, error) {
+	v, err := hooks.LoadU8(p.env.RT, ptr)
+	return v, wrap(err)
+}
+
+// StoreU8 writes one byte through the protection's bounds check.
+func (p *Pool) StoreU8(ptr uint64, v byte) error {
+	return wrap(hooks.StoreU8(p.env.RT, ptr, v))
+}
+
+// LoadBytes reads n bytes through a memory-intrinsic check.
+func (p *Pool) LoadBytes(ptr uint64, n uint64) ([]byte, error) {
+	b, err := hooks.LoadBytes(p.env.RT, ptr, n)
+	return b, wrap(err)
+}
+
+// StoreBytes writes b through a memory-intrinsic check.
+func (p *Pool) StoreBytes(ptr uint64, b []byte) error {
+	return wrap(hooks.StoreBytes(p.env.RT, ptr, b))
+}
+
+// Memcpy is the interposed, checking memcpy wrapper (__wrap_memcpy).
+func (p *Pool) Memcpy(dst, src uint64, n uint64) error {
+	return wrap(hooks.Memcpy(p.env.RT, dst, src, n))
+}
+
+// Memmove is the interposed, checking memmove wrapper.
+func (p *Pool) Memmove(dst, src uint64, n uint64) error {
+	return wrap(hooks.Memmove(p.env.RT, dst, src, n))
+}
+
+// Memset is the interposed, checking memset wrapper.
+func (p *Pool) Memset(dst uint64, c byte, n uint64) error {
+	return wrap(hooks.Memset(p.env.RT, dst, c, n))
+}
+
+// Strcpy is the interposed, checking strcpy wrapper.
+func (p *Pool) Strcpy(dst, src uint64) error { return wrap(hooks.Strcpy(p.env.RT, dst, src)) }
+
+// Strlen measures the NUL-terminated string at ptr through checked
+// loads.
+func (p *Pool) Strlen(ptr uint64) (uint64, error) {
+	n, err := hooks.Strlen(p.env.RT, ptr)
+	return n, wrap(err)
+}
+
+// External masks a pointer before handing it to uninstrumented code
+// (__spp_cleantag_external).
+func (p *Pool) External(ptr uint64) uint64 { return p.env.RT.External(ptr) }
+
+// Persist flushes a cleaned pointer's range to the persistence domain.
+func (p *Pool) Persist(ptr uint64, n uint64) error {
+	return p.env.Pool.PersistRange(p.env.RT.External(ptr), n)
+}
+
+// Reopen simulates an application restart: recovery runs, protection
+// metadata is rebuilt, and previously stored oids reconstruct
+// identical (tagged) pointers.
+func (p *Pool) Reopen() error { return p.env.Reopen() }
+
+// Stats reports allocator occupancy.
+func (p *Pool) Stats() pmemobj.Stats { return p.env.Pool.Stats() }
+
+// AddressSpace exposes the simulated address space (for examples and
+// tooling that model uninstrumented code).
+func (p *Pool) AddressSpace() *vmem.AddressSpace { return p.env.AS }
+
+// Env exposes the full environment for the benchmark harness.
+func (p *Pool) Env() *variant.Env { return p.env }
+
+// DefaultTagBits is the paper's default tag width.
+const DefaultTagBits = core.DefaultTagBits

@@ -1,0 +1,167 @@
+package spp
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// This file is the analog of the paper's C++ support (§IV-B):
+// libpmemobj-cpp wraps PMEMoids in persistent_ptr<T> so that typed
+// accesses transparently go through the adapted pmemobj_direct and the
+// instrumented access path. Here the same idea is expressed with Go
+// generics: a Ptr[T] is a typed view of a persistent array whose every
+// element access is bounds-checked by the pool's protection mechanism.
+
+// Scalar is the element constraint for typed persistent pointers:
+// fixed-size integer types (including named types over them).
+type Scalar interface {
+	~uint8 | ~uint16 | ~uint32 | ~uint64 | ~int8 | ~int16 | ~int32 | ~int64
+}
+
+// Ptr is a typed safe persistent pointer to an array of T. The zero
+// value is a null pointer.
+type Ptr[T Scalar] struct {
+	pool *Pool
+	oid  Oid
+	n    int
+}
+
+// sizeofT returns the element size in bytes.
+func sizeofT[T Scalar]() int64 {
+	var zero T
+	return int64(unsafe.Sizeof(zero))
+}
+
+// AllocSlice allocates a persistent array of count elements of T and
+// returns its typed pointer.
+func AllocSlice[T Scalar](pool *Pool, count int) (Ptr[T], error) {
+	if count <= 0 {
+		return Ptr[T]{}, fmt.Errorf("spp: AllocSlice count must be positive, got %d", count)
+	}
+	oid, err := pool.Alloc(uint64(int64(count) * sizeofT[T]()))
+	if err != nil {
+		return Ptr[T]{}, err
+	}
+	return Ptr[T]{pool: pool, oid: oid, n: count}, nil
+}
+
+// TxAllocSlice allocates a typed persistent array inside a
+// transaction.
+func TxAllocSlice[T Scalar](pool *Pool, tx *Tx, count int) (Ptr[T], error) {
+	if count <= 0 {
+		return Ptr[T]{}, fmt.Errorf("spp: TxAllocSlice count must be positive, got %d", count)
+	}
+	oid, err := pool.TxAlloc(tx, uint64(int64(count)*sizeofT[T]()))
+	if err != nil {
+		return Ptr[T]{}, err
+	}
+	return Ptr[T]{pool: pool, oid: oid, n: count}, nil
+}
+
+// SliceFromOid adopts an existing allocation (e.g. one recovered from
+// a persisted oid after a restart) as a typed array of count elements.
+// The element span must fit the allocation.
+func SliceFromOid[T Scalar](pool *Pool, oid Oid, count int) (Ptr[T], error) {
+	if oid.IsNull() {
+		return Ptr[T]{}, fmt.Errorf("spp: SliceFromOid on a null oid")
+	}
+	need := uint64(int64(count) * sizeofT[T]())
+	if oid.Size != 0 && need > oid.Size {
+		return Ptr[T]{}, fmt.Errorf("spp: %d elements of %d bytes exceed object size %d",
+			count, sizeofT[T](), oid.Size)
+	}
+	return Ptr[T]{pool: pool, oid: oid, n: count}, nil
+}
+
+// IsNull reports whether the pointer is null.
+func (p Ptr[T]) IsNull() bool { return p.pool == nil || p.oid.IsNull() }
+
+// Oid returns the underlying persistent object identifier, e.g. to
+// store inside another persistent structure.
+func (p Ptr[T]) Oid() Oid { return p.oid }
+
+// Len returns the element count.
+func (p Ptr[T]) Len() int { return p.n }
+
+// elem returns the (tagged) pointer to element i. Out-of-range indices
+// are not rejected here: like the C++ bindings, the dereference itself
+// is what the protection mechanism checks.
+func (p Ptr[T]) elem(i int) uint64 {
+	return p.pool.Gep(p.pool.Direct(p.oid), int64(i)*sizeofT[T]())
+}
+
+// At loads element i through the pool's bounds check.
+func (p Ptr[T]) At(i int) (T, error) {
+	var zero T
+	if p.IsNull() {
+		return zero, fmt.Errorf("spp: dereference of null typed pointer")
+	}
+	var v uint64
+	var err error
+	switch sizeofT[T]() {
+	case 1:
+		var b byte
+		b, err = p.pool.LoadU8(p.elem(i))
+		v = uint64(b)
+	case 2, 4, 8:
+		v, err = p.loadWide(i)
+	}
+	if err != nil {
+		return zero, err
+	}
+	return T(v), nil
+}
+
+func (p Ptr[T]) loadWide(i int) (uint64, error) {
+	size := sizeofT[T]()
+	b, err := p.pool.LoadBytes(p.elem(i), uint64(size))
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for j := int64(0); j < size; j++ {
+		v |= uint64(b[j]) << (8 * j)
+	}
+	return v, nil
+}
+
+// Set stores element i through the pool's bounds check.
+func (p Ptr[T]) Set(i int, v T) error {
+	if p.IsNull() {
+		return fmt.Errorf("spp: store through null typed pointer")
+	}
+	size := sizeofT[T]()
+	if size == 1 {
+		return p.pool.StoreU8(p.elem(i), byte(v))
+	}
+	b := make([]byte, size)
+	u := uint64(v)
+	for j := int64(0); j < size; j++ {
+		b[j] = byte(u >> (8 * j))
+	}
+	return p.pool.StoreBytes(p.elem(i), b)
+}
+
+// Persist flushes the whole array to the persistence domain.
+func (p Ptr[T]) Persist() error {
+	if p.IsNull() {
+		return fmt.Errorf("spp: persist of null typed pointer")
+	}
+	return p.pool.Persist(p.pool.Direct(p.oid), uint64(int64(p.n)*sizeofT[T]()))
+}
+
+// Snapshot adds the whole array to a transaction's undo log.
+func (p Ptr[T]) Snapshot(tx *Tx) error {
+	if p.IsNull() {
+		return fmt.Errorf("spp: snapshot of null typed pointer")
+	}
+	return tx.AddRange(p.oid.Off, uint64(int64(p.n)*sizeofT[T]()))
+}
+
+// Free releases the array.
+func (p Ptr[T]) Free() error {
+	if p.IsNull() {
+		return fmt.Errorf("spp: free of null typed pointer")
+	}
+	return p.pool.Free(p.oid)
+}

@@ -1,0 +1,203 @@
+package spp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTypedSliceRoundTrip(t *testing.T) {
+	pool := open(t, ProtectionSPP)
+	arr, err := AllocSlice[uint64](pool, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.IsNull() || arr.Len() != 16 {
+		t.Fatalf("arr = %+v", arr)
+	}
+	for i := 0; i < 16; i++ {
+		if err := arr.Set(i, uint64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		v, err := arr.At(i)
+		if err != nil || v != uint64(i*i) {
+			t.Fatalf("At(%d) = %d, %v", i, v, err)
+		}
+	}
+	// The typed dereference is what the mechanism checks: one past the
+	// end faults.
+	if _, err := arr.At(16); !errors.Is(err, ErrDetected) {
+		t.Errorf("At(len) = %v, want ErrDetected", err)
+	}
+	if err := arr.Set(16, 1); !errors.Is(err, ErrDetected) {
+		t.Errorf("Set(len) = %v, want ErrDetected", err)
+	}
+	if err := arr.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedNarrowTypes(t *testing.T) {
+	pool := open(t, ProtectionSPP)
+
+	b, err := AllocSlice[uint8](pool, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(9, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.At(9); v != 0xAB {
+		t.Errorf("u8 = %#x", v)
+	}
+	if _, err := b.At(10); !errors.Is(err, ErrDetected) {
+		t.Errorf("u8 overflow = %v", err)
+	}
+
+	w, err := AllocSlice[uint16](pool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set(3, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := w.At(3); v != 0xBEEF {
+		t.Errorf("u16 = %#x", v)
+	}
+	if _, err := w.At(4); !errors.Is(err, ErrDetected) {
+		t.Errorf("u16 overflow = %v", err)
+	}
+
+	q, err := AllocSlice[int32](pool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Set(0, -5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := q.At(0); v != -5 {
+		t.Errorf("i32 = %d", v)
+	}
+}
+
+func TestTypedNamedType(t *testing.T) {
+	type Key uint64
+	pool := open(t, ProtectionSPP)
+	arr, err := AllocSlice[Key](pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Set(2, Key(77)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := arr.At(2); v != 77 {
+		t.Errorf("named type = %d", v)
+	}
+}
+
+func TestTypedNullAndValidation(t *testing.T) {
+	pool := open(t, ProtectionSPP)
+	var null Ptr[uint64]
+	if !null.IsNull() {
+		t.Error("zero value not null")
+	}
+	if _, err := null.At(0); err == nil {
+		t.Error("null deref succeeded")
+	}
+	if err := null.Set(0, 1); err == nil {
+		t.Error("null store succeeded")
+	}
+	if err := null.Persist(); err == nil {
+		t.Error("null persist succeeded")
+	}
+	if err := null.Free(); err == nil {
+		t.Error("null free succeeded")
+	}
+	if _, err := AllocSlice[uint64](pool, 0); err == nil {
+		t.Error("zero-count alloc succeeded")
+	}
+	if _, err := SliceFromOid[uint64](pool, OidNull, 4); err == nil {
+		t.Error("SliceFromOid(null) succeeded")
+	}
+}
+
+func TestTypedSurvivesRestart(t *testing.T) {
+	pool := open(t, ProtectionSPP)
+	root, err := pool.Root(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := AllocSlice[uint32](pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := arr.Set(i, uint32(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	pool.WriteOid(root.Off, arr.Oid())
+
+	if err := pool.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := SliceFromOid[uint32](pool, pool.ReadOid(root.Off), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		v, err := again.At(i)
+		if err != nil || v != uint32(100+i) {
+			t.Fatalf("At(%d) after reopen = %d, %v", i, v, err)
+		}
+	}
+	// Adopting more elements than the allocation holds is rejected.
+	if _, err := SliceFromOid[uint64](pool, pool.ReadOid(root.Off), 8); err == nil {
+		t.Error("oversized adoption succeeded")
+	}
+}
+
+func TestTypedTransactional(t *testing.T) {
+	pool := open(t, ProtectionSPP)
+	tx := pool.Begin()
+	arr, err := TxAllocSlice[uint64](pool, tx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := arr.Set(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot + mutate + abort restores.
+	tx2 := pool.Begin()
+	if err := arr.Snapshot(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Set(0, 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := arr.At(0); v != 0 {
+		t.Errorf("after abort = %d, want 0", v)
+	}
+	tx3 := pool.Begin()
+	if _, err := TxAllocSlice[uint64](pool, tx3, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := tx3.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
