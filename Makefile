@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check fmt vet test lint-fixtures bench
+
+## check: everything CI runs — formatting, vet, build+tests, and the
+## sppc -lint self-check over the shipped IR fixtures.
+check: fmt vet test lint-fixtures
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+## lint-fixtures: the clean fixture must lint clean; the laundered one
+## must be flagged (non-zero exit) — both outcomes are asserted.
+lint-fixtures:
+	$(GO) run ./cmd/sppc -lint examples/compiler-pass/clean.ir
+	@if $(GO) run ./cmd/sppc -lint examples/compiler-pass/laundered.ir; then \
+		echo "laundered.ir unexpectedly passed lint"; exit 1; \
+	else echo "laundered.ir flagged as expected"; fi
+
+bench:
+	$(GO) run ./cmd/sppbench -exp all -scale 0.02 | tee bench_results.txt

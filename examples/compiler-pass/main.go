@@ -32,9 +32,9 @@ entry:
   %m = malloc %sz
   %v = const 7
   store.8 %m, %v            ; volatile: instrumentation pruned
-  store.8 %p, %v
+  store.8 %p, %v            ; proven in-bounds: hooks elided (rebased on cleantag)
   %q = gep %p, 8
-  store.8 %q, %v            ; merged with the store above (preemption)
+  store.8 %q, %v            ; %q also escapes into memcpy below: stays tagged+checked
   %r = callext @ext_store8, %p, %v   ; pointer masked before the call
   %n = const 16
   memcpy %q, %p, %n         ; interposed with the checking wrapper
@@ -66,6 +66,7 @@ func run() error {
 	fmt.Printf("\n--- pass statistics ---\n")
 	fmt.Printf("updatetag calls:  %d\n", stats.UpdateTags)
 	fmt.Printf("checkbound calls: %d (+%d merged away by preemption)\n", stats.CheckBounds, stats.Preempted)
+	fmt.Printf("elided by proof:  %d checks, %d tag updates\n", stats.RangeElidedChecks, stats.RangeElidedTags)
 	fmt.Printf("external masks:   %d\n", stats.CleanExternals)
 	fmt.Printf("wrapped intrins:  %d\n", stats.WrappedIntrins)
 	fmt.Printf("pruned volatile:  %d\n", stats.PrunedVolatile)

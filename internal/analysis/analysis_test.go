@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+const diamond = `
+func @f(%c) {
+entry:
+  condbr %c, left, right
+left:
+  br merge
+right:
+  br merge
+merge:
+  ret
+}
+`
+
+func TestCFG(t *testing.T) {
+	m := parse(t, diamond)
+	c := BuildCFG(m.Funcs[0])
+	entry, left, right, merge := c.Index["entry"], c.Index["left"], c.Index["right"], c.Index["merge"]
+	if len(c.Succs[entry]) != 2 {
+		t.Errorf("entry succs = %v", c.Succs[entry])
+	}
+	if len(c.Preds[merge]) != 2 {
+		t.Errorf("merge preds = %v", c.Preds[merge])
+	}
+	if ex := c.Exits(); len(ex) != 1 || ex[0] != merge {
+		t.Errorf("Exits = %v, want [%d]", ex, merge)
+	}
+	rpo := c.RPO()
+	if rpo[0] != entry || rpo[len(rpo)-1] != merge {
+		t.Errorf("RPO = %v: want entry first, merge last", rpo)
+	}
+	po := c.PostOrder()
+	if po[len(po)-1] != entry {
+		t.Errorf("PostOrder = %v: want entry last", po)
+	}
+	_ = left
+	_ = right
+}
+
+func TestCFGCondBrSameTarget(t *testing.T) {
+	m := parse(t, `
+func @f(%c) {
+entry:
+  condbr %c, next, next
+next:
+  ret
+}
+`)
+	c := BuildCFG(m.Funcs[0])
+	if n := len(c.Succs[0]); n != 1 {
+		t.Errorf("duplicate edge not collapsed: %d succs", n)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m := parse(t, diamond)
+	c := BuildCFG(m.Funcs[0])
+	d := Dominators(c)
+	entry, left, right, merge := c.Index["entry"], c.Index["left"], c.Index["right"], c.Index["merge"]
+	if d.Idom[left] != entry || d.Idom[right] != entry {
+		t.Errorf("Idom[left]=%d Idom[right]=%d, want %d", d.Idom[left], d.Idom[right], entry)
+	}
+	if d.Idom[merge] != entry {
+		t.Errorf("Idom[merge] = %d, want %d (branch sides do not dominate the join)", d.Idom[merge], entry)
+	}
+	if !d.Dominates(entry, merge) || !d.Dominates(merge, merge) {
+		t.Error("entry and merge must dominate merge")
+	}
+	if d.Dominates(left, merge) || d.Dominates(left, right) {
+		t.Error("left dominates neither merge nor right")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	m := parse(t, `
+func @f(%c) {
+entry:
+  br head
+head:
+  condbr %c, body, done
+body:
+  br head
+done:
+  ret
+}
+`)
+	c := BuildCFG(m.Funcs[0])
+	d := Dominators(c)
+	head, body, done := c.Index["head"], c.Index["body"], c.Index["done"]
+	if d.Idom[body] != head || d.Idom[done] != head {
+		t.Errorf("Idom[body]=%d Idom[done]=%d, want %d", d.Idom[body], d.Idom[done], head)
+	}
+	if !d.Dominates(head, body) || d.Dominates(body, done) {
+		t.Error("head dominates body; the loop body does not dominate the exit")
+	}
+}
+
+func TestInferRangesStraightLine(t *testing.T) {
+	m := parse(t, `
+func @f() {
+entry:
+  %sz = const 256
+  %p = malloc %sz
+  %q = gep %p, 248
+  %v = load.8 %q
+  %r = gep %p, 249
+  %w = load.8 %r
+  %x = add %v, %w
+  ret %x
+}
+`)
+	f := m.Funcs[0]
+	ri := InferRanges(f)
+	if !ri.Converged {
+		t.Fatal("straight-line function did not converge")
+	}
+	if got := ri.RootSize["%p"]; got != 256 {
+		t.Fatalf("RootSize[%%p] = %d, want 256", got)
+	}
+	loads := findAll(f, ir.Load)
+	if len(loads) != 2 {
+		t.Fatalf("want 2 loads, got %d", len(loads))
+	}
+	if !ri.SafeAccess(loads[0]) {
+		t.Error("load at offset 248 of a 256-byte object (8 bytes) must be provably safe")
+	}
+	if ri.SafeAccess(loads[1]) {
+		t.Error("load at offset 249 of a 256-byte object (8 bytes) crosses the bound; must not be proven safe")
+	}
+}
+
+func TestInferRangesBranch(t *testing.T) {
+	// Offsets from the two sides hull at the join: [8,8] ⊔ [240,240]
+	// = [8,240]; the 8-byte access at the hull's top stays inside 256.
+	m := parse(t, `
+func @f(%c) {
+entry:
+  %sz = const 256
+  %p = malloc %sz
+  condbr %c, lo, hi
+lo:
+  %o1 = const 8
+  br join
+hi:
+  %o1 = const 240
+  br join
+join:
+  %q = gep %p, %o1
+  %v = load.8 %q
+  ret %v
+}
+`)
+	f := m.Funcs[0]
+	ri := InferRanges(f)
+	if !ri.Converged {
+		t.Fatal("did not converge")
+	}
+	loads := findAll(f, ir.Load)
+	// %o1 is defined twice, so the def-once rule drops it: the access
+	// must NOT be proven (conservative but sound under re-definition).
+	if ri.SafeAccess(loads[0]) {
+		t.Error("multi-defined offset must not be tracked")
+	}
+}
+
+func TestInferRangesJoinHull(t *testing.T) {
+	m := parse(t, `
+func @f(%c) {
+entry:
+  %sz = const 256
+  %p = malloc %sz
+  condbr %c, lo, hi
+lo:
+  %q1 = gep %p, 8
+  br join
+hi:
+  %q2 = gep %p, 240
+  br join
+join:
+  %o = const 0
+  condbr %c, uselo, usehi
+uselo:
+  %v1 = load.8 %q1
+  ret %v1
+usehi:
+  %v2 = load.8 %q2
+  ret %v2
+}
+`)
+	f := m.Funcs[0]
+	ri := InferRanges(f)
+	if !ri.Converged {
+		t.Fatal("did not converge")
+	}
+	for i, ld := range findAll(f, ir.Load) {
+		if !ri.SafeAccess(ld) {
+			t.Errorf("load %d: single-def gep facts survive the join; must be provably safe", i)
+		}
+	}
+}
+
+func TestInferRangesLoop(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 80
+  %oid = pmalloc %s
+  %p = direct %oid
+  %eight = const 8
+  %islot = malloc %eight
+  %zero = const 0
+  store.8 %islot, %zero
+  br loop
+loop: !loop.bound 10
+  %i = load.8 %islot
+  %c8 = const 8
+  %off = mul %i, %c8
+  %q = gep %p, %off
+  store.8 %q, %i
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %islot, %i2
+  %n = const 10
+  %c = icmp.lt %i2, %n
+  condbr %c, loop, done
+done:
+  ret
+}
+`)
+	f := m.Funcs[0]
+	ri := InferRanges(f)
+	if !ri.Converged {
+		t.Fatal("loop did not converge")
+	}
+	if got := ri.RootSize["%p"]; got != 80 {
+		t.Fatalf("RootSize[%%p] = %d (pmalloc size must flow through direct)", got)
+	}
+	var loopStore *ir.Instr
+	for _, in := range f.Block("loop").Instrs {
+		if in.Op == ir.Store && in.Args[0] == "%q" {
+			loopStore = in
+		}
+	}
+	if loopStore == nil {
+		t.Fatal("loop store not found")
+	}
+	fact, ok := ri.AddrFact[loopStore]
+	if !ok {
+		t.Fatal("no fact for the loop store address")
+	}
+	if fact.Off.Lo != 0 || fact.Off.Hi != 72 {
+		t.Errorf("loop offset interval = [%d,%d], want [0,72]", fact.Off.Lo, fact.Off.Hi)
+	}
+	if !ri.SafeAccess(loopStore) {
+		t.Error("i*8 for i in [0,10) against an 80-byte object must be provably safe")
+	}
+}
+
+func TestInferRangesUnknownSize(t *testing.T) {
+	m := parse(t, `
+func @f(%n) {
+entry:
+  %p = malloc %n
+  %v = load.8 %p
+  ret %v
+}
+`)
+	ri := InferRanges(m.Funcs[0])
+	if ri.SafeAccess(findAll(m.Funcs[0], ir.Load)[0]) {
+		t.Error("access to dynamically sized object must not be proven safe")
+	}
+}
+
+func TestPointerProvenanceInterproc(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %r = call @helper, %p
+  %v = load.8 %r
+  ret %v
+}
+func @helper(%q) {
+entry:
+  %t = gep %q, 8
+  ret %t
+}
+`)
+	intra := PointerProvenance(m, false)
+	if got := intra.Classes["helper"]["%q"]; got != Unknown {
+		t.Fatalf("intra: helper %%q = %v, want unknown", got)
+	}
+	inter := PointerProvenance(m, true)
+	if got := inter.Classes["helper"]["%q"]; got != Persistent {
+		t.Errorf("interproc: helper %%q = %v, want persistent (every caller passes PM)", got)
+	}
+	if got := inter.Returns["helper"]; got != Persistent {
+		t.Errorf("Returns[helper] = %v, want persistent", got)
+	}
+	if got := inter.Classes["main"]["%r"]; got != Persistent {
+		t.Errorf("call result %%r = %v, want persistent (callee return class)", got)
+	}
+	if inter.Reclassified < 3 {
+		t.Errorf("Reclassified = %d, want >= 3 (%%q, %%t, %%r)", inter.Reclassified)
+	}
+}
+
+func TestPointerProvenanceConflict(t *testing.T) {
+	m := parse(t, `
+func @a() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %r = call @helper, %p
+  ret
+}
+func @b() {
+entry:
+  %s = const 64
+  %m = malloc %s
+  %r = call @helper, %m
+  ret
+}
+func @helper(%q) {
+entry:
+  %v = load.8 %q
+  ret %v
+}
+`)
+	inter := PointerProvenance(m, true)
+	if got := inter.Classes["helper"]["%q"]; got != Unknown {
+		t.Errorf("helper %%q = %v, want unknown (callers disagree: persistent vs volatile)", got)
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	m := parse(t, `
+func @f(%slot) {
+entry:
+  %s = const 64
+  %p = malloc %s
+  store.8 %slot, %p
+  %i = ptrtoint %p
+  ret %i
+}
+`)
+	prov := PointerProvenance(m, false)
+	esc := prov.Escapes["f"]
+	if !esc["%p"] {
+		t.Error("the stored and int-converted pointer must escape")
+	}
+	if esc["%s"] {
+		t.Error("the size constant only feeds malloc; must not escape")
+	}
+}
+
+func findAll(f *ir.Func, op ir.Op) []*ir.Instr {
+	var out []*ir.Instr
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == op {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}

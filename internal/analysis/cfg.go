@@ -1,0 +1,101 @@
+// Package analysis is a reusable static-analysis framework over the
+// mini-IR: control-flow graphs, dominator trees and a generic
+// forward/backward dataflow solver, plus the three clients the SPP
+// pass consumes — interprocedural pointer provenance (§IV-E pointer
+// tracking, extended across call edges), value-range bound proving
+// (elides __spp_checkbound/__spp_updatetag hooks for accesses that
+// provably stay in bounds) and an IR safety linter for tag-unsafe
+// patterns the instrumentation cannot repair.
+package analysis
+
+import "repro/internal/ir"
+
+// CFG is the control-flow graph of one function. Blocks are addressed
+// by their index in Func.Blocks; block 0 is the entry.
+type CFG struct {
+	Func  *ir.Func
+	Succs [][]int
+	Preds [][]int
+	// Index maps block names to indices.
+	Index map[string]int
+}
+
+// BuildCFG constructs the CFG of f. External functions (no blocks)
+// yield an empty graph.
+func BuildCFG(f *ir.Func) *CFG {
+	c := &CFG{
+		Func:  f,
+		Succs: make([][]int, len(f.Blocks)),
+		Preds: make([][]int, len(f.Blocks)),
+		Index: make(map[string]int, len(f.Blocks)),
+	}
+	for i, blk := range f.Blocks {
+		c.Index[blk.Name] = i
+	}
+	for i, blk := range f.Blocks {
+		if len(blk.Instrs) == 0 {
+			continue
+		}
+		term := blk.Instrs[len(blk.Instrs)-1]
+		switch term.Op {
+		case ir.Br:
+			c.addEdge(i, c.Index[term.Sym])
+		case ir.CondBr:
+			c.addEdge(i, c.Index[term.Sym])
+			if c.Index[term.SymElse] != c.Index[term.Sym] {
+				c.addEdge(i, c.Index[term.SymElse])
+			}
+		}
+	}
+	return c
+}
+
+func (c *CFG) addEdge(from, to int) {
+	c.Succs[from] = append(c.Succs[from], to)
+	c.Preds[to] = append(c.Preds[to], from)
+}
+
+// Exits returns the indices of blocks ending in Ret.
+func (c *CFG) Exits() []int {
+	var out []int
+	for i, blk := range c.Func.Blocks {
+		if len(blk.Instrs) == 0 {
+			continue
+		}
+		if blk.Instrs[len(blk.Instrs)-1].Op == ir.Ret {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PostOrder returns a DFS postorder over blocks reachable from entry.
+func (c *CFG) PostOrder() []int {
+	order := make([]int, 0, len(c.Succs))
+	seen := make([]bool, len(c.Succs))
+	var walk func(int)
+	walk = func(n int) {
+		seen[n] = true
+		for _, s := range c.Succs[n] {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		order = append(order, n)
+	}
+	if len(c.Succs) > 0 {
+		walk(0)
+	}
+	return order
+}
+
+// RPO returns the reverse postorder — the canonical iteration order
+// for forward dataflow problems.
+func (c *CFG) RPO() []int {
+	po := c.PostOrder()
+	out := make([]int, len(po))
+	for i, n := range po {
+		out[len(po)-1-i] = n
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package analysis
+
+// DomTree is the dominator tree of a CFG, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type DomTree struct {
+	cfg *CFG
+	// Idom[b] is the immediate dominator of block b, -1 for the entry
+	// and for blocks unreachable from it.
+	Idom []int
+	// rpoNum[b] is b's position in reverse postorder (-1 unreachable).
+	rpoNum []int
+}
+
+// Dominators computes the dominator tree of c.
+func Dominators(c *CFG) *DomTree {
+	n := len(c.Succs)
+	d := &DomTree{cfg: c, Idom: make([]int, n), rpoNum: make([]int, n)}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.rpoNum[i] = -1
+	}
+	if n == 0 {
+		return d
+	}
+	rpo := c.RPO()
+	for i, b := range rpo {
+		d.rpoNum[b] = i
+	}
+	d.Idom[0] = 0 // temporarily self, for the intersection walk
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if d.rpoNum[p] < 0 || d.Idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.Idom[0] = -1
+	return d
+}
+
+func (d *DomTree) intersect(a, b int) int {
+	for a != b {
+		for d.rpoNum[a] > d.rpoNum[b] {
+			a = d.Idom[a]
+		}
+		for d.rpoNum[b] > d.rpoNum[a] {
+			b = d.Idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.rpoNum[b] < 0 {
+		return false // unreachable: vacuous, but report false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 || d.Idom[b] < 0 {
+			return false
+		}
+		b = d.Idom[b]
+	}
+}

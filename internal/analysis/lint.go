@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Lint rule identifiers.
+const (
+	RuleLaunderedPointer = "laundered-pointer"
+	RuleUnmaskedExternal = "unmasked-external-call"
+	RuleUnflushedStore   = "unflushed-pm-store"
+)
+
+// Diagnostic is one linter finding.
+type Diagnostic struct {
+	Rule  string
+	Func  string
+	Block string
+	Instr string // rendered offending instruction
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("@%s/%s: %s: %s [%s]", d.Func, d.Block, d.Rule, d.Msg, d.Instr)
+}
+
+// Lint checks a module for tag-unsafe patterns the SPP instrumentation
+// cannot (or can only partially) repair:
+//
+//   - integer-to-pointer laundering: a dereferenced pointer born from
+//     an integer carries no tag, so SPP is blind to its overflows
+//     (§IV-G); the message says whether -restore-intptr can repair it;
+//   - external calls receiving tagged pointers without masking: the
+//     uninstrumented callee would fault on the raw dereference;
+//   - stores to persistent memory with no flush+fence on some path to
+//     function exit: the data may not be durable after a crash.
+func Lint(m *ir.Module) []Diagnostic {
+	prov := PointerProvenance(m, true)
+	var diags []Diagnostic
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		classes := prov.Classes[f.Name]
+		diags = append(diags, lintLaundering(f)...)
+		diags = append(diags, lintExternalCalls(f, classes)...)
+		diags = append(diags, lintUnflushedStores(f, classes)...)
+	}
+	return diags
+}
+
+// lintLaundering flags int-to-ptr conversions whose result reaches a
+// dereference (directly or through pointer arithmetic).
+func lintLaundering(f *ir.Func) []Diagnostic {
+	origin := NewOrigin(f)
+	// ptrDerived[v] = v is an int-to-ptr result or a gep chained off one.
+	ptrDerived := make(map[string]*ir.Instr) // derived value -> laundering site
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				var src *ir.Instr
+				switch in.Op {
+				case ir.IntToPtr:
+					src = in
+				case ir.Gep:
+					src = ptrDerived[in.Args[0]]
+				default:
+					continue
+				}
+				if src != nil && ptrDerived[in.Dst] == nil {
+					ptrDerived[in.Dst] = src
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	flagged := make(map[*ir.Instr]bool)
+	var diags []Diagnostic
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op != ir.Load && in.Op != ir.Store {
+				continue
+			}
+			src := ptrDerived[in.Args[0]]
+			if src == nil || flagged[src] {
+				continue
+			}
+			flagged[src] = true
+			var msg string
+			if _, _, _, ok := origin.PtrOrigin(src.Args[0]); ok {
+				msg = fmt.Sprintf("%s launders a pointer through an integer and is later dereferenced; "+
+					"SPP loses the tag across the round trip — recompile with -restore-intptr to re-derive the tagged pointer", src.Dst)
+			} else {
+				msg = fmt.Sprintf("%s is an integer-born pointer with no recoverable pointer origin; "+
+					"-restore-intptr cannot repair it — keep the provenance in pointer form (gep) instead of integer arithmetic", src.Dst)
+			}
+			diags = append(diags, Diagnostic{
+				Rule: RuleLaunderedPointer, Func: f.Name, Block: blockOf(f, src),
+				Instr: src.String(), Msg: msg,
+			})
+		}
+	}
+	return diags
+}
+
+// lintExternalCalls flags tagged pointers passed to uninstrumented
+// callees without a masking hook.
+func lintExternalCalls(f *ir.Func, classes map[string]Class) []Diagnostic {
+	defs := make(map[string]*ir.Instr)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defs[in.Dst] = in
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op != ir.CallExt {
+				continue
+			}
+			for _, a := range in.Args {
+				if classes[a] == Volatile {
+					continue
+				}
+				if d := defs[a]; d != nil && d.Op == ir.SppCleanExternal {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Rule: RuleUnmaskedExternal, Func: f.Name, Block: blk.Name,
+					Instr: in.String(),
+					Msg: fmt.Sprintf("external callee @%s receives tagged pointer %s unmasked and would fault dereferencing it; "+
+						"mask it with spp.cleantag.ext (the SPP LTO pass injects this automatically)", in.Sym, a),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// flushFact is the backward must-fact for durability linting: at a
+// program point it records whether a fence is reached on every path to
+// exit, and the set of allocation roots for which a flush-then-fence
+// pair is reached on every path.
+type flushFact struct {
+	univ    bool // lattice top: everything flushed (pre-fixpoint optimism)
+	fence   bool
+	flushed map[string]bool
+}
+
+func (ff flushFact) has(root string) bool { return ff.univ || ff.flushed[root] }
+
+func (ff flushFact) clone() flushFact {
+	out := flushFact{univ: ff.univ, fence: ff.fence, flushed: make(map[string]bool, len(ff.flushed))}
+	for r := range ff.flushed {
+		out.flushed[r] = true
+	}
+	return out
+}
+
+type flushProblem struct {
+	cfg   *CFG
+	roots func(string) string
+}
+
+func (p *flushProblem) Direction() Direction { return Backward }
+func (p *flushProblem) Boundary() flushFact  { return flushFact{} }
+func (p *flushProblem) Top() flushFact       { return flushFact{univ: true, fence: true} }
+
+func (p *flushProblem) Meet(a, b flushFact) flushFact {
+	if a.univ {
+		return b
+	}
+	if b.univ {
+		return a
+	}
+	out := flushFact{fence: a.fence && b.fence, flushed: make(map[string]bool)}
+	for r := range a.flushed {
+		if b.flushed[r] {
+			out.flushed[r] = true
+		}
+	}
+	return out
+}
+
+func (p *flushProblem) Equal(a, b flushFact) bool {
+	if a.univ != b.univ || a.fence != b.fence || len(a.flushed) != len(b.flushed) {
+		return false
+	}
+	for r := range a.flushed {
+		if !b.flushed[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer walks the block backward: facts describe the path suffix
+// after each instruction.
+func (p *flushProblem) Transfer(b int, in flushFact) flushFact {
+	out := flushFact{univ: in.univ, fence: in.fence, flushed: make(map[string]bool, len(in.flushed))}
+	for r := range in.flushed {
+		out.flushed[r] = true
+	}
+	blk := p.cfg.Func.Blocks[b]
+	for i := len(blk.Instrs) - 1; i >= 0; i-- {
+		p.stepBack(blk.Instrs[i], &out)
+	}
+	return out
+}
+
+func (p *flushProblem) stepBack(in *ir.Instr, f *flushFact) {
+	switch in.Op {
+	case ir.Fence:
+		f.fence = true
+	case ir.Flush:
+		if f.fence && !f.univ {
+			f.flushed[p.roots(in.Args[0])] = true
+		}
+	}
+}
+
+// lintUnflushedStores flags stores through persistent pointers that
+// some path to function exit leaves without a flush of the same object
+// followed by a fence.
+func lintUnflushedStores(f *ir.Func, classes map[string]Class) []Diagnostic {
+	// Does the function flush at all? A function that never flushes is
+	// treated as delegating durability to its caller (the common case
+	// for helpers and for instrumented benchmark kernels); only
+	// functions that manage durability themselves are held to it.
+	usesFlush := false
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.Flush || in.Op == ir.Fence {
+				usesFlush = true
+			}
+		}
+	}
+	if !usesFlush {
+		return nil
+	}
+
+	roots := rootResolver(f)
+	cfg := BuildCFG(f)
+	prob := &flushProblem{cfg: cfg, roots: roots}
+	_, out, converged := Solve(cfg, prob)
+	if !converged {
+		return nil
+	}
+	var diags []Diagnostic
+	for bi, blk := range f.Blocks {
+		// Replay backward from the block's exit fact, checking each PM
+		// store against the facts of its path suffix.
+		fact := out[bi].clone()
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			in := blk.Instrs[i]
+			if in.Op == ir.Store && classes[in.Args[0]] == Persistent && !fact.has(roots(in.Args[0])) {
+				diags = append(diags, Diagnostic{
+					Rule: RuleUnflushedStore, Func: f.Name, Block: blk.Name,
+					Instr: in.String(),
+					Msg: fmt.Sprintf("store to persistent memory through %s is not followed by flush+fence of the same object "+
+						"on every path to return; the data may not be durable after a crash", in.Args[0]),
+				})
+			}
+			prob.stepBack(in, &fact)
+		}
+	}
+	return diags
+}
+
+// rootResolver maps a pointer value to its allocation root by walking
+// the def chain through geps and hooks.
+func rootResolver(f *ir.Func) func(string) string {
+	defs := make(map[string]*ir.Instr)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defs[in.Dst] = in
+			}
+		}
+	}
+	var resolve func(v string, depth int) string
+	resolve = func(v string, depth int) string {
+		if depth > 64 {
+			return v
+		}
+		d := defs[v]
+		if d == nil {
+			return v
+		}
+		switch d.Op {
+		case ir.Gep, ir.SppCheckBound, ir.SppUpdateTag, ir.SppCleanTag, ir.SppCleanExternal, ir.SppMemIntrCheck:
+			return resolve(d.Args[0], depth+1)
+		}
+		return v
+	}
+	return func(v string) string { return resolve(v, 0) }
+}
+
+// FormatDiagnostics renders diagnostics one per line.
+func FormatDiagnostics(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func blockOf(f *ir.Func, target *ir.Instr) string {
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in == target {
+				return blk.Name
+			}
+		}
+	}
+	return "?"
+}

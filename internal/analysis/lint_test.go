@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOne(t *testing.T, src, rule string) []Diagnostic {
+	t.Helper()
+	var out []Diagnostic
+	for _, d := range Lint(parse(t, src)) {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestLintLaunderedRepairable(t *testing.T) {
+	diags := lintOne(t, `
+func @f() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %i = ptrtoint %p
+  %eight = const 8
+  %j = add %i, %eight
+  %q = inttoptr %j
+  %v = load.8 %q
+  ret %v
+}
+`, RuleLaunderedPointer)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly one laundered-pointer", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "-restore-intptr") || strings.Contains(diags[0].Msg, "cannot repair") {
+		t.Errorf("ptrtoint+const origin is repairable; message must point at -restore-intptr: %q", diags[0].Msg)
+	}
+}
+
+func TestLintLaunderedUnrepairable(t *testing.T) {
+	diags := lintOne(t, `
+func @f(%p) {
+entry:
+  %v = load.8 %p
+  %q = inttoptr %v
+  %w = load.8 %q
+  ret %w
+}
+`, RuleLaunderedPointer)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly one laundered-pointer", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "cannot repair") {
+		t.Errorf("loaded integer has no pointer origin; message must say so: %q", diags[0].Msg)
+	}
+}
+
+func TestLintLaunderedThroughGep(t *testing.T) {
+	// The dereference is one gep away from the inttoptr; the chain must
+	// still be traced back to the laundering site.
+	diags := lintOne(t, `
+func @f(%p) {
+entry:
+  %i = ptrtoint %p
+  %q = inttoptr %i
+  %r = gep %q, 16
+  %v = load.8 %r
+  ret %v
+}
+`, RuleLaunderedPointer)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want one finding at the inttoptr", diags)
+	}
+	if !strings.Contains(diags[0].Instr, "inttoptr") {
+		t.Errorf("diagnostic must anchor at the laundering site, got %q", diags[0].Instr)
+	}
+}
+
+func TestLintLaunderedNotDereferenced(t *testing.T) {
+	// An integer-born pointer that is never dereferenced is not flagged.
+	diags := lintOne(t, `
+func @f(%p) {
+entry:
+  %i = ptrtoint %p
+  %q = inttoptr %i
+  ret %q
+}
+`, RuleLaunderedPointer)
+	if len(diags) != 0 {
+		t.Errorf("undereferenced laundering flagged: %v", diags)
+	}
+}
+
+func TestLintUnmaskedExternal(t *testing.T) {
+	diags := lintOne(t, `
+extern @consume
+func @f() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  callext @consume, %p
+  ret
+}
+`, RuleUnmaskedExternal)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want one unmasked-external-call", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "spp.cleantag.ext") || !strings.Contains(diags[0].Msg, "@consume") {
+		t.Errorf("message must name the callee and the masking hook: %q", diags[0].Msg)
+	}
+}
+
+func TestLintMaskedExternalClean(t *testing.T) {
+	diags := lintOne(t, `
+extern @consume
+func @f() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %m = spp.cleantag.ext %p
+  callext @consume, %m
+  ret
+}
+`, RuleUnmaskedExternal)
+	if len(diags) != 0 {
+		t.Errorf("masked argument flagged: %v", diags)
+	}
+}
+
+func TestLintExternalVolatileArgClean(t *testing.T) {
+	// Volatile pointers carry no tag; passing them outside is fine.
+	diags := lintOne(t, `
+extern @consume
+func @f() {
+entry:
+  %s = const 64
+  %m = malloc %s
+  callext @consume, %m
+  ret
+}
+`, RuleUnmaskedExternal)
+	if len(diags) != 0 {
+		t.Errorf("untagged volatile argument flagged: %v", diags)
+	}
+}
+
+func TestLintUnflushedStore(t *testing.T) {
+	diags := lintOne(t, `
+func @f(%c) {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %one = const 1
+  store.8 %p, %one
+  condbr %c, doflush, skip
+doflush:
+  flush %p
+  fence
+  br done
+skip:
+  br done
+done:
+  ret
+}
+`, RuleUnflushedStore)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want one unflushed-pm-store (the skip path)", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "every path") {
+		t.Errorf("message must explain the path condition: %q", diags[0].Msg)
+	}
+}
+
+func TestLintFlushedStoreClean(t *testing.T) {
+	// flush+fence of the same object on the single path; the store
+	// address is a gep off the flushed root, which must resolve.
+	diags := lintOne(t, `
+func @f() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %one = const 1
+  %q = gep %p, 8
+  store.8 %q, %one
+  flush %p
+  fence
+  ret
+}
+`, RuleUnflushedStore)
+	if len(diags) != 0 {
+		t.Errorf("flushed store flagged: %v", diags)
+	}
+}
+
+func TestLintFlushWithoutFence(t *testing.T) {
+	diags := lintOne(t, `
+func @f() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %one = const 1
+  store.8 %p, %one
+  flush %p
+  ret
+}
+`, RuleUnflushedStore)
+	if len(diags) != 1 {
+		t.Errorf("flush without trailing fence must still be flagged: %v", diags)
+	}
+}
+
+func TestLintNoFlushDelegates(t *testing.T) {
+	// A function that never flushes delegates durability to its caller
+	// and is not held to the flush+fence rule.
+	diags := lintOne(t, `
+func @f() {
+entry:
+  %s = const 64
+  %oid = pmalloc %s
+  %p = direct %oid
+  %one = const 1
+  store.8 %p, %one
+  ret
+}
+`, RuleUnflushedStore)
+	if len(diags) != 0 {
+		t.Errorf("flush-free function flagged: %v", diags)
+	}
+}
+
+func TestFormatDiagnostics(t *testing.T) {
+	out := FormatDiagnostics([]Diagnostic{{
+		Rule: RuleUnmaskedExternal, Func: "f", Block: "entry",
+		Instr: "callext @x, %p", Msg: "boom",
+	}})
+	if !strings.Contains(out, "@f/entry") || !strings.Contains(out, RuleUnmaskedExternal) {
+		t.Errorf("formatted output missing location or rule: %q", out)
+	}
+}

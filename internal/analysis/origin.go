@@ -1,0 +1,59 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Origin resolves integer values of one function back to the pointer
+// they were derived from, following the use-def chain through a
+// ptr-to-int conversion and optionally one addition or constant
+// subtraction — the §IV-G mitigation's reach.
+type Origin struct {
+	defs   map[string]*ir.Instr
+	consts map[string]int64
+}
+
+// NewOrigin indexes f's definitions.
+func NewOrigin(f *ir.Func) *Origin {
+	o := &Origin{defs: make(map[string]*ir.Instr), consts: make(map[string]int64)}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				o.defs[in.Dst] = in
+			}
+			if in.Op == ir.Const {
+				o.consts[in.Dst] = in.Imm
+			}
+		}
+	}
+	return o
+}
+
+// PtrOrigin resolves integer value v to (pointer, constant offset,
+// variable offset). ok is false when v has no recoverable pointer
+// provenance.
+func (o *Origin) PtrOrigin(v string) (ptr string, imm int64, varOff string, ok bool) {
+	d := o.defs[v]
+	if d == nil {
+		return "", 0, "", false
+	}
+	switch d.Op {
+	case ir.PtrToInt:
+		return d.Args[0], 0, "", true
+	case ir.Add:
+		for i := 0; i < 2; i++ {
+			if pi := o.defs[d.Args[i]]; pi != nil && pi.Op == ir.PtrToInt {
+				other := d.Args[1-i]
+				if c, isConst := o.consts[other]; isConst {
+					return pi.Args[0], c, "", true
+				}
+				return pi.Args[0], 0, other, true
+			}
+		}
+	case ir.Sub:
+		if pi := o.defs[d.Args[0]]; pi != nil && pi.Op == ir.PtrToInt {
+			if c, isConst := o.consts[d.Args[1]]; isConst {
+				return pi.Args[0], -c, "", true
+			}
+		}
+	}
+	return "", 0, "", false
+}

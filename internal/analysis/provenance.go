@@ -1,0 +1,299 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Class is a pointer-provenance classification (§IV-E "Pointer
+// tracking"): what the static analysis knows about where a pointer
+// value came from.
+type Class int
+
+// Classes. Unknown instruments with the generic hooks (run-time PM-bit
+// test), Volatile prunes instrumentation, Persistent uses the _direct
+// hook variants.
+const (
+	Unknown Class = iota
+	Volatile
+	Persistent
+)
+
+func (c Class) String() string {
+	switch c {
+	case Volatile:
+		return "volatile"
+	case Persistent:
+		return "persistent"
+	default:
+		return "unknown"
+	}
+}
+
+// meet is the class lattice meet: agreeing classes survive, conflicts
+// fall to Unknown.
+func meet(a, b Class) Class {
+	if a == b {
+		return a
+	}
+	return Unknown
+}
+
+// Provenance is the result of pointer-provenance analysis over a
+// module.
+type Provenance struct {
+	// Classes maps function name → value name → class.
+	Classes map[string]map[string]Class
+	// Returns maps function name → the class of its return value,
+	// met over all ret sites.
+	Returns map[string]Class
+	// Escapes maps function name → value name → true when the value
+	// flows somewhere the analysis cannot follow: stored to memory,
+	// passed to an external callee or a memory intrinsic, converted to
+	// an integer, or returned.
+	Escapes map[string]map[string]bool
+	// Reclassified counts values whose class the interprocedural pass
+	// refined from Unknown (relative to the intraprocedural result).
+	Reclassified int
+}
+
+// PointerProvenance classifies every value of every function. With
+// interproc it additionally propagates classes across call edges —
+// parameter classes are met over all call sites (§IV-E: a parameter
+// keeps a class only when every caller agrees), and call results take
+// the callee's return class — iterating the call graph to a fixpoint.
+func PointerProvenance(m *ir.Module, interproc bool) *Provenance {
+	p := &Provenance{
+		Classes: make(map[string]map[string]Class, len(m.Funcs)),
+		Returns: make(map[string]Class, len(m.Funcs)),
+		Escapes: make(map[string]map[string]bool, len(m.Funcs)),
+	}
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		p.Classes[f.Name] = ClassifyFunc(f, nil, nil)
+		p.Escapes[f.Name] = escapingValues(f)
+	}
+	intra := p.Classes
+	for _, f := range m.Funcs {
+		if !f.External {
+			p.Returns[f.Name] = returnClass(f, p.Classes[f.Name])
+		}
+	}
+	if !interproc {
+		return p
+	}
+
+	classes := make(map[string]map[string]Class, len(intra))
+	for k, v := range intra {
+		classes[k] = v
+	}
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		// Parameter classes from every call site.
+		paramClasses := make(map[string][]Class)
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				for _, in := range blk.Instrs {
+					if in.Op != ir.Call {
+						continue
+					}
+					callee := m.Func(in.Sym)
+					if callee == nil || callee.External {
+						continue
+					}
+					cur, ok := paramClasses[in.Sym]
+					if !ok {
+						cur = make([]Class, len(callee.Params))
+						for i := range cur {
+							cur[i] = -1 // unseen
+						}
+						paramClasses[in.Sym] = cur
+					}
+					for i := range callee.Params {
+						argClass := Unknown
+						if i < len(in.Args) {
+							argClass = classes[f.Name][in.Args[i]]
+						}
+						if cur[i] == -1 {
+							cur[i] = argClass
+						} else {
+							cur[i] = meet(cur[i], argClass)
+						}
+					}
+				}
+			}
+		}
+		for _, f := range m.Funcs {
+			if f.External {
+				continue
+			}
+			seed := make(map[string]Class)
+			if pcs, ok := paramClasses[f.Name]; ok {
+				for i, pc := range pcs {
+					if pc == Volatile || pc == Persistent {
+						seed[f.Params[i]] = pc
+					}
+				}
+			}
+			next := ClassifyFunc(f, seed, p.Returns)
+			if !sameClasses(classes[f.Name], next) {
+				classes[f.Name] = next
+				changed = true
+			}
+			if rc := returnClass(f, next); rc != p.Returns[f.Name] {
+				p.Returns[f.Name] = rc
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	p.Classes = classes
+	for name, cls := range classes {
+		base := intra[name]
+		for v, c := range cls {
+			if c != Unknown && base[v] == Unknown {
+				p.Reclassified++
+			}
+		}
+	}
+	return p
+}
+
+// returnClass meets the classes of every ret operand; a bare ret (no
+// value) contributes Volatile, since there is no pointer to protect.
+func returnClass(f *ir.Func, classes map[string]Class) Class {
+	rc := Class(-1)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op != ir.Ret {
+				continue
+			}
+			c := Volatile
+			if len(in.Args) > 0 {
+				c = classes[in.Args[0]]
+			}
+			if rc == -1 {
+				rc = c
+			} else {
+				rc = meet(rc, c)
+			}
+		}
+	}
+	if rc == -1 {
+		return Unknown
+	}
+	return rc
+}
+
+// ClassifyFunc assigns classes to every value of f, seeded with
+// parameter classes (from call sites) and callee return classes.
+// Iterates to a fixpoint so gep chains across blocks settle.
+func ClassifyFunc(f *ir.Func, seed map[string]Class, returns map[string]Class) map[string]Class {
+	c := make(map[string]Class)
+	for _, p := range f.Params {
+		if cl, ok := seed[p]; ok {
+			c[p] = cl
+		} else {
+			c[p] = Unknown
+		}
+	}
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		set := func(name string, cl Class) {
+			if name == "" {
+				return
+			}
+			if old, ok := c[name]; !ok || old != cl {
+				c[name] = cl
+				changed = true
+			}
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Op {
+				case ir.Const, ir.Add, ir.Sub, ir.Mul, ir.ICmpLt, ir.ICmpEq, ir.PtrToInt:
+					set(in.Dst, Volatile) // integers carry no tag
+				case ir.Malloc:
+					set(in.Dst, Volatile)
+				case ir.CallExt:
+					// Pointers returned by external functions are
+					// untagged: treated as volatile (§V-C).
+					set(in.Dst, Volatile)
+				case ir.IntToPtr:
+					// An integer-born pointer has no tag; SPP cannot
+					// protect it (§IV-G) and skips its hooks.
+					set(in.Dst, Volatile)
+				case ir.PmemAlloc:
+					set(in.Dst, Persistent) // oid handle
+				case ir.PmemDirect:
+					set(in.Dst, Persistent)
+				case ir.Gep:
+					set(in.Dst, c[in.Args[0]])
+				case ir.Call:
+					cl := Unknown
+					if returns != nil {
+						if rc, ok := returns[in.Sym]; ok {
+							cl = rc
+						}
+					}
+					if cl != Unknown {
+						set(in.Dst, cl)
+					} else if _, ok := c[in.Dst]; !ok && in.Dst != "" {
+						set(in.Dst, Unknown)
+					}
+				case ir.Load:
+					if _, ok := c[in.Dst]; !ok && in.Dst != "" {
+						set(in.Dst, Unknown)
+					}
+				case ir.SppCheckBound, ir.SppUpdateTag, ir.SppCleanTag, ir.SppCleanExternal, ir.SppMemIntrCheck:
+					set(in.Dst, c[in.Args[0]])
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return c
+}
+
+func sameClasses(a, b map[string]Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// escapingValues marks values the intraprocedural analysis loses track
+// of: stored to memory as data, passed to calls, external callees or
+// memory intrinsics, converted to integers, or returned.
+func escapingValues(f *ir.Func) map[string]bool {
+	esc := make(map[string]bool)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Store:
+				if len(in.Args) == 2 {
+					esc[in.Args[1]] = true
+				}
+			case ir.Call, ir.CallExt, ir.MemCpy, ir.MemSet, ir.StrCpy:
+				for _, a := range in.Args {
+					esc[a] = true
+				}
+			case ir.PtrToInt:
+				esc[in.Args[0]] = true
+			case ir.Ret:
+				for _, a := range in.Args {
+					esc[a] = true
+				}
+			}
+		}
+	}
+	return esc
+}

@@ -1,0 +1,386 @@
+package analysis
+
+import "repro/internal/ir"
+
+// rangeBound caps the magnitude of tracked intervals; anything beyond
+// falls to unknown, which also guards the arithmetic against overflow.
+const rangeBound = int64(1) << 40
+
+// Interval is an inclusive integer range.
+type Interval struct{ Lo, Hi int64 }
+
+func (iv Interval) valid() bool {
+	return iv.Lo <= iv.Hi && iv.Lo > -rangeBound && iv.Hi < rangeBound
+}
+
+func (iv Interval) hull(o Interval) Interval {
+	if o.Lo < iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi > iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// PtrFact locates a pointer value relative to its allocation: the
+// value points Off bytes past Root, for some Off in the interval.
+type PtrFact struct {
+	Root string
+	Off  Interval
+}
+
+// RangeInfo is the result of value-range analysis over one function.
+type RangeInfo struct {
+	// RootSize maps a base pointer value (malloc or pmemobj_direct
+	// result) to its statically known allocation size.
+	RootSize map[string]uint64
+	// AddrFact gives, for each Load/Store, the fact about its address
+	// operand at that program point.
+	AddrFact map[*ir.Instr]PtrFact
+	// GepFact gives the fact about each Gep's result.
+	GepFact map[*ir.Instr]PtrFact
+	// Converged is false when the solver hit its iteration cap; all
+	// facts are then dropped, so the zero maps stay sound.
+	Converged bool
+}
+
+// SafeAccess reports whether the Load/Store provably stays inside its
+// allocation: the base object's size is statically known and the
+// offset interval plus the access width fits.
+func (ri *RangeInfo) SafeAccess(in *ir.Instr) bool {
+	fact, ok := ri.AddrFact[in]
+	if !ok {
+		return false
+	}
+	size, ok := ri.RootSize[fact.Root]
+	if !ok {
+		return false
+	}
+	return fact.Off.Lo >= 0 && fact.Off.Hi+int64(in.Size) <= int64(size)
+}
+
+// rangeFact is the dataflow fact: intervals for integer values and
+// offset facts for pointer values. Maps are treated as immutable.
+type rangeFact struct {
+	ints map[string]Interval
+	ptrs map[string]PtrFact
+}
+
+// rangeProblem runs forward over the CFG. Missing keys mean "not yet
+// defined on this path" (bottom), so the meet keeps the union of keys
+// and hulls intervals present on both sides — sound because a use only
+// executes on paths where its def executed.
+type rangeProblem struct {
+	cfg    *CFG
+	consts map[string]int64 // def-once const values
+	multi  map[string]bool  // names defined more than once: untracked
+}
+
+func (p *rangeProblem) Direction() Direction { return Forward }
+func (p *rangeProblem) Boundary() rangeFact  { return rangeFact{} }
+func (p *rangeProblem) Top() rangeFact       { return rangeFact{} }
+
+func (p *rangeProblem) Meet(a, b rangeFact) rangeFact {
+	out := rangeFact{ints: make(map[string]Interval), ptrs: make(map[string]PtrFact)}
+	for k, v := range a.ints {
+		out.ints[k] = v
+	}
+	for k, v := range b.ints {
+		if av, ok := out.ints[k]; ok {
+			h := av.hull(v)
+			if h.valid() {
+				out.ints[k] = h
+			} else {
+				delete(out.ints, k)
+			}
+		} else {
+			out.ints[k] = v
+		}
+	}
+	for k, v := range a.ptrs {
+		out.ptrs[k] = v
+	}
+	for k, v := range b.ptrs {
+		if av, ok := out.ptrs[k]; ok {
+			if av.Root != v.Root {
+				delete(out.ptrs, k)
+				continue
+			}
+			h := av.Off.hull(v.Off)
+			if h.valid() {
+				out.ptrs[k] = PtrFact{Root: av.Root, Off: h}
+			} else {
+				delete(out.ptrs, k)
+			}
+		} else {
+			out.ptrs[k] = v
+		}
+	}
+	return out
+}
+
+func (p *rangeProblem) Equal(a, b rangeFact) bool {
+	if len(a.ints) != len(b.ints) || len(a.ptrs) != len(b.ptrs) {
+		return false
+	}
+	for k, v := range a.ints {
+		if bv, ok := b.ints[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.ptrs {
+		if bv, ok := b.ptrs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *rangeProblem) Transfer(b int, in rangeFact) rangeFact {
+	out := rangeFact{ints: make(map[string]Interval, len(in.ints)), ptrs: make(map[string]PtrFact, len(in.ptrs))}
+	for k, v := range in.ints {
+		out.ints[k] = v
+	}
+	for k, v := range in.ptrs {
+		out.ptrs[k] = v
+	}
+	blk := p.cfg.Func.Blocks[b]
+	for _, instr := range blk.Instrs {
+		p.step(blk, instr, &out, nil)
+	}
+	return out
+}
+
+// step applies one instruction's effect to the fact. When record is
+// non-nil the per-instruction results (access and gep facts) are
+// written into it — used by the final annotation pass.
+func (p *rangeProblem) step(blk *ir.Block, in *ir.Instr, f *rangeFact, record *RangeInfo) {
+	setInt := func(name string, iv Interval) {
+		if name == "" || p.multi[name] {
+			return
+		}
+		if iv.valid() {
+			f.ints[name] = iv
+		} else {
+			delete(f.ints, name)
+		}
+	}
+	kill := func(name string) {
+		if name == "" {
+			return
+		}
+		delete(f.ints, name)
+		delete(f.ptrs, name)
+	}
+	intOf := func(name string) (Interval, bool) {
+		iv, ok := f.ints[name]
+		return iv, ok
+	}
+
+	switch in.Op {
+	case ir.Const:
+		setInt(in.Dst, Interval{in.Imm, in.Imm})
+
+	case ir.Add, ir.Sub:
+		a, aok := intOf(in.Args[0])
+		bv, bok := intOf(in.Args[1])
+		if aok && bok {
+			if in.Op == ir.Add {
+				setInt(in.Dst, Interval{a.Lo + bv.Lo, a.Hi + bv.Hi})
+			} else {
+				setInt(in.Dst, Interval{a.Lo - bv.Hi, a.Hi - bv.Lo})
+			}
+		} else {
+			kill(in.Dst)
+		}
+
+	case ir.Mul:
+		a, aok := intOf(in.Args[0])
+		bv, bok := intOf(in.Args[1])
+		switch {
+		case aok && bok:
+			lo, hi := mulHull(a, bv)
+			setInt(in.Dst, Interval{lo, hi})
+		case blk.LoopBound > 0:
+			// Inside a block annotated with its trip count, an
+			// induction*stride offset ranges over [0, (bound-1)*stride]
+			// — the same scalar-evolution trust the hoisting
+			// optimization (§V-C) places in the annotation.
+			if c, ok := p.strideOf(in, f); ok && c > 0 {
+				setInt(in.Dst, Interval{0, (blk.LoopBound - 1) * c})
+			} else {
+				kill(in.Dst)
+			}
+		default:
+			kill(in.Dst)
+		}
+
+	case ir.Malloc, ir.PmemDirect:
+		// Allocation-site pointers anchor their own interval; sizes
+		// come from the pre-scan in InferRanges.
+		if in.Dst != "" && !p.multi[in.Dst] {
+			f.ptrs[in.Dst] = PtrFact{Root: in.Dst, Off: Interval{0, 0}}
+		}
+
+	case ir.Gep:
+		base, ok := f.ptrs[in.Args[0]]
+		if !ok {
+			kill(in.Dst)
+			if record != nil {
+				delete(record.GepFact, in)
+			}
+			break
+		}
+		off := Interval{in.Imm, in.Imm}
+		if len(in.Args) == 2 {
+			v, vok := intOf(in.Args[1])
+			if !vok {
+				kill(in.Dst)
+				if record != nil {
+					delete(record.GepFact, in)
+				}
+				break
+			}
+			off = v
+		}
+		fact := PtrFact{Root: base.Root, Off: Interval{base.Off.Lo + off.Lo, base.Off.Hi + off.Hi}}
+		if !fact.Off.valid() {
+			kill(in.Dst)
+			if record != nil {
+				delete(record.GepFact, in)
+			}
+			break
+		}
+		if in.Dst != "" && !p.multi[in.Dst] {
+			f.ptrs[in.Dst] = fact
+		}
+		if record != nil {
+			record.GepFact[in] = fact
+		}
+
+	case ir.Load, ir.Store:
+		if record != nil {
+			if fact, ok := f.ptrs[in.Args[0]]; ok {
+				record.AddrFact[in] = fact
+			}
+		}
+		if in.Op == ir.Load {
+			kill(in.Dst)
+		}
+
+	default:
+		kill(in.Dst)
+	}
+}
+
+// strideOf extracts the constant factor of a mul, from the fact or the
+// def-once const table.
+func (p *rangeProblem) strideOf(in *ir.Instr, f *rangeFact) (int64, bool) {
+	for i := 0; i < 2; i++ {
+		if iv, ok := f.ints[in.Args[i]]; ok && iv.Lo == iv.Hi {
+			return iv.Lo, true
+		}
+		if c, ok := p.consts[in.Args[i]]; ok {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func mulHull(a, b Interval) (int64, int64) {
+	cands := [4]int64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+	lo, hi := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return lo, hi
+}
+
+// InferRanges runs interval analysis over f and returns per-access
+// bound facts. Allocation sizes come from def-once constants feeding
+// malloc / pmemobj_alloc; offsets flow through gep chains, integer
+// arithmetic and trip-count-annotated loops.
+func InferRanges(f *ir.Func) *RangeInfo {
+	info := &RangeInfo{
+		RootSize: make(map[string]uint64),
+		AddrFact: make(map[*ir.Instr]PtrFact),
+		GepFact:  make(map[*ir.Instr]PtrFact),
+	}
+	if f.External || len(f.Blocks) == 0 {
+		info.Converged = true
+		return info
+	}
+
+	// Pre-scan: def counts, def-once constants, and allocation sizes.
+	defCount := make(map[string]int)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defCount[in.Dst]++
+			}
+		}
+	}
+	multi := make(map[string]bool)
+	for name, n := range defCount {
+		if n > 1 {
+			multi[name] = true
+		}
+	}
+	consts := make(map[string]int64)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.Const && !multi[in.Dst] {
+				consts[in.Dst] = in.Imm
+			}
+		}
+	}
+	oidSize := make(map[string]uint64) // pmalloc handle -> size
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.PmemAlloc:
+				if c, ok := consts[in.Args[0]]; ok && c > 0 && !multi[in.Dst] {
+					oidSize[in.Dst] = uint64(c)
+				}
+			case ir.Malloc:
+				if c, ok := consts[in.Args[0]]; ok && c > 0 && !multi[in.Dst] {
+					info.RootSize[in.Dst] = uint64(c)
+				}
+			}
+		}
+	}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.PmemDirect && !multi[in.Dst] {
+				if sz, ok := oidSize[in.Args[0]]; ok {
+					info.RootSize[in.Dst] = sz
+				}
+			}
+		}
+	}
+
+	cfg := BuildCFG(f)
+	prob := &rangeProblem{cfg: cfg, consts: consts, multi: multi}
+	in, _, converged := Solve(cfg, prob)
+	info.Converged = converged
+	if !converged {
+		// Optimistic intermediate facts must not prove anything.
+		return info
+	}
+
+	// Annotation pass: replay each block from its entry fact, recording
+	// per-instruction address and gep facts.
+	for bi, blk := range f.Blocks {
+		fact := prob.Meet(rangeFact{}, in[bi]) // copy
+		for _, instr := range blk.Instrs {
+			prob.step(blk, instr, &fact, info)
+		}
+	}
+	return info
+}

@@ -1,0 +1,110 @@
+package analysis
+
+// Direction selects how facts propagate through the CFG.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward  Direction = iota // facts flow entry → exits
+	Backward                  // facts flow exits → entry
+)
+
+// Problem describes one dataflow analysis over a CFG. F is the fact
+// type attached to block boundaries.
+type Problem[F any] interface {
+	// Direction of propagation.
+	Direction() Direction
+	// Boundary is the fact at the entry block (forward) or at every
+	// exit block (backward).
+	Boundary() F
+	// Top is the optimistic initial fact for all other blocks; Meet
+	// must satisfy Meet(Top, x) = x.
+	Top() F
+	// Meet combines facts arriving over several edges.
+	Meet(a, b F) F
+	// Transfer applies block b's effect to the incoming fact. It must
+	// not mutate in; return a fresh fact.
+	Transfer(b int, in F) F
+	// Equal reports fact equality, for fixpoint detection.
+	Equal(a, b F) bool
+}
+
+// Solve runs the iterative worklist algorithm to a fixpoint and
+// returns the facts at each block's entry and exit (in program order:
+// in[b] is the fact before the block's first instruction, out[b] the
+// fact after its terminator, regardless of direction). converged is
+// false when the iteration cap was hit first; clients proving facts
+// from optimistic intermediate state must then discard the result.
+func Solve[F any](c *CFG, p Problem[F]) (in, out []F, converged bool) {
+	n := len(c.Succs)
+	in = make([]F, n)
+	out = make([]F, n)
+	if n == 0 {
+		return in, out, true
+	}
+	fwd := p.Direction() == Forward
+
+	// sources: edges facts arrive over; order: iteration order.
+	sources := c.Preds
+	order := c.RPO()
+	if !fwd {
+		sources = c.Succs
+		order = c.PostOrder()
+	}
+	boundary := func(b int) bool {
+		if fwd {
+			return b == 0
+		}
+		return len(c.Succs[b]) == 0
+	}
+	for i := 0; i < n; i++ {
+		in[i] = p.Top()
+		out[i] = p.Top()
+	}
+
+	for pass := 0; pass < 4*n+8; pass++ {
+		changed := false
+		for _, b := range order {
+			// Gather the incoming fact.
+			var acc F
+			if boundary(b) {
+				acc = p.Boundary()
+			} else {
+				acc = p.Top()
+			}
+			for _, s := range sources[b] {
+				var edge F
+				if fwd {
+					edge = out[s]
+				} else {
+					edge = in[s]
+				}
+				acc = p.Meet(acc, edge)
+			}
+			res := p.Transfer(b, acc)
+			if fwd {
+				if !p.Equal(in[b], acc) {
+					in[b] = acc
+					changed = true
+				}
+				if !p.Equal(out[b], res) {
+					out[b] = res
+					changed = true
+				}
+			} else {
+				if !p.Equal(out[b], acc) {
+					out[b] = acc
+					changed = true
+				}
+				if !p.Equal(in[b], res) {
+					in[b] = res
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return in, out, true
+		}
+	}
+	return in, out, false
+}

@@ -78,12 +78,20 @@ var ablationConfigs = []struct {
 	name string
 	opts transform.Options
 }{
+	// Value-range elision subsumes preemption and hoisting wherever it
+	// proves a chain, so the classic optimizations are measured with it
+	// off — otherwise they would have nothing left to merge or hoist.
 	{"full (paper default)", transform.Options{}},
-	{"no pointer tracking", transform.Options{DisablePointerTracking: true}},
-	{"no preemption/hoisting", transform.Options{DisablePreemption: true, DisableHoisting: true}},
+	{"no value-range elision", transform.Options{DisableValueRange: true}},
+	{"no pointer tracking", transform.Options{
+		DisablePointerTracking: true, DisableValueRange: true,
+	}},
+	{"no preemption/hoisting", transform.Options{
+		DisablePreemption: true, DisableHoisting: true, DisableValueRange: true,
+	}},
 	{"no optimizations", transform.Options{
 		DisablePointerTracking: true, DisablePreemption: true,
-		DisableHoisting: true, DisableLTO: true,
+		DisableHoisting: true, DisableLTO: true, DisableValueRange: true,
 	}},
 }
 
@@ -96,7 +104,7 @@ func Ablation(cfg Config) (Table, error) {
 	t := Table{
 		Title: "Ablation: SPP pass optimizations, _direct hooks, SafePM medium model",
 		Columns: []string{"configuration", "updatetags", "checks", "pruned",
-			"merged+hoisted", "runtime", "vs full"},
+			"merged+hoisted", "elided", "runtime", "vs full"},
 	}
 	mod, err := ir.Parse(ablationProgram)
 	if err != nil {
@@ -133,6 +141,7 @@ func Ablation(cfg Config) (Table, error) {
 			fmt.Sprintf("%d", stats.CheckBounds),
 			fmt.Sprintf("%d", stats.PrunedVolatile),
 			fmt.Sprintf("%d", stats.Preempted+stats.Hoisted),
+			fmt.Sprintf("%d", stats.RangeElidedChecks+stats.RangeElidedTags),
 			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000),
 			fmt.Sprintf("%.2fx", float64(d)/float64(baseline)),
 		})
@@ -158,7 +167,7 @@ func Ablation(cfg Config) (Table, error) {
 		return err
 	})
 	t.Rows = append(t.Rows, []string{
-		"_direct hooks (known-PM)", "-", "-", "-", "-",
+		"_direct hooks (known-PM)", "-", "-", "-", "-", "-",
 		fmt.Sprintf("%.2fms", float64(direct.Microseconds())/1000),
 		fmt.Sprintf("%.2fx vs generic %.2fms", float64(direct)/float64(generic),
 			float64(generic.Microseconds())/1000),
@@ -185,7 +194,7 @@ func Ablation(cfg Config) (Table, error) {
 		})
 		safepm.ShadowLatencyLoops = old
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("safepm shadow latency = %d loops", loops), "-", "-", "-", "-",
+			fmt.Sprintf("safepm shadow latency = %d loops", loops), "-", "-", "-", "-", "-",
 			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000), "-",
 		})
 	}

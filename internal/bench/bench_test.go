@@ -173,15 +173,28 @@ func TestAblationRuns(t *testing.T) {
 	if len(tab.Rows) != len(ablationConfigs)+3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// Pointer tracking must prune hooks; disabling it must not.
+	// Rows: 0 full, 1 no-elision, 2 no-tracking, 3 no-preempt/hoist,
+	// 4 no-optimizations. Pointer tracking must prune hooks; disabling
+	// it must not.
 	if tab.Rows[0][3] == "0" {
 		t.Error("full config pruned nothing")
 	}
-	if tab.Rows[1][3] != "0" {
+	if tab.Rows[2][3] != "0" {
 		t.Error("tracking-disabled config pruned hooks")
 	}
-	// Disabling preemption/hoisting must leave more static checks.
-	if tab.Rows[2][1] == tab.Rows[0][1] && tab.Rows[2][2] == tab.Rows[0][2] {
+	// Value-range elision must remove hooks the no-elision build keeps.
+	if tab.Rows[0][5] == "0" {
+		t.Error("full config elided nothing")
+	}
+	fullChecks, _ := strconv.Atoi(tab.Rows[0][2])
+	noElide, _ := strconv.Atoi(tab.Rows[1][2])
+	if fullChecks >= noElide {
+		t.Errorf("elision left as many checks (%d) as the no-elision build (%d)",
+			fullChecks, noElide)
+	}
+	// Disabling preemption/hoisting must leave more static checks than
+	// the no-elision build that still runs them.
+	if tab.Rows[3][1] == tab.Rows[1][1] && tab.Rows[3][2] == tab.Rows[1][2] {
 		t.Error("optimizations made no static difference")
 	}
 	t.Log("\n" + tab.Format())

@@ -38,10 +38,13 @@ type Machine struct {
 // default external-function registry installed.
 func New(mod *ir.Module, env *variant.Env) *Machine {
 	m := &Machine{
-		mod:      mod,
-		env:      env,
-		enc:      env.Pool.Encoding(),
-		isSPP:    env.Kind == variant.SPP,
+		mod: mod,
+		env: env,
+		enc: env.Pool.Encoding(),
+		// Both SPP layouts carry tags in the pointer (pmemobj.Config.SPP
+		// is set for either); the packed-oid variant must not degrade
+		// the tag hooks to identity.
+		isSPP:    env.Kind == variant.SPP || env.Kind == variant.SPPPacked,
 		MaxSteps: 10_000_000,
 	}
 	m.externals = map[string]ExternalFn{
@@ -333,6 +336,17 @@ func (m *Machine) execBlock(f *ir.Func, blk *ir.Block, vals map[string]uint64) (
 					return nil, 0, false, err
 				}
 				if err := as.StoreBytes(dst, append([]byte(s), 0)); err != nil {
+					return nil, 0, false, err
+				}
+			}
+
+		case ir.Flush, ir.Fence:
+			// Durability is modeled at the pmemobj layer (redo/undo logs
+			// flush their own ranges); application-level flush/fence are
+			// ordering hints here. Operands are still resolved so an
+			// undefined reference faults like any other use.
+			if in.Op == ir.Flush {
+				if _, err := get(in.Args[0]); err != nil {
 					return nil, 0, false, err
 				}
 			}

@@ -50,11 +50,17 @@ entry:
 }
 
 func TestUndefinedValue(t *testing.T) {
+	// The verifier rejects names never defined anywhere; a value defined
+	// only on an unexecuted path passes Verify but must still fault at
+	// run time.
 	m := parse(t, `
 func @main() {
 entry:
-  %x = add %a, %b
+  %x = add %a, %a
   ret %x
+dead:
+  %a = const 1
+  ret %a
 }
 `)
 	if _, err := New(m, env(t, variant.PMDK)).Run("main"); err == nil {

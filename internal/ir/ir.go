@@ -38,6 +38,8 @@ const (
 	MemCpy                   // memcpy(arg0 dst, arg1 src, arg2 n)
 	MemSet                   // memset(arg0 dst, arg1 byte, arg2 n)
 	StrCpy                   // strcpy(arg0 dst, arg1 src)
+	Flush                    // write-back the cacheline holding *(arg0) (CLWB)
+	Fence                    // store fence ordering prior flushes (SFENCE)
 )
 
 // SPP hook opcodes, inserted by the transformation pass (Listing 1).
@@ -55,6 +57,7 @@ var opNames = map[Op]string{
 	Add: "add", Sub: "sub", Mul: "mul", ICmpLt: "icmp.lt", ICmpEq: "icmp.eq",
 	Br: "br", CondBr: "condbr", Ret: "ret", Call: "call", CallExt: "callext",
 	MemCpy: "memcpy", MemSet: "memset", StrCpy: "strcpy",
+	Flush: "flush", Fence: "fence",
 	SppUpdateTag: "spp.updatetag", SppCheckBound: "spp.checkbound",
 	SppCleanTag: "spp.cleantag", SppCleanExternal: "spp.cleantag.ext",
 	SppMemIntrCheck: "spp.memintr",
@@ -223,16 +226,40 @@ func (m *Module) String() string {
 	return b.String()
 }
 
-// Verify performs structural checks: defined blocks for branch
-// targets, terminators at block ends, and value definitions preceding
-// uses within straight-line code.
+// Verify performs structural checks: unique function and block names,
+// defined blocks for branch targets, terminators at block ends, call
+// arity, and every value reference resolving to a parameter or an
+// instruction result of the function.
 func (m *Module) Verify() error {
+	funcNames := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if funcNames[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		funcNames[f.Name] = true
+	}
 	for _, f := range m.Funcs {
 		if f.External {
 			continue
 		}
 		if len(f.Blocks) == 0 {
 			return fmt.Errorf("ir: function %s has no blocks", f.Name)
+		}
+		defined := make(map[string]bool)
+		for _, p := range f.Params {
+			defined[p] = true
+		}
+		blockNames := make(map[string]bool, len(f.Blocks))
+		for _, blk := range f.Blocks {
+			if blockNames[blk.Name] {
+				return fmt.Errorf("ir: %s: duplicate block label %q", f.Name, blk.Name)
+			}
+			blockNames[blk.Name] = true
+			for _, in := range blk.Instrs {
+				if in.Dst != "" {
+					defined[in.Dst] = true
+				}
+			}
 		}
 		for _, blk := range f.Blocks {
 			if len(blk.Instrs) == 0 {
@@ -242,6 +269,11 @@ func (m *Module) Verify() error {
 				isTerm := in.Op == Br || in.Op == CondBr || in.Op == Ret
 				if isTerm != (i == len(blk.Instrs)-1) {
 					return fmt.Errorf("ir: %s/%s: terminator misplaced at %d (%s)", f.Name, blk.Name, i, in)
+				}
+				for _, a := range in.Args {
+					if !defined[a] {
+						return fmt.Errorf("ir: %s/%s: use of undefined value %q in %q", f.Name, blk.Name, a, in)
+					}
 				}
 				switch in.Op {
 				case Br:
@@ -260,6 +292,9 @@ func (m *Module) Verify() error {
 					if callee.External {
 						return fmt.Errorf("ir: %s: internal call to external %q (use callext)", f.Name, in.Sym)
 					}
+					if len(in.Args) != len(callee.Params) {
+						return fmt.Errorf("ir: %s: call @%s with %d args, want %d", f.Name, in.Sym, len(in.Args), len(callee.Params))
+					}
 				case Load, Store:
 					switch in.Size {
 					case 1, 2, 4, 8:
@@ -269,6 +304,14 @@ func (m *Module) Verify() error {
 				case SppCheckBound:
 					if in.Size == 0 {
 						return fmt.Errorf("ir: %s: zero-size bound check", f.Name)
+					}
+				case Flush:
+					if len(in.Args) != 1 {
+						return fmt.Errorf("ir: %s: flush wants 1 operand, got %d", f.Name, len(in.Args))
+					}
+				case Fence:
+					if len(in.Args) != 0 {
+						return fmt.Errorf("ir: %s: fence takes no operands", f.Name)
 					}
 				}
 			}

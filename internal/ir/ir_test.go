@@ -76,6 +76,21 @@ func TestParseErrors(t *testing.T) {
 		{"bad size", "func @f(%p) {\nentry:\n  %x = load.3 %p\n  ret %x\n}"},
 		{"call unknown", "func @f() {\nentry:\n  call @nope\n  ret\n}"},
 		{"internal call to extern", "extern @e\nfunc @f() {\nentry:\n  call @e\n  ret\n}"},
+		{"call target not @name", "func @g() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  call g\n  ret\n}"},
+		{"call arity mismatch", "func @g(%a) {\nentry:\n  ret %a\n}\nfunc @f() {\nentry:\n  %r = call @g\n  ret %r\n}"},
+		{"duplicate function", "func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}"},
+		{"duplicate label", "func @f() {\nentry:\n  br next\nnext:\n  br next2\nnext:\n  ret\nnext2:\n  ret\n}"},
+		{"undefined value ref", "func @f() {\nentry:\n  %x = add %a, %b\n  ret %x\n}"},
+		{"undefined condbr cond", "func @f() {\nentry:\n  condbr %c, a, b\na:\n  ret\nb:\n  ret\n}"},
+		{"trailing text after label", "func @f() {\nentry: junk\n  ret\n}"},
+		{"bad gep offset", "func @f(%p) {\nentry:\n  %q = gep %p, zebra\n  ret\n}"},
+		{"gep missing offset", "func @f(%p) {\nentry:\n  %q = gep %p\n  ret\n}"},
+		{"condbr missing else", "func @f(%c) {\nentry:\n  condbr %c, a\na:\n  ret\n}"},
+		{"trailing operands", "func @f() {\nentry:\n  br a, b\n}"},
+		{"zero-size bound check", "func @f(%p) {\nentry:\n  %c = spp.checkbound %p\n  ret\n}"},
+		{"flush arity", "func @f(%p) {\nentry:\n  flush %p, %p\n  ret\n}"},
+		{"fence with operand", "func @f(%p) {\nentry:\n  fence %p\n  ret\n}"},
+		{"bad updatetag offset", "func @f(%p) {\nentry:\n  %q = spp.updatetag %p, zebra\n  ret\n}"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -125,6 +140,34 @@ func TestInstrStringAnnotations(t *testing.T) {
 	in2 := &Instr{Op: MemCpy, Args: []string{"%a", "%b", "%n"}, Wrapped: true}
 	if !strings.Contains(in2.String(), "!wrapped") {
 		t.Errorf("String = %q", in2.String())
+	}
+}
+
+func TestParseFlushFence(t *testing.T) {
+	src := `
+func @f(%p, %v) {
+entry:
+  store.8 %p, %v
+  flush %p
+  fence
+  ret %v
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := m.Func("f").Blocks[0].Instrs
+	if instrs[1].Op != Flush || instrs[1].Args[0] != "%p" {
+		t.Errorf("flush parsed as %s", instrs[1])
+	}
+	if instrs[2].Op != Fence || len(instrs[2].Args) != 0 {
+		t.Errorf("fence parsed as %s", instrs[2])
+	}
+	// Round trip.
+	text := m.String()
+	if _, err := Parse(text); err != nil {
+		t.Errorf("reparse: %v\n%s", err, text)
 	}
 }
 

@@ -3,20 +3,47 @@ package transform
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/hooks"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/variant"
 )
 
-// genProgram builds a random straight-line program that stays in
-// bounds: it allocates a few PM and volatile objects, performs random
-// in-range geps, loads, stores, integer arithmetic, ptr/int round
-// trips, memory intrinsics and external calls, and returns a checksum
-// of everything it loaded.
-func genProgram(rng *rand.Rand) string {
+// optLevels are the optimization rungs of the pass, from bare
+// instrumentation to the full analysis pipeline. Differential testing
+// asserts that climbing the ladder never changes program semantics —
+// neither results of in-bounds programs nor fault verdicts of
+// out-of-bounds ones.
+var optLevels = []struct {
+	name string
+	opts Options
+}{
+	{"no-opt", Options{DisablePreemption: true, DisableHoisting: true, DisableValueRange: true}},
+	{"preempt", Options{DisableHoisting: true, DisableValueRange: true}},
+	{"preempt+hoist", Options{DisableValueRange: true}},
+	{"full-analysis", Options{}},
+}
+
+// Fault kinds genProgram can inject.
+const (
+	faultNone      = ""
+	faultOverflow  = "overflow"  // gep one object past the end, store
+	faultStraddle  = "straddle"  // in-bounds pointer, access crosses the end
+	faultUnderflow = "underflow" // gep before the object start, store
+)
+
+// genProgram builds a random straight-line program: it allocates a few
+// PM and volatile objects, performs random in-range geps, loads,
+// stores, integer arithmetic, ptr/int round trips, memory intrinsics
+// and external calls, and returns a checksum of everything it loaded.
+// With a non-empty fault kind it additionally injects one
+// out-of-bounds store on a persistent object.
+func genProgram(rng *rand.Rand, fault string) string {
 	var b strings.Builder
 	b.WriteString("extern @ext_identity\nextern @ext_load8\nfunc @main() {\nentry:\n")
 	fmt.Fprintf(&b, "  %%objsize = const %d\n", 256)
@@ -101,24 +128,48 @@ func genProgram(rng *rand.Rand) string {
 			fmt.Fprintf(&b, "  store.8 %s, %s\n", q2, vals[rng.Intn(len(vals))])
 		}
 	}
+	if fault != faultNone {
+		pm := fmt.Sprintf("%%pm%d", rng.Intn(nPM))
+		q := fresh("oob")
+		switch fault {
+		case faultOverflow:
+			fmt.Fprintf(&b, "  %s = gep %s, %d\n", q, pm, 256+rng.Intn(4)*8)
+		case faultStraddle:
+			// In-bounds pointer whose 8-byte access crosses the end.
+			fmt.Fprintf(&b, "  %s = gep %s, 249\n", q, pm)
+		case faultUnderflow:
+			fmt.Fprintf(&b, "  %s = gep %s, -8\n", q, pm)
+		}
+		fmt.Fprintf(&b, "  store.8 %s, %%zero\n", q)
+	}
 	fmt.Fprintf(&b, "  ret %s\n}\n", acc)
 	return b.String()
 }
 
+var diffVariants = []variant.Kind{variant.PMDK, variant.SPP, variant.SafePM, variant.SPPPacked}
+
 // TestDifferentialRandomPrograms: for random in-bounds programs, the
-// instrumented binary under every protection variant must compute
-// exactly what the uninstrumented binary computes natively — the
-// compiler pass must never change program semantics.
+// instrumented binary at every optimization level and under every
+// protection variant must compute exactly what the uninstrumented
+// binary computes natively — the compiler pass must never change
+// program semantics.
 func TestDifferentialRandomPrograms(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	passConfigs := []Options{
-		{},
-		{DisablePointerTracking: true},
-		{DisablePreemption: true, DisableHoisting: true},
-		{RestoreIntPtr: true},
+	passConfigs := []struct {
+		name string
+		opts Options
+	}{
+		{"tracking-off", Options{DisablePointerTracking: true}},
+		{"restore-intptr", Options{RestoreIntPtr: true}},
+	}
+	for _, lv := range optLevels {
+		passConfigs = append(passConfigs, struct {
+			name string
+			opts Options
+		}{lv.name, lv.opts})
 	}
 	for trial := 0; trial < 40; trial++ {
-		src := genProgram(rng)
+		src := genProgram(rng, faultNone)
 		mod, err := ir.Parse(src)
 		if err != nil {
 			t.Fatalf("trial %d: generated program invalid: %v\n%s", trial, err, src)
@@ -129,21 +180,130 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: native run failed: %v\n%s", trial, err, src)
 		}
-		for ci, opts := range passConfigs {
-			instrumented, _, err := Apply(mod, opts)
+		for _, cfg := range passConfigs {
+			instrumented, _, err := Apply(mod, cfg.opts)
 			if err != nil {
-				t.Fatalf("trial %d cfg %d: %v", trial, ci, err)
+				t.Fatalf("trial %d cfg %s: %v", trial, cfg.name, err)
 			}
-			for _, kind := range []variant.Kind{variant.PMDK, variant.SPP, variant.SafePM, variant.SPPPacked} {
+			for _, kind := range diffVariants {
 				env := newEnv(t, kind)
 				got, err := interp.New(instrumented, env).Run("main")
 				if err != nil {
-					t.Fatalf("trial %d cfg %d %s: run failed: %v\n%s", trial, ci, kind, err, src)
+					t.Fatalf("trial %d cfg %s %s: run failed: %v\n%s", trial, cfg.name, kind, err, src)
 				}
 				if got != want {
-					t.Fatalf("trial %d cfg %d %s: got %d want %d\n%s", trial, ci, kind, got, want, src)
+					t.Fatalf("trial %d cfg %s %s: got %d want %d\n%s", trial, cfg.name, kind, got, want, src)
 				}
 			}
 		}
+	}
+}
+
+// verdict is the observable outcome of one run: whether it errored,
+// whether the error was a detected safety trap, and the result value
+// when it completed.
+type verdict struct {
+	errored bool
+	trapped bool
+	value   uint64
+}
+
+// TestDifferentialFaultVerdicts: for random out-of-bounds programs,
+// each protection variant must reach the same verdict at every
+// optimization level. In particular value-range elision must never
+// remove the check that catches the injected fault, and check
+// preemption must never turn a trapping program into a silent one (or
+// vice versa).
+func TestDifferentialFaultVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1312))
+	faults := []string{faultOverflow, faultStraddle, faultUnderflow}
+	for trial := 0; trial < 24; trial++ {
+		fault := faults[trial%len(faults)]
+		src := genProgram(rng, fault)
+		mod, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v\n%s", trial, err, src)
+		}
+		for _, kind := range diffVariants {
+			var base verdict
+			for li, lv := range optLevels {
+				instrumented, _, err := Apply(mod, lv.opts)
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, lv.name, err)
+				}
+				env := newEnv(t, kind)
+				got, runErr := interp.New(instrumented, env).Run("main")
+				v := verdict{errored: runErr != nil, trapped: hooks.IsSafetyTrap(runErr)}
+				if runErr == nil {
+					v.value = got
+				}
+				if li == 0 {
+					base = v
+					continue
+				}
+				if v != base {
+					t.Fatalf("trial %d (%s) %s: verdict diverged at %s: %+v vs %s %+v\n%s",
+						trial, fault, kind, lv.name, v, optLevels[0].name, base, src)
+				}
+			}
+			// The tag-carrying variants must actually detect overflow
+			// and straddling accesses (underflow detection depends on
+			// the encoding, so only cross-level agreement is required).
+			if (kind == variant.SPP || kind == variant.SPPPacked) &&
+				(fault == faultOverflow || fault == faultStraddle) && !base.trapped {
+				t.Errorf("trial %d (%s) %s: out-of-bounds store not trapped\n%s",
+					trial, fault, kind, src)
+			}
+		}
+	}
+}
+
+// TestValueRangeElisionRate: over the random corpus, the loop fixture
+// and the examples/compiler-pass IR fixtures, the value-range client
+// must elide at least 20% of the bound checks that survive preemption
+// and hoisting.
+func TestValueRangeElisionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var surviving, withElision int
+	count := func(src string) {
+		mod, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("invalid program: %v\n%s", err, src)
+		}
+		_, base, err := Apply(mod, Options{DisableValueRange: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, full, err := Apply(mod, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		surviving += base.CheckBounds
+		withElision += full.CheckBounds
+	}
+	for trial := 0; trial < 40; trial++ {
+		count(genProgram(rng, faultNone))
+	}
+	count(loopProgram)
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "examples", "compiler-pass", "*.ir"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no compiler-pass fixtures found: %v", err)
+	}
+	for _, fx := range fixtures {
+		b, err := os.ReadFile(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count(string(b))
+	}
+	if surviving == 0 {
+		t.Fatal("corpus produced no bound checks")
+	}
+	elided := surviving - withElision
+	rate := float64(elided) / float64(surviving)
+	t.Logf("bound checks surviving preemption+hoisting: %d, after elision: %d (%.0f%% elided)",
+		surviving, withElision, rate*100)
+	if rate < 0.20 {
+		t.Errorf("elision rate %.1f%% below the 20%% acceptance bar", rate*100)
 	}
 }

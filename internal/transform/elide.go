@@ -1,0 +1,196 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// elideProvenChecks removes SPP hooks for accesses the value-range
+// analysis proves in-bounds against a statically known allocation size.
+//
+// Mechanism: a masked copy of the allocation root is anchored right
+// after its definition (%root.clean = spp.cleantag %root — on a fresh
+// in-bounds pointer cleantag yields the plain address; on the other
+// variants it is the identity), and every gep chain whose transitive
+// uses are all provably-safe dereferences is rebased onto that clean
+// pointer. The rebased geps then need no __spp_updatetag (there is no
+// tag to maintain) and the proven accesses need no __spp_checkbound
+// (the address is plain and in bounds), so the hooks are elided
+// entirely — a strict superset of what preemption and hoisting save,
+// since those still execute one merged or hoisted check.
+//
+// Soundness: a chain is only rebased when every transitive use of
+// every value in it is a proven-in-bounds dereference, a further
+// rebasable gep, or a flush — any use that could observe the tag
+// (stored as data, call argument, ptrtoint, an access the proof does
+// not cover) keeps the chain on the tagged pointer. The anchor must
+// also dominate every rewritten instruction.
+func elideProvenChecks(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {
+	if f.External || len(f.Blocks) == 0 {
+		return
+	}
+	ri := analysis.InferRanges(f)
+	if !ri.Converged || len(ri.RootSize) == 0 {
+		return
+	}
+	classOf := func(v string) Class {
+		if opts.DisablePointerTracking {
+			return Unknown
+		}
+		return classes[v]
+	}
+
+	type loc struct{ blk, idx int }
+	type use struct {
+		in  *ir.Instr
+		arg int
+		at  loc
+	}
+	defLoc := make(map[string]loc)
+	defInstr := make(map[string]*ir.Instr)
+	defCount := make(map[string]int)
+	uses := make(map[string][]use)
+	for bi, blk := range f.Blocks {
+		for ii, in := range blk.Instrs {
+			if in.Dst != "" {
+				defCount[in.Dst]++
+				defLoc[in.Dst] = loc{bi, ii}
+				defInstr[in.Dst] = in
+			}
+			for ai, a := range in.Args {
+				uses[a] = append(uses[a], use{in, ai, loc{bi, ii}})
+			}
+		}
+	}
+	dom := analysis.Dominators(analysis.BuildCFG(f))
+
+	// rebasable reports whether the gep's value never leaves the set of
+	// proven-safe dereferences / rebasable geps / flushes. The memo's
+	// false-while-in-progress entry also breaks self-referential defs.
+	memo := make(map[*ir.Instr]bool)
+	var rebasable func(g *ir.Instr) bool
+	rebasable = func(g *ir.Instr) bool {
+		if v, ok := memo[g]; ok {
+			return v
+		}
+		memo[g] = false
+		if g.Dst == "" || defCount[g.Dst] != 1 {
+			return false
+		}
+		if _, ok := ri.GepFact[g]; !ok {
+			return false
+		}
+		for _, u := range uses[g.Dst] {
+			switch {
+			case (u.in.Op == ir.Load || u.in.Op == ir.Store) && u.arg == 0 && ri.SafeAccess(u.in):
+			case u.in.Op == ir.Gep && u.arg == 0 && rebasable(u.in):
+			case u.in.Op == ir.Flush && u.arg == 0:
+			default:
+				return false
+			}
+		}
+		memo[g] = true
+		return true
+	}
+
+	// markChain flags every gep and access of a rebased chain.
+	var markChain func(g *ir.Instr)
+	markChain = func(g *ir.Instr) {
+		g.SkipTagUpdate = true
+		stats.RangeElidedTags++
+		for _, u := range uses[g.Dst] {
+			switch {
+			case (u.in.Op == ir.Load || u.in.Op == ir.Store) && u.arg == 0 && !u.in.SkipCheck:
+				u.in.SkipCheck = true
+				stats.RangeElidedChecks++
+			case u.in.Op == ir.Gep && u.arg == 0:
+				markChain(u.in)
+			}
+		}
+	}
+
+	// dominatedByAnchor: the anchor sits right after the root's def, so
+	// it dominates exactly the instructions the def strictly dominates.
+	dominatedByAnchor := func(root string, at loc) bool {
+		d := defLoc[root]
+		if d.blk == at.blk {
+			return at.idx > d.idx
+		}
+		return dom.Dominates(d.blk, at.blk)
+	}
+
+	// Walk roots in program order for deterministic output.
+	for _, blk := range f.Blocks {
+		for _, rootDef := range blk.Instrs {
+			root := rootDef.Dst
+			if root == "" {
+				continue
+			}
+			if _, ok := ri.RootSize[root]; !ok || defInstr[root] != rootDef {
+				continue
+			}
+			cls := classOf(root)
+			if cls == Volatile {
+				continue // hooks are pruned anyway; an anchor would only add work
+			}
+			// Collect the rewrites: rebasable gep chains off this root,
+			// and proven-safe dereferences of the root itself.
+			var topGeps []*ir.Instr
+			var directAccs []*ir.Instr
+			for _, u := range uses[root] {
+				switch {
+				case u.in.Op == ir.Gep && u.arg == 0 && rebasable(u.in) && dominatedByAnchor(root, u.at):
+					topGeps = append(topGeps, u.in)
+				case (u.in.Op == ir.Load || u.in.Op == ir.Store) && u.arg == 0 &&
+					ri.SafeAccess(u.in) && dominatedByAnchor(root, u.at):
+					directAccs = append(directAccs, u.in)
+				}
+			}
+			if len(topGeps) == 0 && len(directAccs) == 0 {
+				continue
+			}
+			clean := freshValueName(defCount, root+".clean")
+			anchor := &ir.Instr{
+				Op: ir.SppCleanTag, Dst: clean, Args: []string{root},
+				KnownPM: cls == Persistent,
+			}
+			blk.Instrs = insertAfter(blk.Instrs, rootDef, anchor)
+			stats.RangeAnchors++
+			for _, g := range topGeps {
+				g.Args[0] = clean
+				markChain(g)
+			}
+			for _, acc := range directAccs {
+				if !acc.SkipCheck {
+					acc.Args[0] = clean
+					acc.SkipCheck = true
+					stats.RangeElidedChecks++
+				}
+			}
+		}
+	}
+}
+
+func freshValueName(defCount map[string]int, base string) string {
+	name := base
+	for i := 1; defCount[name] > 0; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	defCount[name]++
+	return name
+}
+
+func insertAfter(list []*ir.Instr, target, insert *ir.Instr) []*ir.Instr {
+	for i, in := range list {
+		if in == target {
+			out := make([]*ir.Instr, 0, len(list)+1)
+			out = append(out, list[:i+1]...)
+			out = append(out, insert)
+			out = append(out, list[i+1:]...)
+			return out
+		}
+	}
+	return append(list, insert)
+}

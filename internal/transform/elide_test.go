@@ -1,0 +1,152 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/interp"
+	"repro/internal/variant"
+)
+
+// TestElideRebasesProvenChain: a gep chain off a known-size persistent
+// allocation whose every use is a proven in-bounds access is rebased
+// onto a cleantag anchor, and all its SPP hooks disappear.
+func TestElideRebasesProvenChain(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 256
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 7
+  %q = gep %p, 8
+  store.8 %q, %v
+  %x = load.8 %q
+  ret %x
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.RangeAnchors != 1 {
+		t.Errorf("RangeAnchors = %d, want 1", stats.RangeAnchors)
+	}
+	if stats.RangeElidedTags != 1 {
+		t.Errorf("RangeElidedTags = %d, want 1 (the gep)", stats.RangeElidedTags)
+	}
+	if stats.RangeElidedChecks != 2 {
+		t.Errorf("RangeElidedChecks = %d, want 2 (store + load)", stats.RangeElidedChecks)
+	}
+	text := instrumented.String()
+	if !strings.Contains(text, "%p.clean = spp.cleantag %p !pm") {
+		t.Errorf("missing known-PM cleantag anchor:\n%s", text)
+	}
+	if !strings.Contains(text, "gep %p.clean, 8") {
+		t.Errorf("gep not rebased onto the clean pointer:\n%s", text)
+	}
+	if strings.Contains(text, "spp.checkbound") || strings.Contains(text, "spp.updatetag") {
+		t.Errorf("proven chain kept SPP hooks:\n%s", text)
+	}
+	for _, kind := range []variant.Kind{variant.SPP, variant.SPPPacked, variant.PMDK} {
+		env := newEnv(t, kind)
+		got, err := interp.New(instrumented, env).Run("main")
+		if err != nil {
+			t.Fatalf("%s: elided run failed: %v\n%s", kind, err, text)
+		}
+		if got != 7 {
+			t.Errorf("%s: got %d, want 7", kind, got)
+		}
+	}
+}
+
+// TestElideKeepsCheckOnUnprovenAccess: an access the interval analysis
+// cannot prove in bounds keeps its tagged pointer and its bound check —
+// and that check still fires.
+func TestElideKeepsCheckOnUnprovenAccess(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 256
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 7
+  %q = gep %p, 8
+  store.8 %q, %v
+  %bad = gep %p, 249
+  store.8 %bad, %v
+  ret %v
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	text := instrumented.String()
+	// The straddling access (249 + 8 > 256) is out of the proof: its
+	// gep keeps the tag update and the store keeps the check.
+	if stats.RangeElidedChecks != 1 {
+		t.Errorf("RangeElidedChecks = %d, want 1 (only the safe store)\n%s",
+			stats.RangeElidedChecks, text)
+	}
+	if !strings.Contains(text, "spp.updatetag") || !strings.Contains(text, "spp.checkbound") {
+		t.Errorf("unproven access lost its hooks:\n%s", text)
+	}
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(instrumented, env).Run("main"); !hooks.IsSafetyTrap(err) {
+		t.Errorf("straddling store not trapped after elision: %v\n%s", err, text)
+	}
+}
+
+// TestElideSkipsVolatileRoots: pointer tracking already prunes every
+// hook on volatile chains, so anchoring a cleantag there would only
+// add an instruction.
+func TestElideSkipsVolatileRoots(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 256
+  %p = malloc %s
+  %v = const 7
+  %q = gep %p, 8
+  store.8 %q, %v
+  %x = load.8 %q
+  ret %x
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	if stats.RangeAnchors != 0 {
+		t.Errorf("RangeAnchors = %d on a volatile-only program\n%s",
+			stats.RangeAnchors, instrumented)
+	}
+	if strings.Contains(instrumented.String(), "spp.cleantag") {
+		t.Errorf("cleantag anchor on a volatile root:\n%s", instrumented)
+	}
+}
+
+// TestElideTagObservingUseBlocksRebase: a gep whose value is also
+// converted to an integer could expose the missing tag; the chain must
+// stay on the tagged pointer.
+func TestElideTagObservingUseBlocksRebase(t *testing.T) {
+	m := parse(t, `
+func @main() {
+entry:
+  %s = const 256
+  %oid = pmalloc %s
+  %p = direct %oid
+  %v = const 7
+  %q = gep %p, 8
+  store.8 %q, %v
+  %i = ptrtoint %q
+  ret %i
+}
+`)
+	instrumented, stats := apply(t, m, Options{})
+	text := instrumented.String()
+	if stats.RangeAnchors != 0 || stats.RangeElidedTags != 0 || stats.RangeElidedChecks != 0 {
+		t.Errorf("tag-observed chain was rebased (anchors=%d tags=%d checks=%d):\n%s",
+			stats.RangeAnchors, stats.RangeElidedTags, stats.RangeElidedChecks, text)
+	}
+	if !strings.Contains(text, "spp.updatetag") {
+		t.Errorf("tag-observed gep lost its tag update:\n%s", text)
+	}
+	env := newEnv(t, variant.SPP)
+	if _, err := interp.New(instrumented, env).Run("main"); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, text)
+	}
+}

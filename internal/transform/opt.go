@@ -3,6 +3,7 @@ package transform
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -51,10 +52,13 @@ func preemptChecks(f *ir.Func, classes map[string]Class, opts Options, stats *St
 		for _, in := range blk.Instrs {
 			switch in.Op {
 			case ir.Gep:
-				if len(in.Args) == 1 { // constant offset
+				if len(in.Args) == 1 && !in.SkipTagUpdate { // constant offset, not rebased by elision
 					gepsByDst[in.Dst] = in
 				}
 			case ir.Load, ir.Store:
+				if in.SkipCheck {
+					continue // already elided by the value-range proof
+				}
 				addr := in.Args[0]
 				if g, ok := gepsByDst[addr]; ok && uses[g.Dst] == 1 {
 					base := g.Args[0]
@@ -131,12 +135,23 @@ func preemptChecks(f *ir.Func, classes map[string]Class, opts Options, stats *St
 // offset placed in the preheader.
 func hoistLoopChecks(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {
 	consts := constValues(f)
-	for bi, blk := range f.Blocks {
+	params := make(map[string]bool, len(f.Params))
+	for _, p := range f.Params {
+		params[p] = true
+	}
+	entry := f.Blocks[0]
+	blocks := f.Blocks
+	for _, blk := range blocks {
 		if blk.LoopBound <= 0 {
 			continue
 		}
-		pre := preheader(f, bi)
-		if pre == nil {
+		pre := preheader(f, blk)
+		// A loop headed by the entry block has no preheader: nothing
+		// executes before entry. One is synthesized lazily (only if a
+		// check actually hoists), and only parameters may serve as the
+		// hoisted base — they alone are defined that early.
+		synth := pre == nil && blk == entry
+		if pre == nil && !synth {
 			continue
 		}
 		defined := make(map[string]bool)
@@ -158,7 +173,7 @@ func hoistLoopChecks(f *ir.Func, classes map[string]Class, opts Options, stats *
 			}
 		}
 		for _, in := range blk.Instrs {
-			if in.Op != ir.Gep || len(in.Args) != 2 {
+			if in.Op != ir.Gep || len(in.Args) != 2 || in.SkipTagUpdate {
 				continue
 			}
 			base, off := in.Args[0], in.Args[1]
@@ -166,13 +181,16 @@ func hoistLoopChecks(f *ir.Func, classes map[string]Class, opts Options, stats *
 			if !ok || stride <= 0 || defined[base] {
 				continue // not the recognized pattern, or base not invariant
 			}
+			if synth && !params[base] {
+				continue // a synthesized preheader runs before entry: only params exist there
+			}
 			if !opts.DisablePointerTracking && classes[base] == Volatile {
 				continue
 			}
 			// Find the dereferences of this gep's result in the block.
 			var derefs []*ir.Instr
 			for _, d := range blk.Instrs {
-				if (d.Op == ir.Load || d.Op == ir.Store) && d.Args[0] == in.Dst {
+				if (d.Op == ir.Load || d.Op == ir.Store) && d.Args[0] == in.Dst && !d.SkipCheck {
 					derefs = append(derefs, d)
 				}
 			}
@@ -186,6 +204,13 @@ func hoistLoopChecks(f *ir.Func, classes map[string]Class, opts Options, stats *
 				}
 			}
 			maxEnd := (blk.LoopBound-1)*stride + int64(maxSize)
+			if pre == nil {
+				pre = &ir.Block{
+					Name:   freshBlockName(f, "preheader"),
+					Instrs: []*ir.Instr{{Op: ir.Br, Sym: blk.Name}},
+				}
+				f.Blocks = append([]*ir.Block{pre}, f.Blocks...)
+			}
 			masked := fmt.Sprintf("%s.h", base)
 			hook := &ir.Instr{
 				Op: ir.SppCheckBound, Dst: masked, Args: []string{base},
@@ -208,16 +233,26 @@ func hoistLoopChecks(f *ir.Func, classes map[string]Class, opts Options, stats *
 }
 
 // preheader returns the unique block outside the loop that branches to
-// f.Blocks[bi], or nil.
-func preheader(f *ir.Func, bi int) *ir.Block {
-	loop := f.Blocks[bi]
+// loop, or nil. The entry block never has one: every other branch to it
+// is a back edge, and placing a "preheader" inside the loop would both
+// re-execute the hoisted check and use its result before it is defined
+// on the first iteration.
+func preheader(f *ir.Func, loop *ir.Block) *ir.Block {
+	if loop == f.Blocks[0] {
+		return nil
+	}
+	cfg := analysis.BuildCFG(f)
+	dom := analysis.Dominators(cfg)
 	var pre *ir.Block
-	for _, blk := range f.Blocks {
+	for bi, blk := range f.Blocks {
 		if blk == loop {
 			continue
 		}
 		term := blk.Instrs[len(blk.Instrs)-1]
 		if term.Sym == loop.Name || term.SymElse == loop.Name {
+			if dom.Dominates(cfg.Index[loop.Name], bi) {
+				continue // back edge from inside the loop
+			}
 			if pre != nil {
 				return nil // multiple entries: cannot hoist
 			}
@@ -225,6 +260,23 @@ func preheader(f *ir.Func, bi int) *ir.Block {
 		}
 	}
 	return pre
+}
+
+// freshBlockName returns base, or base+suffix when taken.
+func freshBlockName(f *ir.Func, base string) string {
+	taken := func(name string) bool {
+		for _, blk := range f.Blocks {
+			if blk.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	name := base
+	for i := 1; taken(name); i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
 }
 
 func insertBefore(list []*ir.Instr, target, insert *ir.Instr) []*ir.Instr {
@@ -248,51 +300,14 @@ func insertBefore(list []*ir.Instr, target, insert *ir.Instr) []*ir.Instr {
 // spot (§IV-G). It runs before classification so the restored pointers
 // are tracked and instrumented like any other.
 func restoreIntPtr(f *ir.Func) int {
-	defs := make(map[string]*ir.Instr)
-	consts := constValues(f)
-	for _, blk := range f.Blocks {
-		for _, in := range blk.Instrs {
-			if in.Dst != "" {
-				defs[in.Dst] = in
-			}
-		}
-	}
-	// ptrOrigin resolves an integer value to (pointer, constOff,
-	// varOff) when it derives from a PtrToInt.
-	ptrOrigin := func(v string) (ptr string, imm int64, varOff string, ok bool) {
-		d := defs[v]
-		if d == nil {
-			return "", 0, "", false
-		}
-		switch d.Op {
-		case ir.PtrToInt:
-			return d.Args[0], 0, "", true
-		case ir.Add:
-			for i := 0; i < 2; i++ {
-				if pi := defs[d.Args[i]]; pi != nil && pi.Op == ir.PtrToInt {
-					other := d.Args[1-i]
-					if c, isConst := consts[other]; isConst {
-						return pi.Args[0], c, "", true
-					}
-					return pi.Args[0], 0, other, true
-				}
-			}
-		case ir.Sub:
-			if pi := defs[d.Args[0]]; pi != nil && pi.Op == ir.PtrToInt {
-				if c, isConst := consts[d.Args[1]]; isConst {
-					return pi.Args[0], -c, "", true
-				}
-			}
-		}
-		return "", 0, "", false
-	}
+	origin := analysis.NewOrigin(f)
 	restored := 0
 	for _, blk := range f.Blocks {
 		for _, in := range blk.Instrs {
 			if in.Op != ir.IntToPtr {
 				continue
 			}
-			ptr, imm, varOff, ok := ptrOrigin(in.Args[0])
+			ptr, imm, varOff, ok := origin.PtrOrigin(in.Args[0])
 			if !ok {
 				continue
 			}

@@ -19,29 +19,21 @@ package transform
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
-// Class is a pointer-tracking classification.
-type Class int
+// Class is a pointer-tracking classification; the analysis package owns
+// the type and the classification itself (interprocedural pointer
+// provenance), the transform consumes it.
+type Class = analysis.Class
 
 // Classes (§IV-E "Pointer tracking").
 const (
-	Unknown    Class = iota // instrument, test the PM bit at run time
-	Volatile                // skip instrumentation entirely
-	Persistent              // instrument with _direct hooks
+	Unknown    = analysis.Unknown    // instrument, test the PM bit at run time
+	Volatile   = analysis.Volatile   // skip instrumentation entirely
+	Persistent = analysis.Persistent // instrument with _direct hooks
 )
-
-func (c Class) String() string {
-	switch c {
-	case Volatile:
-		return "volatile"
-	case Persistent:
-		return "persistent"
-	default:
-		return "unknown"
-	}
-}
 
 // Options selects which passes run. The zero value runs everything,
 // matching the paper's default build.
@@ -63,6 +55,11 @@ type Options struct {
 	// rewritten to re-derive the original tagged pointer, restoring
 	// SPP protection across the laundering.
 	RestoreIntPtr bool
+	// DisableValueRange turns off value-range hook elision: the
+	// interval analysis that proves accesses in-bounds against
+	// statically known allocation sizes and removes their
+	// __spp_checkbound/__spp_updatetag hooks entirely.
+	DisableValueRange bool
 }
 
 // Stats reports what the instrumentation did, for tests and the
@@ -78,6 +75,15 @@ type Stats struct {
 	Preempted      int // checks merged by bound-check preemption
 	Hoisted        int // checks hoisted out of annotated loops
 	RestoredPtrs   int // int-to-ptr conversions re-derived from their pointer origin
+
+	// Per-analysis results (the dataflow clients in internal/analysis).
+	Reclassified      int // values refined from unknown by interprocedural provenance
+	RangeElidedChecks int // bound checks elided by the value-range in-bounds proof
+	RangeElidedTags   int // tag updates elided by rebasing proven chains
+	RangeAnchors      int // spp.cleantag anchors inserted for rebased chains
+	ClassUnknown      int // values classified unknown
+	ClassVolatile     int // values classified volatile
+	ClassPersistent   int // values classified persistent
 }
 
 // Apply runs the passes over a copy of m and returns the instrumented
@@ -93,13 +99,30 @@ func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
 			}
 		}
 	}
-	classes := classify(out, !opts.DisableLTO)
+	prov := analysis.PointerProvenance(out, !opts.DisableLTO)
+	classes := prov.Classes
+	stats.Reclassified = prov.Reclassified
+	for _, fc := range classes {
+		for _, cl := range fc {
+			switch cl {
+			case Volatile:
+				stats.ClassVolatile++
+			case Persistent:
+				stats.ClassPersistent++
+			default:
+				stats.ClassUnknown++
+			}
+		}
+	}
 
 	for _, f := range out.Funcs {
 		if f.External {
 			continue
 		}
 		fc := classes[f.Name]
+		if !opts.DisableValueRange {
+			elideProvenChecks(f, fc, opts, &stats)
+		}
 		if !opts.DisablePreemption {
 			preemptChecks(f, fc, opts, &stats)
 		}
@@ -112,148 +135,6 @@ func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
 		return nil, stats, fmt.Errorf("transform: instrumented module invalid: %w", err)
 	}
 	return out, stats, nil
-}
-
-// classify runs pointer tracking for every function; with LTO it also
-// propagates argument classes across call edges until a fixpoint.
-func classify(m *ir.Module, lto bool) map[string]map[string]Class {
-	classes := make(map[string]map[string]Class, len(m.Funcs))
-	for _, f := range m.Funcs {
-		if !f.External {
-			classes[f.Name] = classifyFunc(f, nil)
-		}
-	}
-	if !lto {
-		return classes
-	}
-	// LTO: derive parameter classes from every call site (§IV-E: a
-	// parameter gets a class only if all callers agree).
-	for pass := 0; pass < 4; pass++ {
-		changed := false
-		paramClasses := make(map[string][]Class)
-		for _, f := range m.Funcs {
-			for _, blk := range f.Blocks {
-				for _, in := range blk.Instrs {
-					if in.Op != ir.Call {
-						continue
-					}
-					callee := m.Func(in.Sym)
-					if callee == nil || callee.External {
-						continue
-					}
-					cur, ok := paramClasses[in.Sym]
-					if !ok {
-						cur = make([]Class, len(callee.Params))
-						for i := range cur {
-							cur[i] = -1 // unseen
-						}
-						paramClasses[in.Sym] = cur
-					}
-					for i := range callee.Params {
-						var argClass Class = Unknown
-						if i < len(in.Args) {
-							argClass = classes[f.Name][in.Args[i]]
-						}
-						if cur[i] == -1 {
-							cur[i] = argClass
-						} else if cur[i] != argClass {
-							cur[i] = Unknown
-						}
-					}
-				}
-			}
-		}
-		for name, pcs := range paramClasses {
-			f := m.Func(name)
-			seed := make(map[string]Class, len(pcs))
-			for i, pc := range pcs {
-				if pc == Volatile || pc == Persistent {
-					seed[f.Params[i]] = pc
-				}
-			}
-			next := classifyFunc(f, seed)
-			if !sameClasses(classes[name], next) {
-				classes[name] = next
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	return classes
-}
-
-func sameClasses(a, b map[string]Class) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
-}
-
-// classifyFunc assigns classes to every value of f, seeded with
-// parameter classes from the LTO pass.
-func classifyFunc(f *ir.Func, seed map[string]Class) map[string]Class {
-	c := make(map[string]Class)
-	for _, p := range f.Params {
-		if cl, ok := seed[p]; ok {
-			c[p] = cl
-		} else {
-			c[p] = Unknown
-		}
-	}
-	// Iterate to a fixpoint so gep chains across blocks settle.
-	for pass := 0; pass < 8; pass++ {
-		changed := false
-		set := func(name string, cl Class) {
-			if name == "" {
-				return
-			}
-			if old, ok := c[name]; !ok || old != cl {
-				c[name] = cl
-				changed = true
-			}
-		}
-		for _, blk := range f.Blocks {
-			for _, in := range blk.Instrs {
-				switch in.Op {
-				case ir.Const, ir.Add, ir.Sub, ir.Mul, ir.ICmpLt, ir.ICmpEq, ir.PtrToInt:
-					set(in.Dst, Volatile) // integers carry no tag
-				case ir.Malloc:
-					set(in.Dst, Volatile)
-				case ir.CallExt:
-					// Pointers returned by external functions are
-					// untagged: treated as volatile (§V-C).
-					set(in.Dst, Volatile)
-				case ir.IntToPtr:
-					// An integer-born pointer has no tag; SPP cannot
-					// protect it (§IV-G) and skips its hooks.
-					set(in.Dst, Volatile)
-				case ir.PmemAlloc:
-					set(in.Dst, Persistent) // oid handle
-				case ir.PmemDirect:
-					set(in.Dst, Persistent)
-				case ir.Gep:
-					set(in.Dst, c[in.Args[0]])
-				case ir.Load, ir.Call:
-					if _, ok := c[in.Dst]; !ok && in.Dst != "" {
-						set(in.Dst, Unknown)
-					}
-				case ir.SppCheckBound, ir.SppUpdateTag, ir.SppCleanTag, ir.SppCleanExternal, ir.SppMemIntrCheck:
-					set(in.Dst, c[in.Args[0]])
-				}
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	return c
 }
 
 // instrumentFunc performs the transformation pass proper.

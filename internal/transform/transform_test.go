@@ -53,7 +53,9 @@ entry:
 
 func TestInstrumentationSites(t *testing.T) {
 	m := parse(t, basicProgram)
-	out, stats := apply(t, m, Options{DisablePreemption: true, DisableHoisting: true})
+	// Value-range elision would prove both accesses and remove every
+	// hook; disable it to observe the raw instrumentation sites.
+	out, stats := apply(t, m, Options{DisablePreemption: true, DisableHoisting: true, DisableValueRange: true})
 	if stats.UpdateTags != 1 {
 		t.Errorf("UpdateTags = %d, want 1 (one gep)", stats.UpdateTags)
 	}
@@ -92,8 +94,9 @@ entry:
 	if stats.PrunedVolatile < 3 {
 		t.Errorf("PrunedVolatile = %d, want >= 3", stats.PrunedVolatile)
 	}
-	// With tracking disabled everything is instrumented.
-	_, stats = apply(t, m, Options{DisablePointerTracking: true, DisablePreemption: true, DisableHoisting: true})
+	// With tracking disabled everything is instrumented (value-range
+	// elision would still prove these accesses, so it is off too).
+	_, stats = apply(t, m, Options{DisablePointerTracking: true, DisablePreemption: true, DisableHoisting: true, DisableValueRange: true})
 	if stats.CheckBounds != 2 || stats.UpdateTags != 1 {
 		t.Errorf("tracking-off stats: %+v", stats)
 	}
@@ -297,7 +300,9 @@ entry:
   ret %x
 }
 `)
-	instrumented, stats := apply(t, m, Options{})
+	// Value-range elision would prove all three accesses and leave
+	// nothing to merge; disable it to exercise preemption itself.
+	instrumented, stats := apply(t, m, Options{DisableValueRange: true})
 	if stats.Preempted != 2 {
 		t.Errorf("Preempted = %d, want 2 (three checks merged into one)", stats.Preempted)
 	}
@@ -368,11 +373,13 @@ done:
 
 func TestLoopHoisting(t *testing.T) {
 	m := parse(t, loopProgram)
-	hoistOn, on := apply(t, m, Options{})
+	// Value-range elision would prove the whole loop in-bounds and
+	// remove the checks outright; disable it to exercise hoisting.
+	hoistOn, on := apply(t, m, Options{DisableValueRange: true})
 	if on.Hoisted != 1 {
 		t.Fatalf("Hoisted = %d, want 1\n%s", on.Hoisted, hoistOn)
 	}
-	_, off := apply(t, m, Options{DisableHoisting: true})
+	_, off := apply(t, m, Options{DisableHoisting: true, DisableValueRange: true})
 	if off.Hoisted != 0 {
 		t.Errorf("Hoisted = %d with hoisting disabled", off.Hoisted)
 	}
@@ -411,6 +418,83 @@ func TestLoopHoistingCatchesOverflowConservatively(t *testing.T) {
 	env := newEnv(t, variant.SPP)
 	if _, err := interp.New(instrumented, env).Run("main"); !hooks.IsSafetyTrap(err) {
 		t.Errorf("hoisted check missed loop overflow: %v", err)
+	}
+}
+
+// TestHoistEntryHeaderLoop: a loop whose header IS the function entry
+// block has no preheader; the seed picked the latch (the only branch
+// to the header), placing the hoisted check inside the loop after its
+// first use. The pass must instead synthesize a preheader block ahead
+// of entry and hoist the check there.
+func TestHoistEntryHeaderLoop(t *testing.T) {
+	m := parse(t, `
+func @kernel(%p, %islot) {
+head: !loop.bound 10
+  %i = load.8 %islot
+  %c8 = const 8
+  %off = mul %i, %c8
+  %q = gep %p, %off
+  store.8 %q, %i
+  br latch
+latch:
+  %i1 = load.8 %islot
+  %one = const 1
+  %i2 = add %i1, %one
+  store.8 %islot, %i2
+  %n = const 10
+  %c = icmp.lt %i2, %n
+  condbr %c, head, done
+done:
+  %last = gep %p, 72
+  %lv = load.8 %last
+  ret %lv
+}
+func @main() {
+entry:
+  %s = const 80
+  %oid = pmalloc %s
+  %p = direct %oid
+  %eight = const 8
+  %islot = malloc %eight
+  %zero = const 0
+  store.8 %islot, %zero
+  %r = call @kernel, %p, %islot
+  ret %r
+}
+`)
+	// Disable elision so the hoisting path itself is exercised.
+	instrumented, stats := apply(t, m, Options{DisableValueRange: true})
+	if stats.Hoisted != 1 {
+		t.Fatalf("Hoisted = %d, want 1\n%s", stats.Hoisted, instrumented)
+	}
+	kernel := instrumented.Func("kernel")
+	pre := kernel.Blocks[0]
+	if pre.Name == "head" {
+		t.Fatalf("no preheader synthesized for entry-header loop:\n%s", instrumented)
+	}
+	if !strings.Contains(blockText(pre), "spp.checkbound.80") {
+		t.Errorf("synthesized preheader lacks the hoisted max-extent check:\n%s", blockText(pre))
+	}
+	for _, in := range kernel.Block("head").Instrs {
+		if in.Op == ir.SppCheckBound && in.Args[0] == "%p" {
+			t.Errorf("hoisted check left inside the loop header: %s", in)
+		}
+	}
+	for _, in := range kernel.Block("latch").Instrs {
+		if in.Op == ir.SppCheckBound && in.Args[0] == "%p" {
+			t.Errorf("hoisted check placed in the latch (seed bug): %s", in)
+		}
+	}
+	// The miscompile was dynamic: the check's result was used on
+	// iteration 1 before the latch defined it. The fixed program must
+	// run to completion with the right answer.
+	env := newEnv(t, variant.SPP)
+	got, err := interp.New(instrumented, env).Run("main")
+	if err != nil {
+		t.Fatalf("entry-header loop run failed: %v\n%s", err, instrumented)
+	}
+	if got != 9 {
+		t.Errorf("result = %d, want 9", got)
 	}
 }
 
