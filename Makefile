@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet test lint-fixtures bench
+.PHONY: check fmt vet test race lint-fixtures bench
 
-## check: everything CI runs — formatting, vet, build+tests, and the
-## sppc -lint self-check over the shipped IR fixtures.
-check: fmt vet test lint-fixtures
+## check: everything CI runs — formatting, vet, build+tests, the race
+## detector over the concurrency-sensitive packages, and the sppc -lint
+## self-check over the shipped IR fixtures.
+check: fmt vet test race lint-fixtures
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -16,6 +17,12 @@ vet:
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+## race: the concurrency-sensitive packages under the race detector —
+## the memory path (device, allocator, lanes), the runtimes above it,
+## and the concurrent kvstore workloads.
+race:
+	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore
 
 ## lint-fixtures: the clean fixture must lint clean; the laundered one
 ## must be flagged (non-zero exit) — both outcomes are asserted.

@@ -36,6 +36,7 @@ var experiments = []experiment{
 	{"table4", "RIPE attacks (Table IV)", bench.Table4},
 	{"crash", "crash consistency (§VI-E)", bench.CrashConsistency},
 	{"ablation", "design-choice ablation (DESIGN.md §7)", bench.Ablation},
+	{"scaling", "memory-path concurrency scaling (DESIGN.md §10)", bench.Scaling},
 }
 
 func main() {
@@ -50,8 +51,10 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment: all, "+names())
 	scale := fs.Float64("scale", 0.01, "fraction of the paper's operation counts (1.0 = paper scale)")
 	pool := fs.Uint64("pool", 256<<20, "pool size in bytes per environment")
-	threads := fs.String("threads", "1,2,4,8", "comma-separated thread axis for fig5")
+	threads := fs.String("threads", "1,2,4,8", "comma-separated thread axis for fig5/scaling")
 	seed := fs.Int64("seed", 42, "workload seed")
+	arenas := fs.Int("arenas", 0, "allocator arena count (0 = pool default)")
+	noAffinity := fs.Bool("no-affinity", false, "disable the worker-affine lane cache")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +66,10 @@ func run(args []string) error {
 		}
 		ts = append(ts, n)
 	}
-	cfg := bench.Config{Scale: *scale, PoolSize: *pool, Threads: ts, Seed: *seed}
+	cfg := bench.Config{
+		Scale: *scale, PoolSize: *pool, Threads: ts, Seed: *seed,
+		NArenas: *arenas, DisableLaneAffinity: *noAffinity,
+	}
 
 	selected := experiments
 	if *exp != "all" {

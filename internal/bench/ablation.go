@@ -198,6 +198,42 @@ func Ablation(cfg Config) (Table, error) {
 			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000), "-",
 		})
 	}
+	// Arena sharding on/off: an 8-goroutine alloc/free storm on the
+	// native runtime, default arena layout vs one serialized arena.
+	stormOps := cfg.scaled(400_000)
+	var stormBase time.Duration
+	for i, mode := range []struct {
+		name       string
+		arenas     int
+		noAffinity bool
+	}{
+		{"sharded arenas (8-goroutine storm)", 0, false},
+		{"1 arena, no lane affinity", 1, true},
+	} {
+		envN, err := variant.New(variant.PMDK, variant.Options{
+			PoolSize:            cfg.PoolSize,
+			NArenas:             mode.arenas,
+			DisableLaneAffinity: mode.noAffinity,
+		})
+		if err != nil {
+			return t, err
+		}
+		d, err := allocStorm(envN.RT, 8, stormOps/8, cfg.Seed)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", mode.name, err)
+		}
+		rel := "-"
+		if i == 0 {
+			stormBase = d
+		} else if stormBase > 0 {
+			rel = fmt.Sprintf("%.2fx", float64(d)/float64(stormBase))
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, "-", "-", "-", "-", "-",
+			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000), rel,
+		})
+	}
+
 	t.Notes = append(t.Notes,
 		"tag width is a capacity trade-off, not a speed one: 26 bits caps objects at 64 MiB "+
 			"and pools at 64 GiB; 31 bits (Phoenix) caps objects at 2 GiB and pools at 2 GiB; "+

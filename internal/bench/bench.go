@@ -27,6 +27,11 @@ type Config struct {
 	PoolSize uint64
 	// Seed for workload generation.
 	Seed int64
+	// NArenas overrides the allocator arena count in every environment
+	// the harness builds (0 = pool default).
+	NArenas int
+	// DisableLaneAffinity turns off the worker-affine lane cache.
+	DisableLaneAffinity bool
 }
 
 // DefaultConfig is a laptop-scale configuration that keeps every
@@ -117,8 +122,10 @@ func (t Table) Format() string {
 // newEnv builds a variant environment sized for the harness.
 func newEnv(kind variant.Kind, cfg Config, tagBits uint) (*variant.Env, error) {
 	return variant.New(kind, variant.Options{
-		PoolSize: cfg.PoolSize,
-		TagBits:  tagBits,
+		PoolSize:            cfg.PoolSize,
+		TagBits:             tagBits,
+		NArenas:             cfg.NArenas,
+		DisableLaneAffinity: cfg.DisableLaneAffinity,
 	})
 }
 

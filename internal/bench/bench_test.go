@@ -94,19 +94,57 @@ func TestFig6ShapeHolds(t *testing.T) {
 }
 
 func TestFig7Runs(t *testing.T) {
-	tab, err := Fig7(tiny())
+	// The plausibility bound below is a timing ratio over ~100-op
+	// samples; when the whole suite shares one CPU a single descheduled
+	// cell can blow past it. Retry once before calling it a failure.
+	var tab Table
+	for attempt := 0; ; attempt++ {
+		var err error
+		tab, err = Fig7(tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 6 { // {atomic, tx} × {alloc, free, realloc}
+			t.Fatalf("rows = %d", len(tab.Rows))
+		}
+		// Management operations barely touch SPP's fast path: slowdowns
+		// must stay moderate (the paper reports 1-17%; allow noise).
+		implausible := false
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if s := parseSlowdown(t, cell); s > 3.0 {
+					if attempt == 0 {
+						implausible = true
+					} else {
+						t.Errorf("%s: slowdown %s implausibly high", row[0], cell)
+					}
+				}
+			}
+		}
+		if !implausible || t.Failed() {
+			break
+		}
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestScalingRuns(t *testing.T) {
+	tab, err := Scaling(tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 6 { // {atomic, tx} × {alloc, free, realloc}
+	// 2 workloads × (1 prepended to the {1,2} axis → 2 counts).
+	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// Management operations barely touch SPP's fast path: slowdowns
-	// must stay moderate (the paper reports 1-17%; allow noise).
 	for _, row := range tab.Rows {
-		for _, cell := range row[1:] {
-			if s := parseSlowdown(t, cell); s > 3.0 {
-				t.Errorf("%s: slowdown %s implausibly high", row[0], cell)
+		for _, col := range []int{3, 5} {
+			if row[1] == "1" {
+				if got := parseSlowdown(t, row[col]); got != 1.0 {
+					t.Errorf("%s g=1: speedup %s != 1.00x", row[0], row[col])
+				}
+			} else if row[col] == "-" {
+				t.Errorf("%s g=%s: missing speedup cell", row[0], row[1])
 			}
 		}
 	}
@@ -170,7 +208,7 @@ func TestAblationRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != len(ablationConfigs)+3 {
+	if len(tab.Rows) != len(ablationConfigs)+5 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// Rows: 0 full, 1 no-elision, 2 no-tracking, 3 no-preempt/hoist,

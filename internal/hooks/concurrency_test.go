@@ -1,0 +1,70 @@
+package hooks
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRuntimesAreConcurrencySafe drives the Native and SPP runtimes
+// from many goroutines at once — alloc, gep, checked load/store, free.
+// Both runtimes are stateless after construction (all mutable state
+// lives in the pool, whose memory path is concurrency-safe), so the
+// test's real assertion is a clean run under -race.
+func TestRuntimesAreConcurrencySafe(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spp  bool
+	}{
+		{"native", false},
+		{"spp", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pool, as := newPools(t, tc.spp)
+			var rt Runtime
+			if tc.spp {
+				var err error
+				if rt, err = NewSPP(pool, as); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				rt = NewNative(pool, as)
+			}
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						oid, err := rt.Alloc(128)
+						if err != nil {
+							t.Errorf("worker %d: Alloc: %v", w, err)
+							return
+						}
+						p := rt.Direct(oid)
+						q := rt.Gep(p, int64(i%16)*8)
+						want := uint64(w)<<32 | uint64(i)
+						if err := StoreU64(rt, q, want); err != nil {
+							t.Errorf("worker %d: StoreU64: %v", w, err)
+							return
+						}
+						got, err := LoadU64(rt, q)
+						if err != nil {
+							t.Errorf("worker %d: LoadU64: %v", w, err)
+							return
+						}
+						if got != want {
+							t.Errorf("worker %d: read %#x, want %#x", w, got, want)
+							return
+						}
+						if err := rt.Free(oid); err != nil {
+							t.Errorf("worker %d: Free: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

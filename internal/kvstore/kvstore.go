@@ -54,8 +54,19 @@ func (s *Store) entrySize(klen, vlen int) uint64 {
 	return uint64(s.entryDataOff()) + uint64(klen) + uint64(vlen)
 }
 
-// Open opens (or creates) the store in the runtime's pool.
+// Open opens (or creates) the store in the runtime's pool with the
+// default shard count.
 func Open(rt hooks.Runtime) (*Store, error) {
+	return OpenShards(rt, 0)
+}
+
+// OpenShards is Open with an explicit shard count for a store created
+// by this call (0 means defaultShards). The count is persisted at
+// creation; reopening an existing store always uses its stored count.
+func OpenShards(rt hooks.Runtime, shards uint64) (*Store, error) {
+	if shards == 0 {
+		shards = defaultShards
+	}
 	pool := rt.Pool()
 	s := &Store{rt: rt, pool: pool, oidSize: int64(pool.OidPersistedSize())}
 	root, err := rt.Root(8 + uint64(s.oidSize))
@@ -68,10 +79,10 @@ func Open(rt hooks.Runtime) (*Store, error) {
 		return nil, err
 	}
 	if nshards == 0 {
-		if err := s.initialize(root); err != nil {
+		if err := s.initialize(root, shards); err != nil {
 			return nil, err
 		}
-		nshards = defaultShards
+		nshards = shards
 	}
 	// Rebuild the volatile shard table.
 	dir := c.LoadOid(c.Direct(root), 8)
@@ -89,16 +100,16 @@ func Open(rt hooks.Runtime) (*Store, error) {
 
 // initialize lays out the shard directory and shard headers in one
 // transaction.
-func (s *Store) initialize(root pmemobj.Oid) error {
+func (s *Store) initialize(root pmemobj.Oid, nshards uint64) error {
 	c := newCtx(s.rt)
 	return c.Run(func(tx *pmemobj.Tx) {
-		dir, err := s.rt.TxAlloc(tx, defaultShards*uint64(s.oidSize))
+		dir, err := s.rt.TxAlloc(tx, nshards*uint64(s.oidSize))
 		if err != nil {
 			c.Fail(err)
 			return
 		}
 		dp := c.Direct(dir)
-		for i := 0; i < defaultShards && c.Err() == nil; i++ {
+		for i := uint64(0); i < nshards && c.Err() == nil; i++ {
 			hdr, err := s.rt.TxAlloc(tx, s.shardHdrSize())
 			if err != nil {
 				c.Fail(err)
@@ -116,7 +127,7 @@ func (s *Store) initialize(root pmemobj.Oid) error {
 		}
 		c.Snapshot(tx, root, 8+uint64(s.oidSize))
 		rp := c.Direct(root)
-		c.Store(rp, 0, defaultShards)
+		c.Store(rp, 0, nshards)
 		c.StoreOid(rp, 8, dir)
 	})
 }

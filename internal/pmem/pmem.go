@@ -12,6 +12,17 @@
 // replays to explore crash states. With tracking disabled every store
 // is immediately durable and the pool runs at full speed for the
 // performance experiments.
+//
+// Concurrency. The fast path is lock-free: Store/Flush/Fence consult a
+// single atomic tracking flag and return without touching any mutex
+// when tracking is off, so independent goroutines hammering the device
+// never contend. When tracking is on, pending flush ranges are striped
+// across flushStripes cacheline-padded mutexes keyed by the flushed
+// address, and the mode switch itself is guarded by an RWMutex: the
+// data path holds it for read, Enable/DisableTracking, Crash and
+// DurableImage hold it for write. The lock order is mode before
+// stripe; stripes are only ever locked together in ascending index
+// order (by Fence).
 package pmem
 
 import (
@@ -19,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // CachelineSize is the flush granularity of the simulated device.
@@ -27,6 +39,11 @@ const CachelineSize = 64
 // StoreAtomicity is the size in bytes up to which an aligned store is
 // failure-atomic, matching the 8-byte powerfail atomicity of real PM.
 const StoreAtomicity = 8
+
+// flushStripes is the number of independent pending-flush sets. Flushes
+// hash to a stripe by cacheline index so concurrent flushers of
+// disjoint ranges do not share a lock even when tracking is on.
+const flushStripes = 16
 
 // ErrTrackingDisabled is returned by crash-simulation entry points when
 // the pool is running in performance mode.
@@ -47,16 +64,29 @@ type flushRange struct {
 	off, size uint64
 }
 
+// flushStripe is one shard of the pending-flush set, padded so
+// neighbouring stripes do not false-share a cacheline.
+type flushStripe struct {
+	mu      sync.Mutex
+	pending []flushRange
+	_       [40]byte
+}
+
 // Pool is a simulated persistent memory pool.
 type Pool struct {
 	data []byte
 	name string
 
-	mu        sync.Mutex
-	tracking  bool
-	persisted []byte       // durable image, valid while tracking
-	pending   []flushRange // flushed but not yet fenced
+	// tracking is the fast-path gate: checked atomically before any
+	// lock on every Store/Flush/Fence.
+	tracking atomic.Bool
+
+	// mode serializes tracking-mode transitions against the data path.
+	// The fields below it are valid only while tracking is on.
+	mode      sync.RWMutex
+	persisted []byte // durable image
 	sink      TraceSink
+	stripes   [flushStripes]flushStripe
 }
 
 // NewPool returns an in-memory pool of the given size with tracking
@@ -103,48 +133,56 @@ func (p *Pool) Data() []byte { return p.data }
 // EnableTracking switches the pool into crash-simulation mode: the
 // current working image becomes the durable image and all subsequent
 // stores/flushes/fences are reported to sink (which may be nil to track
-// durability only).
+// durability only). Like snapshotting real memory, the transition
+// requires a quiescent data path: no store may be in flight while the
+// image is copied.
 func (p *Pool) EnableTracking(sink TraceSink) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tracking = true
+	p.mode.Lock()
+	defer p.mode.Unlock()
 	p.sink = sink
 	p.persisted = make([]byte, len(p.data))
 	copy(p.persisted, p.data)
-	p.pending = nil
+	for i := range p.stripes {
+		p.stripes[i].pending = nil
+	}
+	// Publish last: a fast-path reader that observes tracking=true is
+	// about to block on mode.RLock and will see the fields above.
+	p.tracking.Store(true)
 }
 
 // DisableTracking returns the pool to performance mode. The working
 // image is kept; the durable image and any pending flushes are dropped.
 func (p *Pool) DisableTracking() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tracking = false
+	p.mode.Lock()
+	defer p.mode.Unlock()
+	p.tracking.Store(false)
 	p.sink = nil
 	p.persisted = nil
-	p.pending = nil
+	for i := range p.stripes {
+		p.stripes[i].pending = nil
+	}
 }
 
 // Tracking reports whether crash-simulation mode is on.
 func (p *Pool) Tracking() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.tracking
+	return p.tracking.Load()
 }
 
 // recordStore notes a completed store at [off, off+size).
 func (p *Pool) recordStore(off, size uint64) {
-	if !p.tracking {
+	if !p.tracking.Load() {
 		return
 	}
-	p.mu.Lock()
+	p.mode.RLock()
 	sink := p.sink
 	var cp []byte
-	if sink != nil {
+	if p.tracking.Load() && sink != nil {
 		cp = make([]byte, size)
 		copy(cp, p.data[off:off+size])
+	} else {
+		sink = nil
 	}
-	p.mu.Unlock()
+	p.mode.RUnlock()
 	if sink != nil {
 		sink.RecordStore(off, cp)
 	}
@@ -202,7 +240,7 @@ func (p *Pool) Zero(off, size uint64) {
 // Flush initiates write-back of [off, off+size), extended to cacheline
 // boundaries. The data is durable only after the next Fence.
 func (p *Pool) Flush(off, size uint64) {
-	if size == 0 {
+	if size == 0 || !p.tracking.Load() {
 		return
 	}
 	start := off &^ (CachelineSize - 1)
@@ -210,14 +248,17 @@ func (p *Pool) Flush(off, size uint64) {
 	if end > uint64(len(p.data)) {
 		end = uint64(len(p.data))
 	}
-	p.mu.Lock()
-	if !p.tracking {
-		p.mu.Unlock()
+	p.mode.RLock()
+	if !p.tracking.Load() {
+		p.mode.RUnlock()
 		return
 	}
-	p.pending = append(p.pending, flushRange{start, end - start})
+	s := &p.stripes[(start/CachelineSize)%flushStripes]
+	s.mu.Lock()
+	s.pending = append(s.pending, flushRange{start, end - start})
+	s.mu.Unlock()
 	sink := p.sink
-	p.mu.Unlock()
+	p.mode.RUnlock()
 	if sink != nil {
 		sink.RecordFlush(start, end-start)
 	}
@@ -225,17 +266,33 @@ func (p *Pool) Flush(off, size uint64) {
 
 // Fence makes all pending flushed ranges durable.
 func (p *Pool) Fence() {
-	p.mu.Lock()
-	if !p.tracking {
-		p.mu.Unlock()
+	if !p.tracking.Load() {
 		return
 	}
-	for _, r := range p.pending {
-		copy(p.persisted[r.off:r.off+r.size], p.data[r.off:r.off+r.size])
+	p.mode.RLock()
+	if !p.tracking.Load() {
+		p.mode.RUnlock()
+		return
 	}
-	p.pending = p.pending[:0]
+	// Take every stripe in ascending order so concurrent Fences are
+	// serialized with each other (their persisted-image copies may
+	// overlap) while leaving Flush on other stripes unblocked until
+	// its own stripe is reached.
+	for i := range p.stripes {
+		p.stripes[i].mu.Lock()
+	}
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		for _, r := range s.pending {
+			copy(p.persisted[r.off:r.off+r.size], p.data[r.off:r.off+r.size])
+		}
+		s.pending = s.pending[:0]
+	}
+	for i := len(p.stripes) - 1; i >= 0; i-- {
+		p.stripes[i].mu.Unlock()
+	}
 	sink := p.sink
-	p.mu.Unlock()
+	p.mode.RUnlock()
 	if sink != nil {
 		sink.RecordFence()
 	}
@@ -250,22 +307,24 @@ func (p *Pool) Persist(off, size uint64) {
 // Crash reverts the working image to the durable image, simulating a
 // power failure. It requires tracking.
 func (p *Pool) Crash() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.tracking {
+	p.mode.Lock()
+	defer p.mode.Unlock()
+	if !p.tracking.Load() {
 		return ErrTrackingDisabled
 	}
 	copy(p.data, p.persisted)
-	p.pending = p.pending[:0]
+	for i := range p.stripes {
+		p.stripes[i].pending = p.stripes[i].pending[:0]
+	}
 	return nil
 }
 
 // DurableImage returns a copy of the durable image. It requires
 // tracking.
 func (p *Pool) DurableImage() ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.tracking {
+	p.mode.Lock()
+	defer p.mode.Unlock()
+	if !p.tracking.Load() {
 		return nil, ErrTrackingDisabled
 	}
 	out := make([]byte, len(p.persisted))

@@ -74,6 +74,7 @@ const (
 	DefaultNLanes      = 32
 	DefaultRedoEntries = 64
 	DefaultUndoBytes   = 1 << 15
+	DefaultNArenas     = 8
 )
 
 func align16(n uint64) uint64 { return (n + blockAlign - 1) &^ (blockAlign - 1) }

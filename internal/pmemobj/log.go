@@ -16,8 +16,8 @@ type redoEntry struct {
 // discarded otherwise; extension blocks are in the uncommitted state
 // and are reclaimed by heap rebuild, which runs after lane recovery.
 //
-// Caller must hold p.heap.mu (extension reservation needs it). The
-// returned reservations must be released by the caller after apply.
+// The returned reservations must be released by the caller after
+// apply.
 func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, error) {
 	inLane := len(entries)
 	if inLane > p.redoCap {
@@ -39,12 +39,10 @@ func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, err
 		if n > p.redoCap {
 			n = p.redoCap
 		}
-		resv, err := p.heap.reserve(p, redoExtDataOff+uint64(n)*16)
+		resv, err := p.heap.reserveAny(p, redoExtDataOff+uint64(n)*16)
 		if err != nil {
 			for _, r := range exts {
-				p.dev.WriteU64(r.blk+8, blockFree)
-				p.dev.Persist(r.blk+8, 8)
-				p.heap.release(r.blk, r.size)
+				p.heap.releaseBlock(p, r)
 			}
 			return nil, fmt.Errorf("redo log extension: %w", err)
 		}
@@ -52,6 +50,7 @@ func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, err
 		p.dev.Persist(resv.blk, 8)
 		p.dev.WriteU64(resv.blk+8, blockUncommitted)
 		p.dev.Persist(resv.blk+8, 8)
+		p.heap.unreserve(resv.blk)
 		payload := resv.payloadOff()
 		p.dev.WriteU64(payload+redoExtNextOff, 0)
 		p.dev.WriteU64(payload+redoExtCountOff, uint64(n))
@@ -112,7 +111,8 @@ func (p *Pool) applyRedo(lane uint64) {
 }
 
 // publishRedo is prepare followed immediately by apply — the path for
-// atomic (non-transactional) operations. Caller holds p.heap.mu.
+// atomic (non-transactional) operations. The caller owns the lane;
+// every block the entries touch must be in the arenas' reserved sets.
 func (p *Pool) publishRedo(lane uint64, entries []redoEntry) error {
 	exts, err := p.prepareRedo(lane, entries)
 	if err != nil {
@@ -123,13 +123,10 @@ func (p *Pool) publishRedo(lane uint64, entries []redoEntry) error {
 	return nil
 }
 
-// releaseRedoExts returns redo extension segments to the heap. Caller
-// holds p.heap.mu.
+// releaseRedoExts returns redo extension segments to the heap.
 func (p *Pool) releaseRedoExts(exts []reservation) {
 	for _, r := range exts {
-		p.dev.WriteU64(r.blk+8, blockFree)
-		p.dev.Persist(r.blk+8, 8)
-		p.heap.release(r.blk, r.size)
+		p.heap.releaseBlock(p, r)
 	}
 }
 

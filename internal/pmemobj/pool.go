@@ -33,6 +33,14 @@ type Config struct {
 	UndoBytes uint64
 	// UUID fixes the pool UUID; a random one is chosen when zero.
 	UUID uint64
+	// NArenas is the number of heap arenas (independent allocator
+	// shards); DefaultNArenas when zero. Volatile: it shapes the
+	// rebuilt free lists, not the persistent layout, so a pool may be
+	// reopened with a different value.
+	NArenas int
+	// DisableLaneAffinity turns off the worker-affine lane cache and
+	// dispenses every lane through the shared channel. Volatile.
+	DisableLaneAffinity bool
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UUID == 0 {
 		c.UUID = rand.Uint64() | 1 // never zero
+	}
+	if c.NArenas == 0 {
+		c.NArenas = DefaultNArenas
 	}
 	return c
 }
@@ -86,8 +97,11 @@ type Pool struct {
 	redoCap  int
 	undoCap  uint64
 
-	heap  allocator
-	lanes chan int
+	nArenas      int
+	laneAffinity bool
+
+	heap  heap
+	lanes *laneQueue
 
 	rootMu sync.Mutex
 }
@@ -161,23 +175,30 @@ func Create(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Po
 	dev.WriteU64(hMagic, poolMagic)
 	dev.Persist(hMagic, 8)
 
-	return open(dev, as, base)
+	return open(dev, as, base, cfg)
 }
 
 // Open maps an existing pool at base and runs recovery: committed redo
 // logs are re-applied, active undo logs are rolled back, uncommitted
 // blocks are released, and the volatile allocator state is rebuilt.
 func Open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64) (*Pool, error) {
+	return OpenConfig(dev, as, base, Config{})
+}
+
+// OpenConfig is Open with explicit volatile knobs (arena count, lane
+// affinity). Persistent geometry always comes from the pool header;
+// fields of cfg that describe persistent layout are ignored.
+func OpenConfig(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool, error) {
 	if dev.Size() < headerSize || dev.ReadU64(hMagic) != poolMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorruptPool)
 	}
 	if v := dev.ReadU64(hVersion); v != poolVersion {
 		return nil, fmt.Errorf("%w: version %d", ErrCorruptPool, v)
 	}
-	return open(dev, as, base)
+	return open(dev, as, base, cfg)
 }
 
-func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64) (*Pool, error) {
+func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool, error) {
 	tagBits := uint(dev.ReadU64(hTagBits))
 	enc, err := core.NewEncoding(tagBits)
 	if err != nil {
@@ -207,17 +228,22 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64) (*Pool, error) {
 		return nil, fmt.Errorf("%w: pool end %#x > limit %#x", ErrPoolMapsHigh, base+dev.Size(), enc.MaxPoolEnd())
 	}
 
+	p.nArenas = cfg.NArenas
+	if p.nArenas <= 0 {
+		p.nArenas = DefaultNArenas
+	}
+	p.laneAffinity = !cfg.DisableLaneAffinity
+
 	if err := p.recover(); err != nil {
 		return nil, err
 	}
+	p.heap.init(p.heapOff, p.heapEnd, p.nArenas)
 	if err := p.heap.rebuild(p); err != nil {
 		return nil, err
 	}
+	p.nArenas = len(p.heap.arenas) // after clamping to the heap size
 
-	p.lanes = make(chan int, p.nLanes)
-	for i := 0; i < p.nLanes; i++ {
-		p.lanes <- i
-	}
+	p.lanes = newLaneQueue(p.nLanes, p.laneAffinity)
 
 	if as != nil {
 		err := as.Map(&vmem.Mapping{Base: base, Data: dev.Data(), Name: dev.Name(), Observer: dev})
@@ -428,24 +454,18 @@ func (p *Pool) validateOid(oid Oid) (uint64, error) {
 
 // ForEachAllocated walks the heap and calls fn with the payload offset
 // and payload size of every live allocation. Sanitizer baselines use
-// it to rebuild their volatile or shadow metadata after a restart.
+// it to rebuild their volatile or shadow metadata after a restart. The
+// walk holds every arena lock; blocks with an in-flight publication
+// are skipped (their state is not yet settled).
 func (p *Pool) ForEachAllocated(fn func(payloadOff, payloadSize uint64) error) error {
-	p.heap.mu.Lock()
-	defer p.heap.mu.Unlock()
-	for off := p.heapOff; off < p.heapEnd; {
-		size := p.dev.ReadU64(off)
-		state := p.dev.ReadU64(off + 8)
-		if size < minBlockSize || size%blockAlign != 0 || off+size > p.heapEnd {
-			return fmt.Errorf("%w: block at %#x has size %d", ErrCorruptPool, off, size)
+	p.heap.lockAll()
+	defer p.heap.unlockAll()
+	return p.heap.walkLocked(p, func(off, size, state uint64, inFlux bool) error {
+		if state == blockAllocated && !inFlux {
+			return fn(off+blockHdrSize, size-blockHdrSize)
 		}
-		if state == blockAllocated {
-			if err := fn(off+blockHdrSize, size-blockHdrSize); err != nil {
-				return err
-			}
-		}
-		off += size
-	}
-	return nil
+		return nil
+	})
 }
 
 // HeapBounds returns the heap's [start, end) offsets within the pool.
@@ -464,14 +484,21 @@ type Stats struct {
 	FreeBytes uint64
 }
 
-// Stats returns current allocator occupancy.
+// Stats returns current allocator occupancy. The counters are
+// maintained atomically, so this never blocks the allocation path.
 func (p *Pool) Stats() Stats {
-	p.heap.mu.Lock()
-	defer p.heap.mu.Unlock()
+	used := p.heap.usedBytes.Load()
 	return Stats{
 		HeapBytes:        p.heapEnd - p.heapOff,
-		AllocatedBytes:   p.heap.usedBytes,
-		AllocatedObjects: p.heap.usedBlocks,
-		FreeBytes:        p.heapEnd - p.heapOff - p.heap.usedBytes,
+		AllocatedBytes:   used,
+		AllocatedObjects: p.heap.usedBlocks.Load(),
+		FreeBytes:        p.heapEnd - p.heapOff - used,
 	}
 }
+
+// NArenas returns the number of allocator arenas the heap is running
+// with (after clamping to the heap size).
+func (p *Pool) NArenas() int { return p.nArenas }
+
+// LaneAffinity reports whether the worker-affine lane cache is active.
+func (p *Pool) LaneAffinity() bool { return p.laneAffinity }

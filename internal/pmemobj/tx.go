@@ -41,7 +41,7 @@ type Tx struct {
 
 // Begin opens a transaction. It blocks until a lane is available.
 func (p *Pool) Begin() *Tx {
-	lane := <-p.lanes
+	lane := p.lanes.acquire()
 	undo := p.undoOff(lane)
 	p.dev.WriteU64(undo+undoUsedOff, 0)
 	p.dev.WriteU64(undo+undoExtOff, 0)
@@ -88,17 +88,17 @@ func (tx *Tx) undoAppend(off, size uint64) error {
 		if min := p.undoCap; extPayload < min {
 			extPayload = min
 		}
-		p.heap.mu.Lock()
-		resv, err := p.heap.reserve(p, extPayload)
+		resv, err := p.heap.reserveAny(p, extPayload)
 		if err != nil {
-			p.heap.mu.Unlock()
 			return fmt.Errorf("undo log extension: %w", err)
 		}
+		// Publish the uncommitted header while the block is still in
+		// the reserved set, then settle it.
 		p.dev.WriteU64(resv.blk, resv.size)
 		p.dev.Persist(resv.blk, 8)
 		p.dev.WriteU64(resv.blk+8, blockUncommitted)
 		p.dev.Persist(resv.blk+8, 8)
-		p.heap.mu.Unlock()
+		p.heap.unreserve(resv.blk)
 
 		payload := resv.payloadOff()
 		p.dev.WriteU64(payload+extNextOff, 0)
@@ -132,16 +132,8 @@ func (tx *Tx) undoAppend(off, size uint64) error {
 // releaseExts returns undo-log extension blocks to the heap after the
 // transaction has ended (in either direction).
 func (tx *Tx) releaseExts() {
-	if len(tx.exts) == 0 {
-		return
-	}
-	p := tx.p
-	p.heap.mu.Lock()
-	defer p.heap.mu.Unlock()
 	for _, r := range tx.exts {
-		p.dev.WriteU64(r.blk+8, blockFree)
-		p.dev.Persist(r.blk+8, 8)
-		p.heap.release(r.blk, r.size)
+		tx.p.heap.releaseBlock(tx.p, r)
 	}
 	tx.exts = nil
 }
@@ -172,15 +164,15 @@ func (tx *Tx) Alloc(size uint64) (Oid, error) {
 	if err := tx.p.checkAllocSize(size); err != nil {
 		return OidNull, err
 	}
-	tx.p.heap.mu.Lock()
-	defer tx.p.heap.mu.Unlock()
-	resv, err := tx.p.heap.reserve(tx.p, size)
+	resv, err := tx.p.heap.reserveAny(tx.p, size)
 	if err != nil {
 		return OidNull, err
 	}
 	// Publish the reservation in the uncommitted state. Size first,
 	// fence, then state, so the heap walk never sees a sized state
-	// change with a stale size.
+	// change with a stale size. The block stays in the reserved set
+	// until Commit/Abort settles it: its state word is rewritten by
+	// the commit redo without any lock held.
 	tx.p.dev.WriteU64(resv.blk, resv.size)
 	tx.p.dev.Persist(resv.blk, 8)
 	tx.p.dev.WriteU64(resv.blk+8, blockUncommitted)
@@ -203,11 +195,7 @@ func (tx *Tx) Free(oid Oid) error {
 	}
 	for i, r := range tx.allocs {
 		if r.blk == blk {
-			tx.p.heap.mu.Lock()
-			tx.p.dev.WriteU64(blk+8, blockFree)
-			tx.p.dev.Persist(blk+8, 8)
-			tx.p.heap.release(blk, r.size)
-			tx.p.heap.mu.Unlock()
+			tx.p.heap.releaseBlock(tx.p, r)
 			tx.allocs = append(tx.allocs[:i], tx.allocs[i+1:]...)
 			return nil
 		}
@@ -253,7 +241,7 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	tx.done = true
-	defer func() { tx.p.lanes <- tx.lane }()
+	defer func() { tx.p.lanes.release(tx.lane) }()
 	p := tx.p
 
 	// 1. Make all stores into snapshotted ranges — and into objects
@@ -266,11 +254,10 @@ func (tx *Tx) Commit() error {
 	}
 	p.dev.Fence()
 
-	p.heap.mu.Lock()
-	defer p.heap.mu.Unlock()
-
 	// 2. Prepare (but do not apply) the redo log with the allocation
-	// state flips and deferred frees.
+	// state flips and deferred frees. Every block the redo will touch
+	// is in the reserved sets: the tx allocs never left them, and
+	// planFree enters each freed span.
 	type mergedFree struct {
 		blk, size, merged uint64
 	}
@@ -281,12 +268,7 @@ func (tx *Tx) Commit() error {
 	}
 	for _, blk := range tx.frees {
 		size := p.dev.ReadU64(blk)
-		merged := size
-		next := blk + size
-		if nsize, ok := p.heap.freeSet[next]; ok {
-			p.heap.removeFree(next, nsize)
-			merged += nsize
-		}
+		merged := p.heap.planFree(blk, size)
 		entries = append(entries, redoEntry{blk, merged}, redoEntry{blk + 8, blockFree})
 		freePlans = append(freePlans, mergedFree{blk, size, merged})
 	}
@@ -297,14 +279,9 @@ func (tx *Tx) Commit() error {
 			// Too many heap operations for the lane's redo capacity:
 			// the transaction cannot commit atomically; abort it.
 			for _, f := range freePlans {
-				if f.merged != f.size {
-					p.heap.addFree(f.blk+f.size, f.merged-f.size)
-				}
+				p.heap.abortFree(f.blk, f.size, f.merged)
 			}
-			p.heap.mu.Unlock()
-			err2 := tx.abortLocked()
-			p.heap.mu.Lock() // re-acquire for the deferred unlock
-			if err2 != nil {
+			if err2 := tx.rollback(); err2 != nil {
 				return err2
 			}
 			return err
@@ -323,20 +300,16 @@ func (tx *Tx) Commit() error {
 		p.releaseRedoExts(redoExts)
 	}
 	for _, r := range tx.allocs {
-		p.heap.usedBytes += r.size
-		p.heap.usedBlocks++
+		p.heap.unreserve(r.blk)
+		p.heap.usedBytes.Add(r.size)
+		p.heap.usedBlocks.Add(1)
 	}
 	for _, f := range freePlans {
-		p.heap.release(f.blk, f.merged)
-		p.heap.usedBytes -= f.size
-		p.heap.usedBlocks--
+		p.heap.finishFree(f.blk, f.merged)
+		subUsed(&p.heap.usedBytes, f.size)
+		subUsed(&p.heap.usedBlocks, 1)
 	}
-	for _, r := range tx.exts {
-		p.dev.WriteU64(r.blk+8, blockFree)
-		p.dev.Persist(r.blk+8, 8)
-		p.heap.release(r.blk, r.size)
-	}
-	tx.exts = nil
+	tx.releaseExts()
 	return nil
 }
 
@@ -347,23 +320,19 @@ func (tx *Tx) Abort() error {
 		return ErrTxDone
 	}
 	tx.done = true
-	defer func() { tx.p.lanes <- tx.lane }()
-	return tx.abortLocked()
+	defer func() { tx.p.lanes.release(tx.lane) }()
+	return tx.rollback()
 }
 
-func (tx *Tx) abortLocked() error {
+func (tx *Tx) rollback() error {
 	p := tx.p
 	p.discardRedo(tx.laneOff)
 	if err := p.rollbackUndo(tx.undoOff); err != nil {
 		return err
 	}
 	tx.releaseExts()
-	p.heap.mu.Lock()
-	defer p.heap.mu.Unlock()
 	for _, r := range tx.allocs {
-		p.dev.WriteU64(r.blk+8, blockFree)
-		p.dev.Persist(r.blk+8, 8)
-		p.heap.release(r.blk, r.size)
+		p.heap.releaseBlock(p, r)
 	}
 	tx.allocs = nil
 	return nil

@@ -49,6 +49,11 @@ type Options struct {
 	NLanes      int
 	RedoEntries int
 	UndoBytes   uint64
+	// NArenas overrides the allocator arena count (volatile knob).
+	NArenas int
+	// DisableLaneAffinity dispenses lanes only through the shared
+	// channel (volatile knob).
+	DisableLaneAffinity bool
 }
 
 // Env is an assembled environment.
@@ -61,6 +66,7 @@ type Env struct {
 	Heap *vmem.Heap
 
 	base uint64
+	opts Options
 }
 
 // New builds a fresh environment of the given kind.
@@ -86,18 +92,20 @@ func Format(kind Kind, dev *pmem.Pool, opts Options) (*Env, error) {
 		return nil, err
 	}
 	cfg := pmemobj.Config{
-		SPP:         kind == SPP || kind == SPPPacked,
-		PackedOid:   kind == SPPPacked,
-		TagBits:     opts.TagBits,
-		NLanes:      opts.NLanes,
-		RedoEntries: opts.RedoEntries,
-		UndoBytes:   opts.UndoBytes,
+		SPP:                 kind == SPP || kind == SPPPacked,
+		PackedOid:           kind == SPPPacked,
+		TagBits:             opts.TagBits,
+		NLanes:              opts.NLanes,
+		RedoEntries:         opts.RedoEntries,
+		UndoBytes:           opts.UndoBytes,
+		NArenas:             opts.NArenas,
+		DisableLaneAffinity: opts.DisableLaneAffinity,
 	}
 	pool, err := pmemobj.Create(dev, as, DefaultBase, cfg)
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Kind: kind, Dev: dev, AS: as, Pool: pool, Heap: heap, base: DefaultBase}
+	env := &Env{Kind: kind, Dev: dev, AS: as, Pool: pool, Heap: heap, base: DefaultBase, opts: opts}
 	if err := env.attach(); err != nil {
 		return nil, err
 	}
@@ -143,12 +151,16 @@ func Adopt(kind Kind, dev *pmem.Pool) (*Env, error) {
 
 // Reopen simulates an application restart: the pool is unmapped and
 // re-opened from the same device, running recovery and rebuilding the
-// runtime's metadata.
+// runtime's metadata. The environment's volatile concurrency knobs
+// (arena count, lane affinity) carry over.
 func (e *Env) Reopen() error {
 	if err := e.Pool.Close(); err != nil {
 		return err
 	}
-	pool, err := pmemobj.Open(e.Dev, e.AS, e.base)
+	pool, err := pmemobj.OpenConfig(e.Dev, e.AS, e.base, pmemobj.Config{
+		NArenas:             e.opts.NArenas,
+		DisableLaneAffinity: e.opts.DisableLaneAffinity,
+	})
 	if err != nil {
 		return err
 	}
