@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures bench
+.PHONY: check fmt vet test race lint-fixtures bench telemetry-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
-## detector over the concurrency-sensitive packages, and the sppc -lint
-## self-check over the shipped IR fixtures.
-check: fmt vet test race lint-fixtures
+## detector over the concurrency-sensitive packages, the sppc -lint
+## self-check over the shipped IR fixtures, and the disabled-telemetry
+## overhead smoke test.
+check: fmt vet test race lint-fixtures telemetry-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -22,7 +23,7 @@ test:
 ## the memory path (device, allocator, lanes), the runtimes above it,
 ## and the concurrent kvstore workloads.
 race:
-	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore
+	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry
 
 ## lint-fixtures: the clean fixture must lint clean; the laundered one
 ## must be flagged (non-zero exit) — both outcomes are asserted.
@@ -34,3 +35,10 @@ lint-fixtures:
 
 bench:
 	$(GO) run ./cmd/sppbench -exp all -scale 0.02 | tee bench_results.txt
+
+## telemetry-smoke: asserts the disabled-path cost of an instrumented
+## counter stays within an order of magnitude of a bare loop — the
+## "near-zero cost while off" contract, plus the Prometheus text-format
+## golden test that keeps scrapers working.
+telemetry-smoke:
+	$(GO) test -run 'TestDisabledOverheadSmoke|TestWritePromGolden' ./internal/telemetry -count=1

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,12 @@ func run(args []string) error {
 	for _, kind := range kinds {
 		if err := check(kind, *ops, *every, *maxStates); err != nil {
 			fmt.Printf("%-8s FAIL: %v\n", kind, err)
+			var ce *pmemcheck.ConsistencyError
+			if errors.As(err, &ce) {
+				for _, v := range ce.Audit {
+					fmt.Printf("%-8s audit: %s\n", kind, v)
+				}
+			}
 			failed = append(failed, kind)
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 type experiment struct {
@@ -37,6 +38,7 @@ var experiments = []experiment{
 	{"crash", "crash consistency (§VI-E)", bench.CrashConsistency},
 	{"ablation", "design-choice ablation (DESIGN.md §7)", bench.Ablation},
 	{"scaling", "memory-path concurrency scaling (DESIGN.md §10)", bench.Scaling},
+	{"steal", "cross-arena steal rates under skewed size classes (DESIGN.md §11)", bench.Steal},
 }
 
 func main() {
@@ -55,8 +57,27 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	arenas := fs.Int("arenas", 0, "allocator arena count (0 = pool default)")
 	noAffinity := fs.Bool("no-affinity", false, "disable the worker-affine lane cache")
+	metrics := fs.Bool("metrics", false, "enable the telemetry metrics registry")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/audit, /debug/flight and /debug/pprof on this address (implies -metrics)")
+	flight := fs.Bool("flight", false, "enable the flight-recorder event ring and dump it after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		*metrics = true
+	}
+	if *metrics {
+		telemetry.Enable()
+	}
+	if *flight {
+		telemetry.Flight.Enable()
+	}
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics (and /debug/vars, /debug/audit, /debug/flight, /debug/pprof)\n", addr)
 	}
 	var ts []int
 	for _, part := range strings.Split(*threads, ",") {
@@ -69,6 +90,7 @@ func run(args []string) error {
 	cfg := bench.Config{
 		Scale: *scale, PoolSize: *pool, Threads: ts, Seed: *seed,
 		NArenas: *arenas, DisableLaneAffinity: *noAffinity,
+		Telemetry: *metrics, FlightRecorder: *flight,
 	}
 
 	selected := experiments
@@ -92,6 +114,12 @@ func run(args []string) error {
 		}
 		fmt.Println(table.Format())
 		fmt.Printf("(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+	}
+	if *flight {
+		fmt.Println("== flight recorder (most recent events) ==")
+		if _, err := telemetry.Flight.WriteTo(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/hooks"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 	"repro/internal/transform"
 	"repro/internal/variant"
 )
@@ -134,10 +135,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	auditMark := telemetry.Audit.Total()
 	ret, err := interp.New(instrumented, env).Run("main")
 	switch {
 	case hooks.IsSafetyTrap(err):
 		fmt.Fprintf(out, "--- execution under %s ---\nMEMORY-SAFETY VIOLATION DETECTED: %v\n", *prot, err)
+		for _, v := range telemetry.Audit.RecordsSince(auditMark) {
+			fmt.Fprintf(out, "audit: %s\n", v)
+		}
 	case err != nil:
 		return err
 	default:

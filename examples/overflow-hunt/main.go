@@ -23,6 +23,7 @@ import (
 	spp "repro"
 	"repro/internal/indices"
 	"repro/internal/phoenix"
+	"repro/internal/telemetry"
 	"repro/internal/variant"
 )
 
@@ -128,13 +129,19 @@ func stringMatchBug() error {
 
 func report(prot spp.Protection, err error) {
 	switch {
-	case errors.Is(err, spp.ErrDetected):
+	case errors.Is(err, spp.ErrDetected), err != nil && prot == spp.ProtectionSPP:
 		fmt.Printf("  %-6s DETECTED: %v\n", prot, err)
-	case err != nil && prot == spp.ProtectionSPP:
-		fmt.Printf("  %-6s DETECTED: %v\n", prot, err)
+		for _, v := range telemetry.Audit.RecordsSince(auditMark) {
+			fmt.Printf("         audit: %s\n", v)
+		}
 	case err != nil:
 		fmt.Printf("  %-6s unexpected error: %v\n", prot, err)
 	default:
 		fmt.Printf("  %-6s silent (corruption written to the neighbouring object)\n", prot)
 	}
+	auditMark = telemetry.Audit.Total()
 }
+
+// auditMark tracks the audit-trail high-water mark so each report
+// prints only the records its own bug produced.
+var auditMark uint64

@@ -1,0 +1,41 @@
+package analysis
+
+import "repro/internal/ir"
+
+// ProvenanceChain renders the static use-def chain that produced value
+// v in f — innermost definition first — for the safety-violation audit
+// trail: each entry is one defining instruction, so a report shows how
+// the offending pointer was derived (the gep chain, casts, arithmetic)
+// rather than just its final address. The walk follows each definition
+// to its first non-constant defined operand, which tracks the pointer
+// operand through geps, conversions and additions; max bounds it on
+// cyclic or very deep chains.
+func ProvenanceChain(f *ir.Func, v string, max int) []string {
+	if f == nil || max <= 0 {
+		return nil
+	}
+	o := NewOrigin(f)
+	var chain []string
+	seen := map[string]bool{}
+	cur := v
+	for len(chain) < max {
+		d := o.defs[cur]
+		if d == nil || seen[cur] {
+			break
+		}
+		seen[cur] = true
+		chain = append(chain, f.Name+": "+d.String())
+		next := ""
+		for _, a := range d.Args {
+			if ad := o.defs[a]; ad != nil && ad.Op != ir.Const {
+				next = a
+				break
+			}
+		}
+		if next == "" {
+			break
+		}
+		cur = next
+	}
+	return chain
+}

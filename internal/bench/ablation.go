@@ -8,6 +8,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/safepm"
+	"repro/internal/telemetry"
 	"repro/internal/transform"
 	"repro/internal/variant"
 )
@@ -230,6 +231,50 @@ func Ablation(cfg Config) (Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{
 			mode.name, "-", "-", "-", "-", "-",
+			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000), rel,
+		})
+	}
+
+	// Telemetry on/off: the same storm with the metrics registry cold
+	// (counters gated off) vs hot (every alloc/free/lane event counted).
+	wasOn := telemetry.On()
+	defer func() {
+		if wasOn {
+			telemetry.Enable()
+		} else {
+			telemetry.Disable()
+		}
+	}()
+	var telemBase time.Duration
+	for i, on := range []bool{false, true} {
+		if on {
+			telemetry.Enable()
+		} else {
+			telemetry.Disable()
+		}
+		envT, err := variant.New(variant.PMDK, variant.Options{
+			PoolSize:  cfg.PoolSize,
+			Telemetry: on,
+		})
+		if err != nil {
+			return t, err
+		}
+		d, err := allocStorm(envT.RT, 8, stormOps/8, cfg.Seed)
+		if err != nil {
+			return t, fmt.Errorf("telemetry ablation: %w", err)
+		}
+		rel := "-"
+		if i == 0 {
+			telemBase = d
+		} else if telemBase > 0 {
+			rel = fmt.Sprintf("%.2fx", float64(d)/float64(telemBase))
+		}
+		name := "telemetry off (8-goroutine storm)"
+		if on {
+			name = "telemetry on"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, "-", "-", "-", "-", "-",
 			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000), rel,
 		})
 	}

@@ -32,6 +32,11 @@ type Config struct {
 	NArenas int
 	// DisableLaneAffinity turns off the worker-affine lane cache.
 	DisableLaneAffinity bool
+	// Telemetry enables the metrics registry in every environment the
+	// harness builds.
+	Telemetry bool
+	// FlightRecorder enables the flight-recorder event ring.
+	FlightRecorder bool
 }
 
 // DefaultConfig is a laptop-scale configuration that keeps every
@@ -126,6 +131,8 @@ func newEnv(kind variant.Kind, cfg Config, tagBits uint) (*variant.Env, error) {
 		TagBits:             tagBits,
 		NArenas:             cfg.NArenas,
 		DisableLaneAffinity: cfg.DisableLaneAffinity,
+		Telemetry:           cfg.Telemetry,
+		FlightRecorder:      cfg.FlightRecorder,
 	})
 }
 

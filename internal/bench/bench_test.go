@@ -208,7 +208,7 @@ func TestAblationRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != len(ablationConfigs)+5 {
+	if len(tab.Rows) != len(ablationConfigs)+7 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// Rows: 0 full, 1 no-elision, 2 no-tracking, 3 no-preempt/hoist,

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/hooks"
+	"repro/internal/pmemobj"
+	"repro/internal/telemetry"
+	"repro/internal/variant"
+)
+
+// Steal measures cross-arena steal rates under contrasting size-class
+// mixes, closing the open roadmap question the sharded-allocator
+// refactor left: how often does a worker's affine arena run dry, and
+// how far does the probe travel when it does? The uniform mix spreads
+// identical load over every arena; the skewed mix gives a quarter of
+// the workers arena-filling allocations (their live window exceeds one
+// arena) while the rest stay at 128 bytes, so heavy workers must steal.
+// Rates come straight from the telemetry registry's per-distance
+// counters, diffed around each run.
+func Steal(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	telemetry.Enable()
+	allocOps := cfg.scaled(500_000)
+
+	t := Table{
+		Title: fmt.Sprintf("Cross-arena steal rates: %d allocs, uniform vs skewed size classes", allocOps),
+		Columns: []string{"mix", "goroutines", "allocs", "steal att.", "steals",
+			"steal rate", "by distance"},
+	}
+
+	for _, mix := range []string{"uniform", "skewed"} {
+		for _, g := range cfg.Threads {
+			env, err := variant.New(variant.PMDK, variant.Options{
+				PoolSize:            cfg.PoolSize,
+				NArenas:             cfg.NArenas,
+				DisableLaneAffinity: cfg.DisableLaneAffinity,
+				Telemetry:           true,
+			})
+			if err != nil {
+				return t, err
+			}
+			// Size the heavy class off the arena: a heavy worker's live
+			// window (64 blocks) adds up to ~4/3 of one arena, so its
+			// affine arena must run dry and the probe must travel. Capped
+			// so all heavy workers together hold at most half the pool.
+			heavy := cfg.PoolSize / uint64(env.Pool.NArenas()) / 48
+			if cap := cfg.PoolSize / uint64(128*((g+3)/4)); heavy > cap {
+				heavy = cap
+			}
+			before := telemetry.Default.Snapshot()
+			if _, err := stealStorm(env.RT, g, allocOps/g, cfg.Seed, mix == "skewed", heavy); err != nil {
+				return t, fmt.Errorf("steal/%s/%d: %w", mix, g, err)
+			}
+			d := telemetry.Default.Snapshot().Delta(before)
+
+			allocs := d["spp_alloc_total"]
+			var attempts, successes int64
+			type distRow struct {
+				dist string
+				n    int64
+			}
+			var byDist []distRow
+			for k, v := range d {
+				if strings.HasPrefix(k, "spp_steal_attempts_total{") {
+					attempts += v
+				}
+				if strings.HasPrefix(k, "spp_steal_success_total{") {
+					successes += v
+					dist := strings.TrimSuffix(strings.TrimPrefix(k, `spp_steal_success_total{distance="`), `"}`)
+					byDist = append(byDist, distRow{dist, v})
+				}
+			}
+			sort.Slice(byDist, func(i, j int) bool { return byDist[i].dist < byDist[j].dist })
+			var distCells []string
+			for _, r := range byDist {
+				distCells = append(distCells, fmt.Sprintf("%s:%d", r.dist, r.n))
+			}
+			distStr := strings.Join(distCells, " ")
+			if distStr == "" {
+				distStr = "-"
+			}
+			rate := "0.0%"
+			if allocs > 0 {
+				rate = fmt.Sprintf("%.1f%%", 100*float64(successes)/float64(allocs))
+			}
+			t.Rows = append(t.Rows, []string{mix, fmt.Sprintf("%d", g),
+				fmt.Sprintf("%d", allocs), fmt.Sprintf("%d", attempts),
+				fmt.Sprintf("%d", successes), rate, distStr})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"skewed = every 4th worker allocates arena-sized/48 blocks (live window ~4/3 arena), "+
+			"the rest 128 B; distance = arenas probed past the worker's affine arena before one "+
+			"served the reservation")
+	return t, nil
+}
+
+// stealStorm is allocStorm with a controllable per-worker size mix:
+// uniform draws every size from the same distribution, skewed gives
+// every fourth worker heavy-sized allocations and the rest 128 bytes.
+func stealStorm(rt hooks.Runtime, workers, perWorker int, seed int64, skewed bool, heavy uint64) (time.Duration, error) {
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	const window = 64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := newXorshift(seed + int64(w) + 1)
+			size := func() uint64 { return 64 + rng.next()%960 }
+			if skewed {
+				if w%4 == 0 {
+					size = func() uint64 { return heavy }
+				} else {
+					size = func() uint64 { return 128 }
+				}
+			}
+			live := make([]pmemobj.Oid, 0, window)
+			for i := 0; i < perWorker; i++ {
+				oid, err := rt.Alloc(size())
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				live = append(live, oid)
+				if len(live) == window {
+					victim := int(rng.next() % uint64(len(live)))
+					if err := rt.Free(live[victim]); err != nil {
+						errs[w] = err
+						return
+					}
+					live[victim] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			for _, oid := range live {
+				if err := rt.Free(oid); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}

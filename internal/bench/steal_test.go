@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestStealRuns(t *testing.T) {
+	was := telemetry.On()
+	defer func() {
+		if !was {
+			telemetry.Disable()
+		}
+	}()
+	cfg := tiny()
+	cfg.Threads = []int{8}
+	cfg.NArenas = 2 // few arenas + many goroutines forces cross-arena traffic
+	tab, err := Steal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want uniform + skewed", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		allocs, err := strconv.Atoi(row[2])
+		if err != nil || allocs == 0 {
+			t.Fatalf("%s: alloc count %q", row[0], row[2])
+		}
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -1,0 +1,143 @@
+package hooks
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestOverflowProducesAuditRecord seeds the canonical SPP overflow —
+// store one past the end of an allocation — and checks the audit trail
+// holds a record whose coordinates name the faulting access: the pool,
+// the offset just past the object, the object's bounds, the pointer's
+// tag and the access size.
+func TestOverflowProducesAuditRecord(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const objSize = 64
+	oid, err := rt.Alloc(objSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Direct(oid)
+	// Point at the last word's final 4 bytes: the pointer itself is in
+	// bounds (tag intact), but an 8-byte store through it crosses the
+	// end, so checkbound — not updatetag — flags the overflow.
+	over := rt.Gep(p, objSize-4)
+	wantTag := pool.Encoding().Tag(over)
+	if wantTag == 0 {
+		t.Fatal("in-bounds pointer lost its tag")
+	}
+	objOff, err := pool.OffsetOf(pool.Encoding().Addr(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mark := telemetry.Audit.Total()
+	if err := StoreU64(rt, over, 1); err == nil {
+		t.Fatal("out-of-bounds store succeeded")
+	} else if !IsSafetyTrap(err) {
+		t.Fatalf("not a safety trap: %v", err)
+	}
+	recs := telemetry.Audit.RecordsSince(mark)
+	if len(recs) < 2 {
+		t.Fatalf("got %d audit records, want check-time + access-site", len(recs))
+	}
+
+	// The check-time record carries the full pointer view.
+	chk := recs[0]
+	if chk.Kind != "checkbound" || chk.Mechanism != "spp" {
+		t.Fatalf("first record is %s/%s, want spp/checkbound", chk.Mechanism, chk.Kind)
+	}
+	if chk.Tag != wantTag {
+		t.Fatalf("tag %#x, want %#x", chk.Tag, wantTag)
+	}
+	if chk.AccessSize != 8 {
+		t.Fatalf("access size %d, want 8", chk.AccessSize)
+	}
+	if chk.PoolUUID != pool.UUID() || chk.PoolUUID == 0 {
+		t.Fatalf("pool uuid %#x, want %#x", chk.PoolUUID, pool.UUID())
+	}
+	if want := objOff + objSize - 4; chk.Offset != want {
+		t.Fatalf("offset %#x, want the faulting word at %#x", chk.Offset, want)
+	}
+	// ObjectSize is the block's payload capacity, which size-class
+	// rounding makes at least the requested size.
+	if chk.ObjectOff != objOff || chk.ObjectSize < objSize {
+		t.Fatalf("object [%#x,+%d), want [%#x,+>=%d)", chk.ObjectOff, chk.ObjectSize, objOff, objSize)
+	}
+	if chk.Goroutine == 0 {
+		t.Fatal("goroutine id missing")
+	}
+
+	// The access-site record agrees on where the fault landed.
+	acc := recs[len(recs)-1]
+	if acc.Kind != "access-fault" {
+		t.Fatalf("last record kind %q, want access-fault", acc.Kind)
+	}
+	if acc.Offset != chk.Offset || acc.ObjectOff != chk.ObjectOff {
+		t.Fatalf("access-site offset %#x/object %#x disagrees with check-time %#x/%#x",
+			acc.Offset, acc.ObjectOff, chk.Offset, chk.ObjectOff)
+	}
+}
+
+// TestMemIntrOverflowAudited covers the intrinsic check path: a memset
+// running off the end of an object files a memintr-kind record.
+func TestMemIntrOverflowAudited(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := rt.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Direct(oid)
+	mark := telemetry.Audit.Total()
+	if err := Memset(rt, p, 0xaa, 40); err == nil {
+		t.Fatal("overlong memset succeeded")
+	}
+	recs := telemetry.Audit.RecordsSince(mark)
+	if len(recs) == 0 {
+		t.Fatal("no audit record")
+	}
+	if recs[0].Kind != "memintr" {
+		t.Fatalf("kind %q, want memintr", recs[0].Kind)
+	}
+	if recs[0].AccessSize != 40 {
+		t.Fatalf("access size %d, want 40", recs[0].AccessSize)
+	}
+	if recs[0].PoolUUID != pool.UUID() {
+		t.Fatal("pool not resolved")
+	}
+}
+
+// TestInBoundsAccessLeavesNoAudit pins the always-on trail's zero-cost
+// property for correct programs: clean accesses file nothing.
+func TestInBoundsAccessLeavesNoAudit(t *testing.T) {
+	pool, as := newPools(t, true)
+	rt, err := NewSPP(pool, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pool
+	oid, err := rt.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Direct(oid)
+	mark := telemetry.Audit.Total()
+	if err := StoreU64(rt, rt.Gep(p, 56), 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadU64(rt, rt.Gep(p, 56)); err != nil {
+		t.Fatal(err)
+	}
+	if got := telemetry.Audit.Total() - mark; got != 0 {
+		t.Fatalf("%d audit records from in-bounds accesses", got)
+	}
+}

@@ -234,6 +234,7 @@ func (s *SPP) Direct(oid pmemobj.Oid) uint64 { return s.pool.Direct(oid) }
 
 // Gep implements Runtime: address advance plus __spp_updatetag.
 func (s *SPP) Gep(p uint64, off int64) uint64 {
+	hookGep.Inc()
 	if s.saturating {
 		return s.enc.GepSaturating(p, off)
 	}
@@ -241,15 +242,41 @@ func (s *SPP) Gep(p uint64, off int64) uint64 {
 }
 
 // Check implements Runtime: __spp_checkbound. The returned address
-// carries the overflow bit on violation; the access itself faults.
-func (s *SPP) Check(p, n uint64) (uint64, error) { return s.enc.CheckBound(p, n), nil }
+// carries the overflow bit on violation; the access itself faults. A
+// set overflow bit additionally files a check-time audit record — the
+// one extra branch the always-on audit trail costs this hot path.
+func (s *SPP) Check(p, n uint64) (uint64, error) {
+	hookCheck.Inc()
+	r := s.enc.CheckBound(p, n)
+	if core.Overflow(r) {
+		s.recordOverflow("checkbound", p, r, n)
+	}
+	return r, nil
+}
 
 // CheckPM implements Runtime: the _direct hook that skips the PM-bit
 // test (§V-B).
-func (s *SPP) CheckPM(p, n uint64) (uint64, error) { return s.enc.CheckBoundDirect(p, n), nil }
+func (s *SPP) CheckPM(p, n uint64) (uint64, error) {
+	hookCheckPM.Inc()
+	r := s.enc.CheckBoundDirect(p, n)
+	if core.Overflow(r) {
+		s.recordOverflow("checkbound-pm", p, r, n)
+	}
+	return r, nil
+}
 
 // MemIntr implements Runtime: __spp_memintr_check.
-func (s *SPP) MemIntr(p, n uint64) (uint64, error) { return s.enc.MemIntrCheck(p, n), nil }
+func (s *SPP) MemIntr(p, n uint64) (uint64, error) {
+	hookMemIntr.Inc()
+	r := s.enc.MemIntrCheck(p, n)
+	if core.Overflow(r) {
+		s.recordOverflow("memintr", p, r, n)
+	}
+	return r, nil
+}
 
 // External implements Runtime: __spp_cleantag_external.
-func (s *SPP) External(p uint64) uint64 { return s.enc.CleanTagExternal(p) }
+func (s *SPP) External(p uint64) uint64 {
+	hookExternal.Inc()
+	return s.enc.CleanTagExternal(p)
+}

@@ -10,36 +10,38 @@ import "fmt"
 func LoadU64(rt Runtime, p uint64) (uint64, error) {
 	a, err := rt.Check(p, 8)
 	if err != nil {
-		return 0, err
+		return 0, Trap(rt, err)
 	}
-	return rt.Space().LoadU64(a)
+	v, err := rt.Space().LoadU64(a)
+	return v, Trap(rt, err)
 }
 
 // StoreU64 stores 8 bytes through the runtime's bounds check.
 func StoreU64(rt Runtime, p uint64, v uint64) error {
 	a, err := rt.Check(p, 8)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().StoreU64(a, v)
+	return Trap(rt, rt.Space().StoreU64(a, v))
 }
 
 // LoadU8 loads one byte through the runtime's bounds check.
 func LoadU8(rt Runtime, p uint64) (byte, error) {
 	a, err := rt.Check(p, 1)
 	if err != nil {
-		return 0, err
+		return 0, Trap(rt, err)
 	}
-	return rt.Space().LoadU8(a)
+	b, err := rt.Space().LoadU8(a)
+	return b, Trap(rt, err)
 }
 
 // StoreU8 stores one byte through the runtime's bounds check.
 func StoreU8(rt Runtime, p uint64, v byte) error {
 	a, err := rt.Check(p, 1)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().StoreU8(a, v)
+	return Trap(rt, rt.Space().StoreU8(a, v))
 }
 
 // LoadU64PM is LoadU64 through the _direct hook for statically-known
@@ -47,18 +49,19 @@ func StoreU8(rt Runtime, p uint64, v byte) error {
 func LoadU64PM(rt Runtime, p uint64) (uint64, error) {
 	a, err := rt.CheckPM(p, 8)
 	if err != nil {
-		return 0, err
+		return 0, Trap(rt, err)
 	}
-	return rt.Space().LoadU64(a)
+	v, err := rt.Space().LoadU64(a)
+	return v, Trap(rt, err)
 }
 
 // StoreU64PM is StoreU64 through the _direct hook.
 func StoreU64PM(rt Runtime, p uint64, v uint64) error {
 	a, err := rt.CheckPM(p, 8)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().StoreU64(a, v)
+	return Trap(rt, rt.Space().StoreU64(a, v))
 }
 
 // Interposed memory intrinsics — SPP's __wrap_memcpy family (§IV-D).
@@ -77,13 +80,13 @@ func Memmove(rt Runtime, dst, src uint64, n uint64) error {
 	}
 	sa, err := rt.MemIntr(src, n)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
 	da, err := rt.MemIntr(dst, n)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().Memmove(da, sa, n)
+	return Trap(rt, rt.Space().Memmove(da, sa, n))
 }
 
 // Memset fills n bytes with c.
@@ -93,9 +96,9 @@ func Memset(rt Runtime, dst uint64, c byte, n uint64) error {
 	}
 	da, err := rt.MemIntr(dst, n)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().Memset(da, c, n)
+	return Trap(rt, rt.Space().Memset(da, c, n))
 }
 
 // Strlen returns the length of the NUL-terminated string at p. The
@@ -128,13 +131,13 @@ func Strcpy(rt Runtime, dst, src uint64) error {
 	}
 	sa, err := rt.MemIntr(src, n+1)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
 	da, err := rt.MemIntr(dst, n+1)
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().Memmove(da, sa, n+1)
+	return Trap(rt, rt.Space().Memmove(da, sa, n+1))
 }
 
 // Strcat appends the string at src to the string at dst.
@@ -175,9 +178,9 @@ func StoreBytes(rt Runtime, dst uint64, b []byte) error {
 	}
 	da, err := rt.MemIntr(dst, uint64(len(b)))
 	if err != nil {
-		return err
+		return Trap(rt, err)
 	}
-	return rt.Space().StoreBytes(da, b)
+	return Trap(rt, rt.Space().StoreBytes(da, b))
 }
 
 // LoadBytes reads n bytes through a single intrinsic-style check.
@@ -187,7 +190,8 @@ func LoadBytes(rt Runtime, src uint64, n uint64) ([]byte, error) {
 	}
 	sa, err := rt.MemIntr(src, n)
 	if err != nil {
-		return nil, err
+		return nil, Trap(rt, err)
 	}
-	return rt.Space().LoadBytes(sa, n)
+	b, err := rt.Space().LoadBytes(sa, n)
+	return b, Trap(rt, err)
 }

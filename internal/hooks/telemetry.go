@@ -1,0 +1,108 @@
+package hooks
+
+import (
+	"errors"
+
+	"repro/internal/pmemobj"
+	"repro/internal/telemetry"
+	"repro/internal/vmem"
+)
+
+// Hook-invocation telemetry. Each counter maps to one injected runtime
+// function of Listing 1, so rates expose how much instrumentation a
+// workload actually executes (and, with the transform pass's elision
+// counters, how much was optimized away).
+var (
+	hookCheck    = telemetry.Default.Counter("spp_hook_checkbound_total", "__spp_checkbound invocations")
+	hookCheckPM  = telemetry.Default.Counter("spp_hook_checkbound_pm_total", "__spp_checkbound_direct invocations")
+	hookGep      = telemetry.Default.Counter("spp_hook_updatetag_total", "__spp_updatetag invocations (Gep)")
+	hookMemIntr  = telemetry.Default.Counter("spp_hook_memintr_total", "__spp_memintr_check invocations")
+	hookExternal = telemetry.Default.Counter("spp_hook_cleantag_external_total", "__spp_cleantag_external invocations")
+	hookOverflow = telemetry.Default.Counter("spp_hook_overflow_sets_total", "checks that returned an overflown address")
+	accessFaults = telemetry.Default.Counter("spp_access_faults_total", "safety violations surfaced at an access site")
+)
+
+// recordOverflow files a check-time audit record: an SPP hook computed
+// an address with the overflow bit set, so the upcoming access will
+// fault. p is the incoming tagged pointer, result the hook's output.
+func (s *SPP) recordOverflow(kind string, p, result, n uint64) {
+	hookOverflow.Inc()
+	v := telemetry.Violation{
+		Mechanism:  "spp",
+		Kind:       kind,
+		Addr:       result,
+		Tag:        s.enc.Tag(p),
+		AccessSize: n,
+	}
+	enrich(s.pool, &v, s.enc.Addr(result))
+	seq := telemetry.Audit.Record(v)
+	telemetry.Flight.Record(telemetry.EvViolation, result, seq)
+}
+
+// Trap files an audit record when err is a detected memory-safety
+// violation surfacing at the access itself — a vmem fault (SPP) or an
+// explicit sanitizer report — then returns err unchanged. The checked
+// load/store helpers wrap every error exit with it; for SPP this
+// yields a second record completing the check-time one, with the
+// access-site view of the same violation.
+func Trap(rt Runtime, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ve *ViolationError
+	if errors.As(err, &ve) {
+		accessFaults.Inc()
+		v := telemetry.Violation{
+			Mechanism:  ve.Mechanism,
+			Kind:       "violation",
+			Addr:       ve.Addr,
+			AccessSize: ve.Size,
+		}
+		enrich(rt.Pool(), &v, ve.Addr)
+		seq := telemetry.Audit.Record(v)
+		telemetry.Flight.Record(telemetry.EvViolation, ve.Addr, seq)
+		return err
+	}
+	var fe *vmem.FaultError
+	if errors.As(err, &fe) {
+		accessFaults.Inc()
+		v := telemetry.Violation{
+			Mechanism:  rt.Name(),
+			Kind:       "access-fault",
+			Addr:       fe.Addr,
+			AccessSize: fe.Size,
+		}
+		addr := fe.Addr
+		if pool := rt.Pool(); pool != nil && pool.SPP() {
+			addr = pool.Encoding().Addr(fe.Addr)
+		}
+		enrich(rt.Pool(), &v, addr)
+		seq := telemetry.Audit.Record(v)
+		telemetry.Flight.Record(telemetry.EvViolation, fe.Addr, seq)
+	}
+	return err
+}
+
+// enrich resolves addr into pool coordinates: the pool offset and,
+// when the allocator can name it, the enclosing (or immediately
+// preceding, for one-past-the-end overflows) live object.
+func enrich(pool *pmemobj.Pool, v *telemetry.Violation, addr uint64) {
+	if pool == nil {
+		return
+	}
+	off, err := pool.OffsetOf(addr)
+	if err != nil {
+		return
+	}
+	v.PoolUUID = pool.UUID()
+	v.Offset = off
+	if oOff, oSize, ok := pool.ObjectAt(off); ok {
+		v.ObjectOff, v.ObjectSize = oOff, oSize
+		return
+	}
+	if off > 0 {
+		if oOff, oSize, ok := pool.ObjectAt(off - 1); ok {
+			v.ObjectOff, v.ObjectSize = oOff, oSize
+		}
+	}
+}

@@ -9,10 +9,12 @@ package interp
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/hooks"
 	"repro/internal/ir"
 	"repro/internal/pmemobj"
+	"repro/internal/telemetry"
 	"repro/internal/variant"
 )
 
@@ -193,7 +195,7 @@ func (m *Machine) execBlock(f *ir.Func, blk *ir.Block, vals map[string]uint64) (
 			}
 			v, err := m.load(as, addr, in.Size)
 			if err != nil {
-				return nil, 0, false, err
+				return nil, 0, false, m.trapWithProvenance(f, in, err)
 			}
 			vals[in.Dst] = v
 
@@ -207,7 +209,7 @@ func (m *Machine) execBlock(f *ir.Func, blk *ir.Block, vals map[string]uint64) (
 				return nil, 0, false, err
 			}
 			if err := m.store(as, addr, v, in.Size); err != nil {
-				return nil, 0, false, err
+				return nil, 0, false, m.trapWithProvenance(f, in, err)
 			}
 
 		case ir.PtrToInt, ir.IntToPtr:
@@ -486,6 +488,21 @@ func (m *Machine) store(as interface {
 	default:
 		return as.StoreU64(addr, v)
 	}
+}
+
+// trapWithProvenance files the audit record for a faulting IR access
+// and annotates it with the static use-def chain of the address
+// operand — the IR-level context only the interpreter has. The
+// interpreter's raw loads and stores bypass the hooks.Load*/Store*
+// helpers, so the access-site record is created here.
+func (m *Machine) trapWithProvenance(f *ir.Func, in *ir.Instr, err error) error {
+	err = hooks.Trap(m.env.RT, err)
+	if hooks.IsSafetyTrap(err) && len(in.Args) > 0 {
+		if chain := analysis.ProvenanceChain(f, in.Args[0], 8); len(chain) > 0 {
+			telemetry.Audit.Annotate(telemetry.Audit.Total(), chain)
+		}
+	}
+	return err
 }
 
 func b2u(b bool) uint64 {

@@ -14,9 +14,9 @@
 // performance experiments.
 //
 // Concurrency. The fast path is lock-free: Store/Flush/Fence consult a
-// single atomic tracking flag and return without touching any mutex
-// when tracking is off, so independent goroutines hammering the device
-// never contend. When tracking is on, pending flush ranges are striped
+// single atomic gate word (tracking and telemetry bits) and return
+// without touching any mutex when both are off, so independent
+// goroutines hammering the device never contend. When tracking is on, pending flush ranges are striped
 // across flushStripes cacheline-padded mutexes keyed by the flushed
 // address, and the mode switch itself is guarded by an RWMutex: the
 // data path holds it for read, Enable/DisableTracking, Crash and
@@ -31,6 +31,30 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Device telemetry: store/flush/fence rates split by whether the
+// lock-free fast path (tracking off) or the tracked slow path served
+// them. The device's data path is the hottest code in the repo (~5 ns
+// per store+flush+fence), where even one extra predicted branch is
+// measurable, so the telemetry gate shares the single atomic word the
+// data path already loads for the tracking check (see Pool.gates):
+// with both off, Store/Flush/Fence execute instruction-for-instruction
+// what they did before telemetry existed. The telemetry bit is latched
+// at pool creation; enable telemetry before building the device to get
+// device-op counters (sppbench does this at startup).
+var (
+	devStores     = telemetry.Default.CounterVec("spp_dev_stores_total", "device stores by path", "path")
+	devStoreBytes = telemetry.Default.CounterVec("spp_dev_store_bytes_total", "device store bytes by path", "path")
+	devFlushes    = telemetry.Default.Counter("spp_dev_flushes_total", "cacheline flushes issued")
+	devFences     = telemetry.Default.Counter("spp_dev_fences_total", "store fences issued")
+
+	devStoresFast    = devStores.With("fast")
+	devStoresTracked = devStores.With("tracked")
+	devBytesFast     = devStoreBytes.With("fast")
+	devBytesTracked  = devStoreBytes.With("tracked")
 )
 
 // CachelineSize is the flush granularity of the simulated device.
@@ -72,14 +96,27 @@ type flushStripe struct {
 	_       [40]byte
 }
 
+// Bits of Pool.gates.
+const (
+	gateTracking = 1 << iota // crash-simulation mode is on
+	gateTelem                // count device ops into the telemetry registry
+)
+
 // Pool is a simulated persistent memory pool.
 type Pool struct {
 	data []byte
 	name string
 
-	// tracking is the fast-path gate: checked atomically before any
-	// lock on every Store/Flush/Fence.
-	tracking atomic.Bool
+	// gates is the fast-path gate word: one atomic load on every
+	// Store/Flush/Fence covers both the tracking check and the
+	// telemetry check, so the all-off path costs exactly what a single
+	// tracking flag did. gateTelem is latched from the global telemetry
+	// flag at pool creation and never changes; a pool created before
+	// telemetry.Enable does not count device ops, so consumers that
+	// want them (sppbench, the bench experiments) enable telemetry
+	// before building the device. gateTracking is toggled by
+	// Enable/DisableTracking under the mode lock.
+	gates atomic.Uint32
 
 	// mode serializes tracking-mode transitions against the data path.
 	// The fields below it are valid only while tracking is on.
@@ -92,7 +129,11 @@ type Pool struct {
 // NewPool returns an in-memory pool of the given size with tracking
 // disabled.
 func NewPool(name string, size uint64) *Pool {
-	return &Pool{data: make([]byte, size), name: name}
+	p := &Pool{data: make([]byte, size), name: name}
+	if telemetry.On() {
+		p.gates.Store(gateTelem)
+	}
+	return p
 }
 
 // OpenFile loads a pool image from path, or creates a zeroed pool of
@@ -104,7 +145,11 @@ func OpenFile(path string, size uint64) (*Pool, error) {
 		if uint64(len(b)) != size {
 			return nil, fmt.Errorf("pmem: %s: image is %d bytes, want %d", path, len(b), size)
 		}
-		return &Pool{data: b, name: path}, nil
+		p := &Pool{data: b, name: path}
+		if telemetry.On() {
+			p.gates.Store(gateTelem)
+		}
+		return p, nil
 	case os.IsNotExist(err):
 		return NewPool(path, size), nil
 	default:
@@ -147,7 +192,7 @@ func (p *Pool) EnableTracking(sink TraceSink) {
 	}
 	// Publish last: a fast-path reader that observes tracking=true is
 	// about to block on mode.RLock and will see the fields above.
-	p.tracking.Store(true)
+	p.gates.Store(p.gates.Load() | gateTracking)
 }
 
 // DisableTracking returns the pool to performance mode. The working
@@ -155,7 +200,7 @@ func (p *Pool) EnableTracking(sink TraceSink) {
 func (p *Pool) DisableTracking() {
 	p.mode.Lock()
 	defer p.mode.Unlock()
-	p.tracking.Store(false)
+	p.gates.Store(p.gates.Load() &^ gateTracking)
 	p.sink = nil
 	p.persisted = nil
 	for i := range p.stripes {
@@ -165,18 +210,30 @@ func (p *Pool) DisableTracking() {
 
 // Tracking reports whether crash-simulation mode is on.
 func (p *Pool) Tracking() bool {
-	return p.tracking.Load()
+	return p.gates.Load()&gateTracking != 0
 }
 
 // recordStore notes a completed store at [off, off+size).
 func (p *Pool) recordStore(off, size uint64) {
-	if !p.tracking.Load() {
+	g := p.gates.Load()
+	if g == 0 {
 		return
+	}
+	if g&gateTracking == 0 {
+		if g&gateTelem != 0 {
+			devStoresFast.Inc()
+			devBytesFast.Add(size)
+		}
+		return
+	}
+	if g&gateTelem != 0 {
+		devStoresTracked.Inc()
+		devBytesTracked.Add(size)
 	}
 	p.mode.RLock()
 	sink := p.sink
 	var cp []byte
-	if p.tracking.Load() && sink != nil {
+	if p.Tracking() && sink != nil {
 		cp = make([]byte, size)
 		copy(cp, p.data[off:off+size])
 	} else {
@@ -240,7 +297,17 @@ func (p *Pool) Zero(off, size uint64) {
 // Flush initiates write-back of [off, off+size), extended to cacheline
 // boundaries. The data is durable only after the next Fence.
 func (p *Pool) Flush(off, size uint64) {
-	if size == 0 || !p.tracking.Load() {
+	if size == 0 {
+		return
+	}
+	g := p.gates.Load()
+	if g == 0 {
+		return
+	}
+	if g&gateTelem != 0 {
+		devFlushes.Inc()
+	}
+	if g&gateTracking == 0 {
 		return
 	}
 	start := off &^ (CachelineSize - 1)
@@ -249,7 +316,7 @@ func (p *Pool) Flush(off, size uint64) {
 		end = uint64(len(p.data))
 	}
 	p.mode.RLock()
-	if !p.tracking.Load() {
+	if !p.Tracking() {
 		p.mode.RUnlock()
 		return
 	}
@@ -266,11 +333,18 @@ func (p *Pool) Flush(off, size uint64) {
 
 // Fence makes all pending flushed ranges durable.
 func (p *Pool) Fence() {
-	if !p.tracking.Load() {
+	g := p.gates.Load()
+	if g == 0 {
+		return
+	}
+	if g&gateTelem != 0 {
+		devFences.Inc()
+	}
+	if g&gateTracking == 0 {
 		return
 	}
 	p.mode.RLock()
-	if !p.tracking.Load() {
+	if !p.Tracking() {
 		p.mode.RUnlock()
 		return
 	}
@@ -281,13 +355,16 @@ func (p *Pool) Fence() {
 	for i := range p.stripes {
 		p.stripes[i].mu.Lock()
 	}
+	retired := 0
 	for i := range p.stripes {
 		s := &p.stripes[i]
+		retired += len(s.pending)
 		for _, r := range s.pending {
 			copy(p.persisted[r.off:r.off+r.size], p.data[r.off:r.off+r.size])
 		}
 		s.pending = s.pending[:0]
 	}
+	telemetry.Flight.Record(telemetry.EvFence, uint64(retired), 0)
 	for i := len(p.stripes) - 1; i >= 0; i-- {
 		p.stripes[i].mu.Unlock()
 	}
@@ -309,7 +386,7 @@ func (p *Pool) Persist(off, size uint64) {
 func (p *Pool) Crash() error {
 	p.mode.Lock()
 	defer p.mode.Unlock()
-	if !p.tracking.Load() {
+	if !p.Tracking() {
 		return ErrTrackingDisabled
 	}
 	copy(p.data, p.persisted)
@@ -324,7 +401,7 @@ func (p *Pool) Crash() error {
 func (p *Pool) DurableImage() ([]byte, error) {
 	p.mode.Lock()
 	defer p.mode.Unlock()
-	if !p.tracking.Load() {
+	if !p.Tracking() {
 		return nil, ErrTrackingDisabled
 	}
 	out := make([]byte, len(p.persisted))

@@ -15,6 +15,8 @@ package pmemcheck
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // EventKind discriminates trace events.
@@ -212,6 +214,10 @@ type ConsistencyError struct {
 	CrashPoint int // event index
 	Image      string
 	Err        error
+	// Audit holds safety-violation records the checker filed while
+	// examining the failing image (empty when the failure is a pure
+	// consistency mismatch rather than a detected unsafe access).
+	Audit []telemetry.Violation
 }
 
 func (e *ConsistencyError) Error() string {
@@ -255,8 +261,12 @@ func Explore(base []byte, events []Event, opts ExploreOptions, check func(img []
 			copy(img[s.Off:s.Off+s.Size], s.Data)
 		}
 		states++
+		mark := telemetry.Audit.Total()
 		if err := check(img); err != nil {
-			return &ConsistencyError{CrashPoint: point, Image: name, Err: err}
+			return &ConsistencyError{
+				CrashPoint: point, Image: name, Err: err,
+				Audit: telemetry.Audit.RecordsSince(mark),
+			}
 		}
 		return nil
 	}

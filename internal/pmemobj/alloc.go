@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // The heap is organized as N arenas — contiguous address ranges of the
@@ -138,6 +140,10 @@ type heap struct {
 
 	rotor atomic.Uint32 // round-robin seed for fresh hints
 	hints sync.Pool     // *arenaHint
+
+	// arenaMet caches the per-arena reservation counters so the hot
+	// path never formats a label.
+	arenaMet []*telemetry.Counter
 }
 
 func (h *heap) init(lo, hi uint64, nArenas int) {
@@ -169,6 +175,7 @@ func (h *heap) init(lo, hi uint64, nArenas int) {
 		a.reset()
 		a.reserved = map[uint64]uint64{}
 	}
+	h.arenaMet = arenaCounters(n)
 }
 
 func (h *heap) arenaIdx(off uint64) int {
@@ -258,7 +265,19 @@ func (h *heap) tryReserve(p *Pool, need uint64) (reservation, bool) {
 		a.mu.Lock()
 		r, ok := h.reserveIn(p, a, need)
 		a.mu.Unlock()
+		if telemetry.On() && k > 0 {
+			distCounter(&stealAttemptByDist, k).Inc()
+			if ok {
+				distCounter(&stealOKByDist, k).Inc()
+			}
+		}
 		if ok {
+			if telemetry.On() {
+				h.arenaMet[ai].Inc()
+			}
+			if k > 0 {
+				telemetry.Flight.Record(telemetry.EvSteal, uint64(ai), uint64(k))
+			}
 			hint.idx = uint32(ai)
 			h.hints.Put(hint)
 			return r, true
@@ -550,6 +569,12 @@ func (h *heap) rebuild(p *Pool) error {
 // adjacent free blocks are merged persistently and the lists rebuilt.
 // In-flux and uncommitted blocks are treated as allocated.
 func (h *heap) compactAll(p *Pool, split bool) error {
+	metCompactions.Inc()
+	var whole uint64
+	if !split {
+		whole = 1
+	}
+	telemetry.Flight.Record(telemetry.EvCompact, whole, 0)
 	h.lockAll()
 	defer h.unlockAll()
 	return h.rebuildLocked(p, false, split)
@@ -665,6 +690,10 @@ func (p *Pool) allocCommon(size uint64, destOff *uint64) (Oid, reservation, erro
 	p.heap.unreserve(resv.blk)
 	p.heap.usedBytes.Add(resv.size)
 	p.heap.usedBlocks.Add(1)
+	metAllocs.Inc()
+	metAllocBytes.Add(resv.size)
+	metBlockSize.Observe(resv.size)
+	telemetry.Flight.Record(telemetry.EvAlloc, resv.payloadOff(), resv.size)
 	return oid, resv, nil
 }
 
@@ -702,6 +731,8 @@ func (p *Pool) freeCommon(oid Oid, destOff *uint64) error {
 	p.heap.finishFree(blk, merged)
 	subUsed(&p.heap.usedBytes, size)
 	subUsed(&p.heap.usedBlocks, 1)
+	metFrees.Inc()
+	telemetry.Flight.Record(telemetry.EvFree, blk, merged)
 	return nil
 }
 
@@ -747,6 +778,7 @@ func (p *Pool) reallocCommon(oid Oid, size uint64, destOff *uint64) (Oid, error)
 				return OidNull, err
 			}
 		}
+		metReallocs.Inc()
 		return newOid, nil
 	}
 
@@ -783,5 +815,8 @@ func (p *Pool) reallocCommon(oid Oid, size uint64, destOff *uint64) (Oid, error)
 	p.heap.unreserve(resv.blk)
 	p.heap.finishFree(blk, oldSize)
 	p.heap.usedBytes.Add(resv.size - oldSize)
+	metReallocs.Inc()
+	metBlockSize.Observe(resv.size)
+	telemetry.Flight.Record(telemetry.EvAlloc, resv.payloadOff(), resv.size)
 	return newOid, nil
 }

@@ -75,11 +75,13 @@ func (q *laneQueue) acquire() int {
 		slot := hint.slot
 		q.hints.Put(hint)
 		if v := q.slots[slot].Swap(0); v != 0 {
+			metLaneAffinity.Inc()
 			return int(v - 1)
 		}
 	}
 	select {
 	case lane := <-q.ch:
+		metLaneChannel.Inc()
 		return lane
 	default:
 	}
@@ -91,10 +93,12 @@ func (q *laneQueue) acquire() int {
 		defer q.waiters.Add(-1)
 		for i := range q.slots {
 			if v := q.slots[i].Swap(0); v != 0 {
+				metLaneScan.Inc()
 				return int(v - 1)
 			}
 		}
 	}
+	metLaneChannel.Inc()
 	return <-q.ch
 }
 
@@ -105,10 +109,12 @@ func (q *laneQueue) release(lane int) {
 		slot := hint.slot
 		q.hints.Put(hint)
 		if q.slots[slot].CompareAndSwap(0, int64(lane+1)) {
+			metLanePark.Inc()
 			if q.waiters.Load() > 0 {
 				// A waiter may have finished scanning this slot before
 				// the park landed; retake and forward via the channel.
 				if v := q.slots[slot].Swap(0); v != 0 {
+					metLaneForward.Inc()
 					q.ch <- int(v - 1)
 				}
 			}

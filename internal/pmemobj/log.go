@@ -19,6 +19,7 @@ type redoEntry struct {
 // The returned reservations must be released by the caller after
 // apply.
 func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, error) {
+	metRedoEnts.Observe(uint64(len(entries)))
 	inLane := len(entries)
 	if inLane > p.redoCap {
 		inLane = p.redoCap

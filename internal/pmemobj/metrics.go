@@ -1,0 +1,121 @@
+package pmemobj
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Package-wide telemetry for the memory path. Counters aggregate
+// across pools (benchmark harnesses open many); per-pool state gauges
+// are registered by registerTelemetry and rebind to the most recently
+// opened pool with Config.Telemetry set.
+var (
+	metAllocs     = telemetry.Default.Counter("spp_alloc_total", "atomic+tx object allocations")
+	metFrees      = telemetry.Default.Counter("spp_free_total", "atomic+tx object frees")
+	metReallocs   = telemetry.Default.Counter("spp_realloc_total", "object reallocations")
+	metAllocBytes = telemetry.Default.Counter("spp_alloc_bytes_total", "bytes of allocated blocks, headers included")
+	metBlockSize  = telemetry.Default.Histogram("spp_alloc_block_size_bytes", "allocated block sizes")
+
+	metArenaAlloc   = telemetry.Default.CounterVec("spp_arena_alloc_total", "reservations served per arena", "arena")
+	metStealAttempt = telemetry.Default.CounterVec("spp_steal_attempts_total", "reservation probes of non-affine arenas", "distance")
+	metStealOK      = telemetry.Default.CounterVec("spp_steal_success_total", "reservations served by non-affine arenas", "distance")
+	metCompactions  = telemetry.Default.Counter("spp_compactions_total", "whole-heap compaction passes")
+
+	metLaneAffinity = telemetry.Default.Counter("spp_lane_affinity_hits_total", "lane acquires served by the worker's affine slot")
+	metLaneScan     = telemetry.Default.Counter("spp_lane_scan_hits_total", "lane acquires served by the slow-path slot scan")
+	metLaneChannel  = telemetry.Default.Counter("spp_lane_channel_total", "lane acquires served by the shared channel")
+	metLanePark     = telemetry.Default.Counter("spp_lane_park_total", "lane releases parked in an affine slot")
+	metLaneForward  = telemetry.Default.Counter("spp_lane_forward_total", "parked lanes retaken and forwarded to waiters")
+
+	metTxBegin    = telemetry.Default.Counter("spp_tx_begin_total", "transactions begun")
+	metTxCommit   = telemetry.Default.Counter("spp_tx_commit_total", "transactions committed")
+	metTxAbort    = telemetry.Default.Counter("spp_tx_abort_total", "transactions aborted")
+	metUndoBytes  = telemetry.Default.Histogram("spp_tx_undo_bytes", "undo bytes snapshotted per transaction")
+	metRedoEnts   = telemetry.Default.Histogram("spp_redo_entries", "entries per published redo log")
+	metRecovered  = telemetry.Default.Counter("spp_recovered_lanes_total", "lanes repaired during pool recovery")
+	metLogExtends = telemetry.Default.Counter("spp_undo_extensions_total", "undo-log heap extensions")
+)
+
+// maxDistLabels caps the distance label cardinality; probes farther
+// than this share the overflow counter.
+const maxDistLabels = 16
+
+var (
+	stealAttemptByDist [maxDistLabels + 1]*telemetry.Counter
+	stealOKByDist      [maxDistLabels + 1]*telemetry.Counter
+)
+
+func init() {
+	for d := 0; d <= maxDistLabels; d++ {
+		label := strconv.Itoa(d)
+		if d == maxDistLabels {
+			label = strconv.Itoa(maxDistLabels) + "+"
+		}
+		stealAttemptByDist[d] = metStealAttempt.With(label)
+		stealOKByDist[d] = metStealOK.With(label)
+	}
+}
+
+func distCounter(set *[maxDistLabels + 1]*telemetry.Counter, dist int) *telemetry.Counter {
+	if dist >= maxDistLabels {
+		dist = maxDistLabels
+	}
+	return set[dist]
+}
+
+// maxArenaLabels caps the per-arena label cardinality.
+const maxArenaLabels = 64
+
+// arenaCounters caches the per-arena reservation counters for a heap
+// so the allocation path never builds a label string.
+func arenaCounters(n int) []*telemetry.Counter {
+	out := make([]*telemetry.Counter, n)
+	for i := range out {
+		if i < maxArenaLabels {
+			out[i] = metArenaAlloc.With(strconv.Itoa(i))
+		} else {
+			out[i] = metArenaAlloc.With(strconv.Itoa(maxArenaLabels) + "+")
+		}
+	}
+	return out
+}
+
+// registerTelemetry publishes this pool's heap-state gauges. GaugeFunc
+// replaces on re-registration, so the gauges always describe the most
+// recently opened telemetry-enabled pool.
+func (p *Pool) registerTelemetry() {
+	reg := telemetry.Default
+	reg.GaugeFunc("spp_heap_used_bytes", "bytes in allocated blocks", func() int64 {
+		return int64(p.heap.usedBytes.Load())
+	})
+	reg.GaugeFunc("spp_heap_used_blocks", "live allocations", func() int64 {
+		return int64(p.heap.usedBlocks.Load())
+	})
+	reg.GaugeFunc("spp_heap_free_blocks", "free-list depth across arenas", func() int64 {
+		var n int64
+		for i := range p.heap.arenas {
+			a := &p.heap.arenas[i]
+			a.mu.Lock()
+			n += int64(len(a.freeSet))
+			a.mu.Unlock()
+		}
+		return n
+	})
+	reg.GaugeFunc("spp_heap_reserved_blocks", "in-flux blocks across arenas", func() int64 {
+		var n int64
+		for i := range p.heap.arenas {
+			a := &p.heap.arenas[i]
+			a.mu.Lock()
+			n += int64(len(a.reserved))
+			a.mu.Unlock()
+		}
+		return n
+	})
+	reg.GaugeFunc("spp_heap_arenas", "allocator arena count", func() int64 {
+		return int64(len(p.heap.arenas))
+	})
+	reg.GaugeFunc("spp_lanes", "configured lane count", func() int64 {
+		return int64(p.nLanes)
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pmem"
+	"repro/internal/telemetry"
 	"repro/internal/vmem"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	// DisableLaneAffinity turns off the worker-affine lane cache and
 	// dispenses every lane through the shared channel. Volatile.
 	DisableLaneAffinity bool
+	// Telemetry turns on the global metrics registry and binds this
+	// pool's heap-state gauges to it. Volatile; the flag is process-wide
+	// once set (see internal/telemetry).
+	Telemetry bool
+	// FlightRecorder turns on the global flight recorder. Volatile.
+	FlightRecorder bool
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +241,13 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool
 	}
 	p.laneAffinity = !cfg.DisableLaneAffinity
 
+	if cfg.Telemetry {
+		telemetry.Enable()
+	}
+	if cfg.FlightRecorder {
+		telemetry.Flight.Enable()
+	}
+
 	if err := p.recover(); err != nil {
 		return nil, err
 	}
@@ -244,6 +258,10 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool
 	p.nArenas = len(p.heap.arenas) // after clamping to the heap size
 
 	p.lanes = newLaneQueue(p.nLanes, p.laneAffinity)
+
+	if cfg.Telemetry {
+		p.registerTelemetry()
+	}
 
 	if as != nil {
 		err := as.Map(&vmem.Mapping{Base: base, Data: dev.Data(), Name: dev.Name(), Observer: dev})
@@ -275,10 +293,14 @@ func (p *Pool) recover() error {
 			if err := p.rollbackUndo(undo); err != nil {
 				return err
 			}
+			metRecovered.Inc()
+			telemetry.Flight.Record(telemetry.EvRecovery, uint64(i), 1)
 			continue
 		}
 		if p.dev.ReadU64(lane+laneRedoState) == redoCommitted {
 			p.applyRedo(lane)
+			metRecovered.Inc()
+			telemetry.Flight.Record(telemetry.EvRecovery, uint64(i), 2)
 		}
 	}
 	return nil
@@ -466,6 +488,37 @@ func (p *Pool) ForEachAllocated(fn func(payloadOff, payloadSize uint64) error) e
 		}
 		return nil
 	})
+}
+
+// errStopWalk is a sentinel that ends a heap walk early with success.
+var errStopWalk = errors.New("pmemobj: stop walk")
+
+// ObjectAt resolves the live allocation enclosing pool offset off —
+// or, for a one-past-the-end overflow, the allocation ending exactly
+// at off. It feeds the safety-violation audit trail, so it runs only
+// on the (rare) violation path; the whole-heap walk under all arena
+// locks is acceptable there.
+func (p *Pool) ObjectAt(off uint64) (payloadOff, payloadSize uint64, ok bool) {
+	if off < p.heapOff || off > p.heapEnd {
+		return 0, 0, false
+	}
+	p.heap.lockAll()
+	defer p.heap.unlockAll()
+	err := p.heap.walkLocked(p, func(blk, size, state uint64, inFlux bool) error {
+		if state != blockAllocated {
+			return nil
+		}
+		pOff := blk + blockHdrSize
+		if off >= pOff && off <= blk+size {
+			payloadOff, payloadSize, ok = pOff, size-blockHdrSize, true
+			return errStopWalk
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopWalk) {
+		return 0, 0, false
+	}
+	return payloadOff, payloadSize, ok
 }
 
 // HeapBounds returns the heap's [start, end) offsets within the pool.

@@ -3,6 +3,8 @@ package pmemobj
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // ErrTxDone is returned when a finished transaction is used again.
@@ -32,6 +34,10 @@ type Tx struct {
 	exts    []reservation // undo-log extension blocks
 	done    bool
 
+	// undoBytes is the payload total snapshotted so far, for the
+	// per-transaction telemetry histogram.
+	undoBytes uint64
+
 	// Active undo segment (the in-lane region first, then extensions).
 	segData      uint64 // pool offset of the segment's data region
 	segUsed      uint64 // bytes used in the active segment
@@ -47,6 +53,8 @@ func (p *Pool) Begin() *Tx {
 	p.dev.WriteU64(undo+undoExtOff, 0)
 	p.dev.WriteU64(undo+undoStateOff, undoActive)
 	p.dev.Persist(undo, undoDataOff)
+	metTxBegin.Inc()
+	telemetry.Flight.Record(telemetry.EvTxBegin, uint64(lane), 0)
 	return &Tx{
 		p: p, lane: lane, laneOff: p.laneOff(lane), undoOff: undo,
 		segData:      undo + undoDataOff,
@@ -92,6 +100,7 @@ func (tx *Tx) undoAppend(off, size uint64) error {
 		if err != nil {
 			return fmt.Errorf("undo log extension: %w", err)
 		}
+		metLogExtends.Inc()
 		// Publish the uncommitted header while the block is still in
 		// the reserved set, then settle it.
 		p.dev.WriteU64(resv.blk, resv.size)
@@ -126,6 +135,7 @@ func (tx *Tx) undoAppend(off, size uint64) error {
 	}
 	p.writeUndoEntry(tx.segData, tx.segUsedField, tx.segUsed, off, size)
 	tx.segUsed += need
+	tx.undoBytes += size
 	return nil
 }
 
@@ -310,6 +320,9 @@ func (tx *Tx) Commit() error {
 		subUsed(&p.heap.usedBlocks, 1)
 	}
 	tx.releaseExts()
+	metTxCommit.Inc()
+	metUndoBytes.Observe(tx.undoBytes)
+	telemetry.Flight.Record(telemetry.EvTxCommit, uint64(tx.lane), tx.undoBytes)
 	return nil
 }
 
@@ -321,6 +334,8 @@ func (tx *Tx) Abort() error {
 	}
 	tx.done = true
 	defer func() { tx.p.lanes.release(tx.lane) }()
+	metTxAbort.Inc()
+	telemetry.Flight.Record(telemetry.EvTxAbort, uint64(tx.lane), 0)
 	return tx.rollback()
 }
 

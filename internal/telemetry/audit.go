@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Violation is one structured entry of the safety-violation audit
+// trail: everything a production report needs to act on a detected
+// memory-safety violation, far beyond the bare fault address.
+type Violation struct {
+	// Seq is the trail-assigned sequence number (1-based, monotonic).
+	Seq uint64
+	// Time is when the violation was recorded.
+	Time time.Time
+	// Mechanism is the protection that detected it ("spp", "safepm",
+	// "memcheck").
+	Mechanism string
+	// Kind is the detection site: "checkbound", "checkbound-pm",
+	// "memintr" for SPP overflow-bit sets at check time;
+	// "access-fault" for a fault at the access itself; "violation" for
+	// explicit sanitizer reports.
+	Kind string
+	// PoolUUID identifies the pool, when known.
+	PoolUUID uint64
+	// Addr is the (cleaned) faulting virtual address, overflow bit
+	// included for SPP.
+	Addr uint64
+	// Offset is the pool offset of the access target (overflow bit
+	// stripped), when the address resolves into a pool.
+	Offset uint64
+	// ObjectOff and ObjectSize locate the enclosing (or immediately
+	// preceding, for one-past-the-end overflows) allocation, when the
+	// allocator can resolve one.
+	ObjectOff, ObjectSize uint64
+	// Tag is the SPP tag field of the offending pointer.
+	Tag uint64
+	// AccessSize is the size in bytes of the attempted access.
+	AccessSize uint64
+	// Goroutine is the ID of the goroutine that performed the access.
+	Goroutine uint64
+	// Provenance is the static use-def chain of the offending pointer,
+	// innermost first, when IR-level analysis context is available.
+	Provenance []string
+}
+
+// String renders the record in the one-line diagnostic style of
+// `sppc -lint`.
+func (v Violation) String() string {
+	s := fmt.Sprintf("violation #%d [%s/%s]: %d-byte access at %#x", v.Seq, v.Mechanism, v.Kind, v.AccessSize, v.Addr)
+	if v.PoolUUID != 0 {
+		s += fmt.Sprintf(" (pool %#x offset %#x", v.PoolUUID, v.Offset)
+		if v.ObjectSize != 0 {
+			s += fmt.Sprintf(", object [%#x,+%d)", v.ObjectOff, v.ObjectSize)
+		}
+		s += ")"
+	}
+	s += fmt.Sprintf(" tag %#x goroutine %d", v.Tag, v.Goroutine)
+	if len(v.Provenance) > 0 {
+		s += " via " + v.Provenance[0]
+		for _, p := range v.Provenance[1:] {
+			s += " <- " + p
+		}
+	}
+	return s
+}
+
+// Trail is a bounded ring of violation records. Recording is
+// mutex-protected — violations are rare and the mutex keeps snapshot
+// reads trivially consistent — and the ring never grows past its
+// capacity: old records are overwritten, Total keeps the lifetime
+// count.
+type Trail struct {
+	mu    sync.Mutex
+	ring  []Violation
+	next  int
+	total uint64
+}
+
+// Audit is the process-wide audit trail. It is always on: recording
+// happens on the violation path only, so there is nothing to gate.
+var Audit = NewTrail(256)
+
+// NewTrail returns a trail holding at most capacity records.
+func NewTrail(capacity int) *Trail {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trail{ring: make([]Violation, 0, capacity)}
+}
+
+// Record appends v to the trail, assigning its sequence number, Time
+// and Goroutine if unset. It returns the assigned sequence number.
+func (t *Trail) Record(v Violation) uint64 {
+	if v.Time.IsZero() {
+		v.Time = time.Now()
+	}
+	if v.Goroutine == 0 {
+		v.Goroutine = goid()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	v.Seq = t.total
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, v)
+	} else {
+		t.ring[t.next] = v
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	return v.Seq
+}
+
+// Annotate attaches a provenance chain to the record with the given
+// sequence number, if it is still in the ring.
+func (t *Trail) Annotate(seq uint64, provenance []string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ring {
+		if t.ring[i].Seq == seq {
+			t.ring[i].Provenance = provenance
+			return true
+		}
+	}
+	return false
+}
+
+// Records returns the retained records, oldest first.
+func (t *Trail) Records() []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Violation, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// RecordsSince returns retained records with Seq > seq, oldest first.
+func (t *Trail) RecordsSince(seq uint64) []Violation {
+	all := t.Records()
+	for i, v := range all {
+		if v.Seq > seq {
+			return all[i:]
+		}
+	}
+	return nil
+}
+
+// Total returns the lifetime number of recorded violations, including
+// any the ring has since overwritten.
+func (t *Trail) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Len returns the number of retained records.
+func (t *Trail) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Reset discards all records and restarts sequence numbering.
+func (t *Trail) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.total = 0
+}
+
+// goid extracts the current goroutine's ID from its stack header. This
+// runs only on the violation path, where a stack capture is cheap
+// relative to the report's value.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [running]:"
+	fields := bytes.Fields(buf[:n])
+	if len(fields) >= 2 {
+		if id, err := strconv.ParseUint(string(fields[1]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrailRecordAndWrap(t *testing.T) {
+	tr := NewTrail(4)
+	for i := 0; i < 6; i++ {
+		seq := tr.Record(Violation{Mechanism: "spp", Kind: "checkbound", Addr: uint64(i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if tr.Total() != 6 || tr.Len() != 4 {
+		t.Fatalf("total=%d len=%d, want 6/4", tr.Total(), tr.Len())
+	}
+	recs := tr.Records()
+	for i, v := range recs {
+		if want := uint64(i + 3); v.Seq != want {
+			t.Fatalf("record %d has seq %d, want %d (oldest first after wrap)", i, v.Seq, want)
+		}
+	}
+	if since := tr.RecordsSince(4); len(since) != 2 || since[0].Seq != 5 {
+		t.Fatalf("RecordsSince(4) = %v", since)
+	}
+}
+
+func TestTrailFillsTimeAndGoroutine(t *testing.T) {
+	tr := NewTrail(2)
+	tr.Record(Violation{Mechanism: "spp"})
+	v := tr.Records()[0]
+	if v.Time.IsZero() {
+		t.Fatal("time not stamped")
+	}
+	if v.Goroutine == 0 {
+		t.Fatal("goroutine id not captured")
+	}
+}
+
+func TestTrailAnnotate(t *testing.T) {
+	tr := NewTrail(4)
+	seq := tr.Record(Violation{Mechanism: "spp", Kind: "checkbound"})
+	if !tr.Annotate(seq, []string{"main: %q = gep %p, %off", "main: %p = direct %oid"}) {
+		t.Fatal("annotate missed a live record")
+	}
+	v := tr.Records()[0]
+	if len(v.Provenance) != 2 {
+		t.Fatalf("provenance not attached: %v", v.Provenance)
+	}
+	if tr.Annotate(99, nil) {
+		t.Fatal("annotate of an absent seq reported success")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Seq: 3, Mechanism: "spp", Kind: "checkbound",
+		PoolUUID: 0xabc, Addr: 0x4000_0000_0001_0040, Offset: 0x1040,
+		ObjectOff: 0x1000, ObjectSize: 64, Tag: 0x3f, AccessSize: 8,
+		Goroutine: 7, Provenance: []string{"main: %q = gep %p, 64"},
+	}
+	s := v.String()
+	for _, want := range []string{
+		"violation #3", "[spp/checkbound]", "8-byte access",
+		"pool 0xabc", "offset 0x1040", "object [0x1000,+64)",
+		"tag 0x3f", "goroutine 7", "via main: %q = gep %p, 64",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing from %q", want, s)
+		}
+	}
+}
+
+func TestTrailReset(t *testing.T) {
+	tr := NewTrail(4)
+	tr.Record(Violation{})
+	tr.Reset()
+	if tr.Total() != 0 || tr.Len() != 0 {
+		t.Fatal("reset did not clear the trail")
+	}
+	if seq := tr.Record(Violation{}); seq != 1 {
+		t.Fatalf("seq after reset = %d, want 1", seq)
+	}
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies flight-recorder events.
+type EventKind uint8
+
+// Flight-recorder event kinds. A and B carry kind-specific payloads,
+// documented per kind.
+const (
+	// EvAlloc: A = payload offset, B = block size.
+	EvAlloc EventKind = iota + 1
+	// EvFree: A = block offset, B = merged span.
+	EvFree
+	// EvSteal: A = arena index that served, B = distance from the
+	// affine arena.
+	EvSteal
+	// EvCompact: A = 1 for whole-heap (unsplit) compaction.
+	EvCompact
+	// EvTxBegin: A = lane index.
+	EvTxBegin
+	// EvTxCommit: A = lane index, B = undo bytes snapshotted.
+	EvTxCommit
+	// EvTxAbort: A = lane index.
+	EvTxAbort
+	// EvRecovery: A = lane index, B = 1 for undo rollback, 2 for redo
+	// re-apply.
+	EvRecovery
+	// EvViolation: A = faulting address, B = audit sequence number.
+	EvViolation
+	// EvFence: A = pending flush ranges retired (tracked mode only).
+	EvFence
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	case EvSteal:
+		return "steal"
+	case EvCompact:
+		return "compact"
+	case EvTxBegin:
+		return "tx-begin"
+	case EvTxCommit:
+		return "tx-commit"
+	case EvTxAbort:
+		return "tx-abort"
+	case EvRecovery:
+		return "recovery"
+	case EvViolation:
+		return "violation"
+	case EvFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one flight-recorder entry.
+type Event struct {
+	Seq  uint64
+	When int64 // unix nanoseconds
+	Kind EventKind
+	A, B uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s a=%#x b=%d", e.Seq, e.Kind, e.A, e.B)
+}
+
+// flightStripes spreads recording across independent rings so
+// concurrent workers do not serialize on one mutex — the per-P ring
+// design, approximated with sequence-hashed stripes.
+const flightStripes = 8
+
+type flightStripe struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	_    [padBytes]byte
+}
+
+// Recorder is a fixed-size ring of recent events, cheap enough to
+// leave on: recording is one atomic add plus an uncontended striped
+// mutex, and a disabled recorder costs one atomic load per site.
+type Recorder struct {
+	on      atomic.Bool
+	seq     atomic.Uint64
+	stripes [flightStripes]flightStripe
+	perCap  int
+}
+
+// Flight is the process-wide flight recorder, off by default.
+var Flight = NewRecorder(1024)
+
+// NewRecorder returns a recorder retaining about capacity events.
+func NewRecorder(capacity int) *Recorder {
+	per := capacity / flightStripes
+	if per < 1 {
+		per = 1
+	}
+	return &Recorder{perCap: per}
+}
+
+// Enable turns event recording on.
+func (r *Recorder) Enable() { r.on.Store(true) }
+
+// Disable turns event recording off. Retained events are kept.
+func (r *Recorder) Disable() { r.on.Store(false) }
+
+// On reports whether the recorder is enabled.
+func (r *Recorder) On() bool { return r.on.Load() }
+
+// Record appends an event when the recorder is enabled.
+func (r *Recorder) Record(kind EventKind, a, b uint64) {
+	if !r.on.Load() {
+		return
+	}
+	seq := r.seq.Add(1)
+	ev := Event{Seq: seq, When: time.Now().UnixNano(), Kind: kind, A: a, B: b}
+	s := &r.stripes[seq%flightStripes]
+	s.mu.Lock()
+	if len(s.buf) < r.perCap {
+		s.buf = append(s.buf, ev)
+		s.next = (s.next + 1) % r.perCap
+	} else {
+		s.buf[s.next] = ev
+		s.next = (s.next + 1) % r.perCap
+	}
+	s.mu.Unlock()
+}
+
+// Dump returns the retained events in sequence order.
+func (r *Recorder) Dump() []Event {
+	var out []Event
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.buf...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset discards retained events.
+func (r *Recorder) Reset() {
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		s.buf = s.buf[:0]
+		s.next = 0
+		s.mu.Unlock()
+	}
+}
+
+// WriteTo formats the retained events, one per line, oldest first.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, ev := range r.Dump() {
+		c, err := fmt.Fprintln(w, ev)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderDisabledByDefault(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(EvAlloc, 1, 2)
+	if len(r.Dump()) != 0 {
+		t.Fatal("disabled recorder retained an event")
+	}
+}
+
+func TestRecorderRingRetainsRecent(t *testing.T) {
+	r := NewRecorder(16)
+	r.Enable()
+	for i := 0; i < 100; i++ {
+		r.Record(EvAlloc, uint64(i), 0)
+	}
+	evs := r.Dump()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("dump not in sequence order")
+		}
+	}
+	// With seq-hashed stripes the oldest retained event is at most
+	// capacity events behind the newest.
+	if newest, oldest := evs[len(evs)-1].Seq, evs[0].Seq; newest-oldest >= 100 {
+		t.Fatalf("ring did not discard old events: span %d..%d", oldest, newest)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(128)
+	r.Enable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(EvTxCommit, uint64(g), uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(r.Dump()) == 0 {
+		t.Fatal("no events retained")
+	}
+}
+
+func TestRecorderWriteTo(t *testing.T) {
+	r := NewRecorder(8)
+	r.Enable()
+	r.Record(EvViolation, 0xdead, 1)
+	var b bytes.Buffer
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "violation a=0xdead b=1") {
+		t.Fatalf("unexpected dump: %q", b.String())
+	}
+	r.Reset()
+	if len(r.Dump()) != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvAlloc, EvFree, EvSteal, EvCompact, EvTxBegin,
+		EvTxCommit, EvTxAbort, EvRecovery, EvViolation, EvFence}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "kind(") || seen[s] {
+			t.Fatalf("kind %d renders %q", k, s)
+		}
+		seen[s] = true
+	}
+}

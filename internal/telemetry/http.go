@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// Handler returns an http.Handler exposing the observability surfaces:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/debug/vars   expvar JSON (reg published as "spp")
+//	/debug/audit  the violation audit trail
+//	/debug/flight the flight-recorder ring
+//	/debug/pprof/ CPU, heap, goroutine, ... profiles
+func Handler(reg *Registry) http.Handler {
+	if reg == Default {
+		publishOnce.Do(func() { expvar.Publish("spp", Default) })
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, _ *http.Request) {
+		for _, v := range Audit.Records() {
+			fmt.Fprintln(w, v)
+		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		Flight.WriteTo(w) //nolint:errcheck // best-effort debug dump
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) in a background goroutine,
+// returning the bound address (useful with a ":0" port). Long
+// benchmark runs point a browser or `go tool pprof` at it.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln) //nolint:errcheck // lives until process exit
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHandlerSurfaces(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_http_total", "h")
+	withEnabled(t, func() { c.Add(9) })
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	if body := get(t, srv, "/metrics"); !strings.Contains(body, "test_http_total 9") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+	seq := Audit.Record(Violation{Mechanism: "spp", Kind: "checkbound", AccessSize: 8})
+	if body := get(t, srv, "/debug/audit"); !strings.Contains(body, "[spp/checkbound]") {
+		t.Fatalf("/debug/audit missing record (seq %d):\n%s", seq, body)
+	}
+	if body := get(t, srv, "/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeBindsEphemeral(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics over Serve: %s", resp.Status)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation dominates the timings the overhead smoke test
+// compares.
+const raceEnabled = true

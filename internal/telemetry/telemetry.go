@@ -1,0 +1,410 @@
+// Package telemetry is the always-on observability substrate: a
+// registry of cacheline-padded atomic counters, gauges and histograms
+// with near-zero cost while disabled, a bounded audit trail of
+// memory-safety violations (audit.go), and a flight recorder of recent
+// allocator/tx/device events (flight.go).
+//
+// The design mirrors production memory-safety deployments (sampled
+// always-on checking needs always-on accounting): every instrumented
+// hot path pays exactly one atomic load and a predictable branch when
+// telemetry is off, and one uncontended atomic add when it is on.
+// Metric mutation never takes a lock; the registry lock covers only
+// registration and snapshot iteration, so snapshots taken while every
+// counter is being hammered are race-free by construction.
+//
+// Exposition surfaces: Registry.WriteProm emits the Prometheus text
+// format (golden-tested so it cannot silently drift), Registry.String
+// returns an expvar-compatible JSON object, and Serve (http.go) mounts
+// both plus the pprof handlers.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global metrics gate. A single process-wide flag keeps
+// the disabled fast path to one atomic load with no pointer chase.
+var enabled atomic.Bool
+
+// Enable turns metric collection on.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection off. Collected values are kept.
+func Disable() { enabled.Store(false) }
+
+// On reports whether metric collection is enabled. Instrumentation
+// sites with work beyond a counter bump (building labels, measuring
+// sizes) should consult it before doing that work.
+func On() bool { return enabled.Load() }
+
+// pad fills a counter out to its own cacheline so that registering
+// metrics contiguously never makes two hot counters false-share.
+const padBytes = 56
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable but unregistered; obtain registered counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+	_ [padBytes]byte
+}
+
+// Inc adds one when telemetry is enabled.
+func (c *Counter) Inc() {
+	if enabled.Load() {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n when telemetry is enabled.
+func (c *Counter) Add(n uint64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+	_ [padBytes]byte
+}
+
+// Set stores v when telemetry is enabled.
+func (g *Gauge) Set(v int64) {
+	if enabled.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (which may be negative) when telemetry is enabled.
+func (g *Gauge) Add(d int64) {
+	if enabled.Load() {
+		g.v.Add(d)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets are the histogram upper bounds: powers of four from 16
+// up, with a final overflow bucket. Suits byte and entry counts alike.
+var histBuckets = [...]uint64{16, 64, 256, 1024, 4096, 16384, 65536}
+
+// Histogram is a fixed-bucket histogram of uint64 observations.
+type Histogram struct {
+	buckets [len(histBuckets) + 1]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records v when telemetry is enabled.
+func (h *Histogram) Observe(v uint64) {
+	if !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(histBuckets) && v > histBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Vec is a family of counters distinguished by one label, e.g. steal
+// counts by arena distance. Children are created on first use and
+// cached; hot paths should cache the *Counter returned by With.
+type Vec struct {
+	name, help, label string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+	order    []string
+}
+
+// With returns the child counter for the given label value.
+func (v *Vec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.children[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[value]; c != nil {
+		return c
+	}
+	c = new(Counter)
+	v.children[value] = c
+	v.order = append(v.order, value)
+	return c
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindVec
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+type metric struct {
+	kind metricKind
+	name string
+	help string
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+	vec     *Vec
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for
+// an existing name of the same kind returns the existing metric, so
+// multiple pools share one set of process-wide counters. The zero
+// value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*metric
+	order  []string
+}
+
+// Default is the process-wide registry every instrumented subsystem
+// registers into.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// lookup returns the existing entry for name, checking the kind, or
+// registers the one built by mk.
+func (r *Registry) lookup(name string, kind metricKind, mk func() *metric) *metric {
+	r.mu.RLock()
+	m := r.byName[name]
+	r.mu.RUnlock()
+	if m == nil {
+		r.mu.Lock()
+		if m = r.byName[name]; m == nil {
+			m = mk()
+			r.byName[name] = m
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as a different kind", name))
+	}
+	return m
+}
+
+// Counter returns the registered counter with the given name, creating
+// it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, kindCounter, func() *metric {
+		return &metric{kind: kindCounter, name: name, help: help, counter: new(Counter)}
+	}).counter
+}
+
+// Gauge returns the registered gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, kindGauge, func() *metric {
+		return &metric{kind: kindGauge, name: name, help: help, gauge: new(Gauge)}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge computed by fn at snapshot time. Unlike
+// the other constructors it replaces any previous function under the
+// same name: pool-state gauges rebind to the most recently opened pool.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	m := r.lookup(name, kindGaugeFunc, func() *metric {
+		return &metric{kind: kindGaugeFunc, name: name, help: help}
+	})
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the registered histogram with the given name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.lookup(name, kindHistogram, func() *metric {
+		return &metric{kind: kindHistogram, name: name, help: help, hist: new(Histogram)}
+	}).hist
+}
+
+// CounterVec returns the registered counter family with the given name
+// and label key.
+func (r *Registry) CounterVec(name, help, label string) *Vec {
+	return r.lookup(name, kindVec, func() *metric {
+		return &metric{kind: kindVec, name: name, help: help,
+			vec: &Vec{name: name, help: help, label: label, children: map[string]*Counter{}}}
+	}).vec
+}
+
+// snapshotMetrics returns the registered metrics in registration
+// order, plus the gauge functions captured under the lock.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*metric, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byName[name])
+	}
+	return out
+}
+
+// Snapshot is a flat view of every metric series: plain metrics under
+// their name, vec children as name{label="value"}, histograms exploded
+// into _bucket/_sum/_count series.
+type Snapshot map[string]int64
+
+// Delta returns s - prev per series, dropping zero deltas. Series
+// absent from prev count from zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot)
+	for k, v := range s {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Get returns the series value, or zero when absent.
+func (s Snapshot) Get(name string) int64 { return s[name] }
+
+// Snapshot captures the current value of every registered series. It
+// is safe to call while every metric is concurrently mutated: counter
+// reads are atomic and the registry lock covers only the name table.
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot)
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = int64(m.counter.Load())
+		case kindGauge:
+			out[m.name] = m.gauge.Load()
+		case kindGaugeFunc:
+			r.mu.RLock()
+			fn := m.fn
+			r.mu.RUnlock()
+			if fn != nil {
+				out[m.name] = fn()
+			}
+		case kindHistogram:
+			for i := range m.hist.buckets {
+				out[fmt.Sprintf("%s_bucket{le=%q}", m.name, bucketBound(i))] =
+					int64(m.hist.buckets[i].Load())
+			}
+			out[m.name+"_sum"] = int64(m.hist.Sum())
+			out[m.name+"_count"] = int64(m.hist.Count())
+		case kindVec:
+			m.vec.mu.RLock()
+			for _, lv := range m.vec.order {
+				out[fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, lv)] =
+					int64(m.vec.children[lv].Load())
+			}
+			m.vec.mu.RUnlock()
+		}
+	}
+	return out
+}
+
+func bucketBound(i int) string {
+	if i >= len(histBuckets) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", histBuckets[i])
+}
+
+// WriteProm writes every metric in the Prometheus text exposition
+// format, in registration order with sorted label values.
+func (r *Registry) WriteProm(w io.Writer) {
+	for _, m := range r.snapshotMetrics() {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.promType())
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Load())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Load())
+		case kindGaugeFunc:
+			r.mu.RLock()
+			fn := m.fn
+			r.mu.RUnlock()
+			v := int64(0)
+			if fn != nil {
+				v = fn()
+			}
+			fmt.Fprintf(w, "%s %d\n", m.name, v)
+		case kindHistogram:
+			cum := uint64(0)
+			for i := range m.hist.buckets {
+				cum += m.hist.buckets[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, bucketBound(i), cum)
+			}
+			fmt.Fprintf(w, "%s_sum %d\n", m.name, m.hist.Sum())
+			fmt.Fprintf(w, "%s_count %d\n", m.name, m.hist.Count())
+		case kindVec:
+			m.vec.mu.RLock()
+			values := append([]string(nil), m.vec.order...)
+			m.vec.mu.RUnlock()
+			sort.Strings(values)
+			for _, lv := range values {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.vec.label, lv, m.vec.With(lv).Load())
+			}
+		}
+	}
+}
+
+// String renders the registry as a JSON object mapping series names to
+// values — the expvar.Var contract, so the registry can be published
+// with expvar.Publish and served from /debug/vars.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q: %d", k, snap[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

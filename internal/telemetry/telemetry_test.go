@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs the body with the global gate on, restoring the
+// prior state after.
+func withEnabled(t *testing.T, fn func()) {
+	t.Helper()
+	was := On()
+	Enable()
+	defer func() {
+		if !was {
+			Disable()
+		}
+	}()
+	fn()
+}
+
+func TestCounterGatedWhenDisabled(t *testing.T) {
+	Disable()
+	r := NewRegistry()
+	c := r.Counter("test_gated_total", "gated")
+	c.Inc()
+	c.Add(10)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("disabled counter moved: %d", got)
+	}
+	withEnabled(t, func() {
+		c.Inc()
+		c.Add(2)
+	})
+	if got := c.Load(); got != 3 {
+		t.Fatalf("enabled counter = %d, want 3", got)
+	}
+}
+
+func TestGaugeAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "g")
+	h := r.Histogram("test_hist", "h")
+	withEnabled(t, func() {
+		g.Set(7)
+		g.Add(-2)
+		for _, v := range []uint64{1, 16, 17, 100_000} {
+			h.Observe(v)
+		}
+	})
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if h.Count() != 4 || h.Sum() != 1+16+17+100_000 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if snap.Get(`test_hist_bucket{le="16"}`) != 2 {
+		t.Fatalf("le=16 bucket = %d, want 2 (1 and 16 inclusive)", snap.Get(`test_hist_bucket{le="16"}`))
+	}
+	if snap.Get(`test_hist_bucket{le="+Inf"}`) != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", snap.Get(`test_hist_bucket{le="+Inf"}`))
+	}
+}
+
+func TestRegistrationIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same_total", "x")
+	b := r.Counter("test_same_total", "ignored")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as a different kind did not panic")
+		}
+	}()
+	r.Gauge("test_same_total", "wrong kind")
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_fn", "f", func() int64 { return 1 })
+	r.GaugeFunc("test_fn", "f", func() int64 { return 2 })
+	if got := r.Snapshot().Get("test_fn"); got != 2 {
+		t.Fatalf("gauge func = %d, want the replacement's 2", got)
+	}
+}
+
+// TestConcurrentRegistrationAndSnapshot hammers the registry from
+// every direction at once — new names, existing names, vec children,
+// snapshots, prom dumps — and relies on the race detector (make race)
+// to certify the locking.
+func TestConcurrentRegistrationAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_vec_total", "v", "k")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	withEnabled(t, func() {
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					r.Counter(fmt.Sprintf("test_new_%d_%d_total", g, i%32), "n").Inc()
+					r.Counter("test_shared_total", "s").Add(2)
+					r.Histogram("test_shared_hist", "h").Observe(uint64(i))
+					v.With(fmt.Sprintf("%d", i%4)).Inc()
+				}
+			}(g)
+		}
+		deadline := time.After(100 * time.Millisecond)
+		for done := false; !done; {
+			select {
+			case <-deadline:
+				done = true
+			default:
+				_ = r.Snapshot()
+				var b bytes.Buffer
+				r.WriteProm(&b)
+				_ = r.String()
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+	snap := r.Snapshot()
+	if snap.Get("test_shared_total") == 0 {
+		t.Fatal("shared counter never moved")
+	}
+	var vecTotal int64
+	for i := 0; i < 4; i++ {
+		vecTotal += snap.Get(fmt.Sprintf(`test_vec_total{k="%d"}`, i))
+	}
+	if vecTotal == 0 {
+		t.Fatal("vec children never moved")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_delta_total", "d")
+	withEnabled(t, func() {
+		c.Add(5)
+		before := r.Snapshot()
+		c.Add(3)
+		d := r.Snapshot().Delta(before)
+		if d.Get("test_delta_total") != 3 {
+			t.Fatalf("delta = %d, want 3", d.Get("test_delta_total"))
+		}
+		if len(r.Snapshot().Delta(r.Snapshot())) != 0 {
+			t.Fatal("zero deltas were not dropped")
+		}
+	})
+}
+
+// TestWritePromGolden pins the exposition format: counters, gauges,
+// cumulative histogram buckets and sorted vec children. A drift here
+// breaks real scrapers, so the full text is asserted.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spp_test_ops_total", "operations executed")
+	g := r.Gauge("spp_test_depth", "current depth")
+	r.GaugeFunc("spp_test_lanes", "configured lanes", func() int64 { return 8 })
+	h := r.Histogram("spp_test_bytes", "payload bytes")
+	v := r.CounterVec("spp_test_steals_total", "steals by distance", "distance")
+	withEnabled(t, func() {
+		c.Add(42)
+		g.Set(-3)
+		h.Observe(10)
+		h.Observe(300)
+		v.With("2").Inc()
+		v.With("1").Add(4)
+	})
+	const want = `# HELP spp_test_ops_total operations executed
+# TYPE spp_test_ops_total counter
+spp_test_ops_total 42
+# HELP spp_test_depth current depth
+# TYPE spp_test_depth gauge
+spp_test_depth -3
+# HELP spp_test_lanes configured lanes
+# TYPE spp_test_lanes gauge
+spp_test_lanes 8
+# HELP spp_test_bytes payload bytes
+# TYPE spp_test_bytes histogram
+spp_test_bytes_bucket{le="16"} 1
+spp_test_bytes_bucket{le="64"} 1
+spp_test_bytes_bucket{le="256"} 1
+spp_test_bytes_bucket{le="1024"} 2
+spp_test_bytes_bucket{le="4096"} 2
+spp_test_bytes_bucket{le="16384"} 2
+spp_test_bytes_bucket{le="65536"} 2
+spp_test_bytes_bucket{le="+Inf"} 2
+spp_test_bytes_sum 310
+spp_test_bytes_count 2
+# HELP spp_test_steals_total steals by distance
+# TYPE spp_test_steals_total counter
+spp_test_steals_total{distance="1"} 4
+spp_test_steals_total{distance="2"} 1
+`
+	var b bytes.Buffer
+	r.WriteProm(&b)
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus text drift:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryStringIsExpvarJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_json_total", "j")
+	withEnabled(t, func() { c.Inc() })
+	s := r.String()
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") ||
+		!strings.Contains(s, `"test_json_total": 1`) {
+		t.Fatalf("not the expected expvar JSON: %s", s)
+	}
+}
+
+// TestDisabledOverheadSmoke bounds the disabled-path cost: a gated
+// counter bump must stay within an order of magnitude of a bare
+// add — i.e. nanoseconds, no locks, no allocation. The bound is
+// deliberately loose (20x) so the test never flakes on a noisy CI
+// box while still catching an accidental lock or map lookup on the
+// disabled path.
+func TestDisabledOverheadSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation dominates the measured loop")
+	}
+	Disable()
+	r := NewRegistry()
+	c := r.Counter("test_overhead_total", "o")
+	const n = 1 << 22
+	var sink uint64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sink += uint64(i)
+	}
+	base := time.Since(start)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		c.Inc()
+		sink += uint64(i)
+	}
+	gated := time.Since(start)
+	_ = sink
+	if c.Load() != 0 {
+		t.Fatal("disabled counter moved")
+	}
+	if base > 0 && gated > 20*base {
+		t.Fatalf("disabled counter bump too slow: %v vs bare loop %v", gated, base)
+	}
+}

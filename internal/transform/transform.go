@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Class is a pointer-tracking classification; the analysis package owns
@@ -134,8 +135,30 @@ func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
 	if err := out.Verify(); err != nil {
 		return nil, stats, fmt.Errorf("transform: instrumented module invalid: %w", err)
 	}
+	// Mirror the pass statistics into the metrics registry so
+	// compile-time hook elision shows up next to the runtime hook rates
+	// it explains.
+	if telemetry.On() {
+		passCheckBounds.Add(uint64(stats.CheckBounds))
+		passUpdateTags.Add(uint64(stats.UpdateTags))
+		passElidedChecks.Add(uint64(stats.RangeElidedChecks + stats.Preempted + stats.Hoisted))
+		passElidedTags.Add(uint64(stats.RangeElidedTags))
+		passPruned.Add(uint64(stats.PrunedVolatile))
+		passDirect.Add(uint64(stats.DirectHooks))
+	}
 	return out, stats, nil
 }
+
+// Pass telemetry: how many hooks each instrumentation run injected and
+// how many the optimizations removed.
+var (
+	passCheckBounds  = telemetry.Default.Counter("spp_pass_checkbounds_total", "__spp_checkbound hooks injected")
+	passUpdateTags   = telemetry.Default.Counter("spp_pass_updatetags_total", "__spp_updatetag hooks injected")
+	passElidedChecks = telemetry.Default.Counter("spp_pass_elided_checks_total", "bound checks removed (range proof, preemption, hoisting)")
+	passElidedTags   = telemetry.Default.Counter("spp_pass_elided_tags_total", "tag updates removed by chain rebasing")
+	passPruned       = telemetry.Default.Counter("spp_pass_pruned_volatile_total", "hooks omitted for proven-volatile pointers")
+	passDirect       = telemetry.Default.Counter("spp_pass_direct_hooks_total", "hooks emitted as the _direct variant")
+)
 
 // instrumentFunc performs the transformation pass proper.
 func instrumentFunc(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/pmem"
 	"repro/internal/pmemobj"
 	"repro/internal/safepm"
+	"repro/internal/telemetry"
 	"repro/internal/vmem"
 )
 
@@ -54,6 +55,22 @@ type Options struct {
 	// DisableLaneAffinity dispenses lanes only through the shared
 	// channel (volatile knob).
 	DisableLaneAffinity bool
+	// Telemetry enables the global metrics registry and binds the
+	// pool's heap-state gauges (volatile knob).
+	Telemetry bool
+	// FlightRecorder enables the global flight-recorder event ring
+	// (volatile knob).
+	FlightRecorder bool
+}
+
+// poolConfig translates the volatile knobs into a pmemobj.Config.
+func (o Options) poolConfig() pmemobj.Config {
+	return pmemobj.Config{
+		NArenas:             o.NArenas,
+		DisableLaneAffinity: o.DisableLaneAffinity,
+		Telemetry:           o.Telemetry,
+		FlightRecorder:      o.FlightRecorder,
+	}
 }
 
 // Env is an assembled environment.
@@ -74,6 +91,11 @@ func New(kind Kind, opts Options) (*Env, error) {
 	if opts.PoolSize == 0 {
 		return nil, fmt.Errorf("variant: PoolSize required")
 	}
+	// Enable before the device exists: pmem latches the telemetry flag
+	// at pool creation so its data path stays branch-predictable.
+	if opts.Telemetry {
+		telemetry.Enable()
+	}
 	return Format(kind, pmem.NewPool(string(kind), opts.PoolSize), opts)
 }
 
@@ -91,16 +113,13 @@ func Format(kind Kind, dev *pmem.Pool, opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := pmemobj.Config{
-		SPP:                 kind == SPP || kind == SPPPacked,
-		PackedOid:           kind == SPPPacked,
-		TagBits:             opts.TagBits,
-		NLanes:              opts.NLanes,
-		RedoEntries:         opts.RedoEntries,
-		UndoBytes:           opts.UndoBytes,
-		NArenas:             opts.NArenas,
-		DisableLaneAffinity: opts.DisableLaneAffinity,
-	}
+	cfg := opts.poolConfig()
+	cfg.SPP = kind == SPP || kind == SPPPacked
+	cfg.PackedOid = kind == SPPPacked
+	cfg.TagBits = opts.TagBits
+	cfg.NLanes = opts.NLanes
+	cfg.RedoEntries = opts.RedoEntries
+	cfg.UndoBytes = opts.UndoBytes
 	pool, err := pmemobj.Create(dev, as, DefaultBase, cfg)
 	if err != nil {
 		return nil, err
@@ -133,16 +152,27 @@ func (e *Env) attach() error {
 // crash state produced by the pmemcheck exploration engine), running
 // pool recovery and attaching the runtime.
 func Adopt(kind Kind, dev *pmem.Pool) (*Env, error) {
+	return AdoptConfig(kind, dev, Options{})
+}
+
+// AdoptConfig is Adopt with explicit volatile knobs (arena count, lane
+// affinity, telemetry). The knobs are kept on the environment, so a
+// later Reopen preserves them — persistent geometry still comes from
+// the pool header.
+func AdoptConfig(kind Kind, dev *pmem.Pool, opts Options) (*Env, error) {
+	if opts.HeapSize == 0 {
+		opts.HeapSize = 16 << 20
+	}
 	as := vmem.New()
-	heap, err := vmem.NewHeap(as, vmem.DefaultHeapBase, 16<<20)
+	heap, err := vmem.NewHeap(as, vmem.DefaultHeapBase, opts.HeapSize)
 	if err != nil {
 		return nil, err
 	}
-	pool, err := pmemobj.Open(dev, as, DefaultBase)
+	pool, err := pmemobj.OpenConfig(dev, as, DefaultBase, opts.poolConfig())
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Kind: kind, Dev: dev, AS: as, Pool: pool, Heap: heap, base: DefaultBase}
+	env := &Env{Kind: kind, Dev: dev, AS: as, Pool: pool, Heap: heap, base: DefaultBase, opts: opts}
 	if err := env.attach(); err != nil {
 		return nil, err
 	}
@@ -157,10 +187,7 @@ func (e *Env) Reopen() error {
 	if err := e.Pool.Close(); err != nil {
 		return err
 	}
-	pool, err := pmemobj.OpenConfig(e.Dev, e.AS, e.base, pmemobj.Config{
-		NArenas:             e.opts.NArenas,
-		DisableLaneAffinity: e.opts.DisableLaneAffinity,
-	})
+	pool, err := pmemobj.OpenConfig(e.Dev, e.AS, e.base, e.opts.poolConfig())
 	if err != nil {
 		return err
 	}
