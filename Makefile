@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures bench telemetry-smoke
+.PHONY: check fmt vet test race lint-fixtures bench telemetry-smoke commit-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
 ## detector over the concurrency-sensitive packages, the sppc -lint
-## self-check over the shipped IR fixtures, and the disabled-telemetry
-## overhead smoke test.
-check: fmt vet test race lint-fixtures telemetry-smoke
+## self-check over the shipped IR fixtures, the disabled-telemetry
+## overhead smoke test, and the commit-pipeline differential crash
+## tests plus a tiny run of the commit experiment.
+check: fmt vet test race lint-fixtures telemetry-smoke commit-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -42,3 +43,11 @@ bench:
 ## golden test that keeps scrapers working.
 telemetry-smoke:
 	$(GO) test -run 'TestDisabledOverheadSmoke|TestWritePromGolden' ./internal/telemetry -count=1
+
+## commit-smoke: the batched commit pipeline's recovery-equivalence
+## proof — pmreorder exploration at every fence under all eight knob
+## combinations plus the batched-vs-unbatched durable-image diff — and
+## a tiny-scale run of the commit experiment end to end.
+commit-smoke:
+	$(GO) test -run 'TestBatchedCommit' ./internal/pmemobj -count=1
+	$(GO) run ./cmd/sppbench -exp commit -scale 0.002 -threads 1,2

@@ -39,6 +39,7 @@ var experiments = []experiment{
 	{"ablation", "design-choice ablation (DESIGN.md §7)", bench.Ablation},
 	{"scaling", "memory-path concurrency scaling (DESIGN.md §10)", bench.Scaling},
 	{"steal", "cross-arena steal rates under skewed size classes (DESIGN.md §11)", bench.Steal},
+	{"commit", "commit pipeline batching (DESIGN.md §12)", bench.Commit},
 }
 
 func main() {
@@ -57,6 +58,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	arenas := fs.Int("arenas", 0, "allocator arena count (0 = pool default)")
 	noAffinity := fs.Bool("no-affinity", false, "disable the worker-affine lane cache")
+	noDedup := fs.Bool("no-range-dedup", false, "disable undo-range interval dedup in transactions")
+	noCoalesce := fs.Bool("no-flush-coalesce", false, "disable commit-time flush coalescing")
+	noGroupFence := fs.Bool("no-group-fence", false, "disable the cross-lane group-fence combiner")
 	metrics := fs.Bool("metrics", false, "enable the telemetry metrics registry")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/audit, /debug/flight and /debug/pprof on this address (implies -metrics)")
 	flight := fs.Bool("flight", false, "enable the flight-recorder event ring and dump it after the run")
@@ -90,7 +94,9 @@ func run(args []string) error {
 	cfg := bench.Config{
 		Scale: *scale, PoolSize: *pool, Threads: ts, Seed: *seed,
 		NArenas: *arenas, DisableLaneAffinity: *noAffinity,
-		Telemetry: *metrics, FlightRecorder: *flight,
+		DisableRangeDedup: *noDedup, DisableFlushCoalesce: *noCoalesce,
+		DisableGroupFence: *noGroupFence,
+		Telemetry:         *metrics, FlightRecorder: *flight,
 	}
 
 	selected := experiments

@@ -279,6 +279,47 @@ func Ablation(cfg Config) (Table, error) {
 		})
 	}
 
+	// Commit pipeline batching legs on/off: an 8-goroutine transaction
+	// storm with device tracking enabled, so the flush/fence machinery
+	// the batching targets is live (DESIGN.md §12).
+	commitTxs := cfg.scaled(100_000)
+	var commitBase time.Duration
+	for i, mode := range []struct {
+		name                   string
+		dedup, coalesce, fence bool // disable flags
+	}{
+		{"commit batching full (8-goroutine tx storm)", false, false, false},
+		{"no undo-range dedup", true, false, false},
+		{"no flush coalescing", false, true, false},
+		{"no group fencing", false, false, true},
+		{"unbatched commit pipeline", true, true, true},
+	} {
+		envC, err := variant.New(variant.PMDK, variant.Options{
+			PoolSize:             cfg.PoolSize,
+			DisableRangeDedup:    mode.dedup,
+			DisableFlushCoalesce: mode.coalesce,
+			DisableGroupFence:    mode.fence,
+		})
+		if err != nil {
+			return t, err
+		}
+		envC.Dev.EnableTracking(nil)
+		d, err := commitStorm(envC, 8, commitTxs/8, 16, cfg.Seed)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", mode.name, err)
+		}
+		rel := "-"
+		if i == 0 {
+			commitBase = d
+		} else if commitBase > 0 {
+			rel = fmt.Sprintf("%.2fx", float64(d)/float64(commitBase))
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, "-", "-", "-", "-", "-",
+			fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000), rel,
+		})
+	}
+
 	t.Notes = append(t.Notes,
 		"tag width is a capacity trade-off, not a speed one: 26 bits caps objects at 64 MiB "+
 			"and pools at 64 GiB; 31 bits (Phoenix) caps objects at 2 GiB and pools at 2 GiB; "+

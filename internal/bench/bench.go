@@ -32,6 +32,12 @@ type Config struct {
 	NArenas int
 	// DisableLaneAffinity turns off the worker-affine lane cache.
 	DisableLaneAffinity bool
+	// DisableRangeDedup, DisableFlushCoalesce and DisableGroupFence
+	// turn off the corresponding legs of the batched commit pipeline
+	// in every environment the harness builds.
+	DisableRangeDedup    bool
+	DisableFlushCoalesce bool
+	DisableGroupFence    bool
 	// Telemetry enables the metrics registry in every environment the
 	// harness builds.
 	Telemetry bool
@@ -127,12 +133,15 @@ func (t Table) Format() string {
 // newEnv builds a variant environment sized for the harness.
 func newEnv(kind variant.Kind, cfg Config, tagBits uint) (*variant.Env, error) {
 	return variant.New(kind, variant.Options{
-		PoolSize:            cfg.PoolSize,
-		TagBits:             tagBits,
-		NArenas:             cfg.NArenas,
-		DisableLaneAffinity: cfg.DisableLaneAffinity,
-		Telemetry:           cfg.Telemetry,
-		FlightRecorder:      cfg.FlightRecorder,
+		PoolSize:             cfg.PoolSize,
+		TagBits:              tagBits,
+		NArenas:              cfg.NArenas,
+		DisableLaneAffinity:  cfg.DisableLaneAffinity,
+		DisableRangeDedup:    cfg.DisableRangeDedup,
+		DisableFlushCoalesce: cfg.DisableFlushCoalesce,
+		DisableGroupFence:    cfg.DisableGroupFence,
+		Telemetry:            cfg.Telemetry,
+		FlightRecorder:       cfg.FlightRecorder,
 	})
 }
 

@@ -45,16 +45,15 @@ func Scaling(cfg Config) (Table, error) {
 		{"1 arena", 1, true},
 	}
 
-	workloads := []struct {
+	type workload struct {
 		name string
 		run  func(env *variant.Env, workers int) (int, time.Duration, error)
-	}{
-		{"alloc/free storm", func(env *variant.Env, workers int) (int, time.Duration, error) {
-			d, err := allocStorm(env.RT, workers, allocOps/workers, cfg.Seed)
-			return allocOps, d, err
-		}},
-		{"kvstore 50/50", func(env *variant.Env, workers int) (int, time.Duration, error) {
-			s, err := kvstore.Open(env.RT)
+	}
+	// kvRun builds the 50/50 pmemkv workload over a given shard count
+	// (0 = the store's default), so the shard axis is measurable.
+	kvRun := func(shards uint64) func(env *variant.Env, workers int) (int, time.Duration, error) {
+		return func(env *variant.Env, workers int) (int, time.Duration, error) {
+			s, err := kvstore.OpenShards(env.RT, shards)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -67,7 +66,16 @@ func Scaling(cfg Config) (Table, error) {
 			wl := fig5Workload{name: "50/50", readPct: 50}
 			d, err := runFig5Workload(s, wl, kvPreload, kvOps, workers, cfg.Seed)
 			return kvOps, d, err
+		}
+	}
+	workloads := []workload{
+		{"alloc/free storm", func(env *variant.Env, workers int) (int, time.Duration, error) {
+			d, err := allocStorm(env.RT, workers, allocOps/workers, cfg.Seed)
+			return allocOps, d, err
 		}},
+		{"kvstore 50/50", kvRun(0)},
+		{"kvstore 50/50, 8 shards", kvRun(8)},
+		{"kvstore 50/50, 1 shard", kvRun(1)},
 	}
 
 	for _, wl := range workloads {
@@ -102,7 +110,9 @@ func Scaling(cfg Config) (Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"sharded = default arena count with lane affinity; 1 arena = single mutex-serialized "+
-			"arena, lanes dispensed only through the shared channel")
+			"arena, lanes dispensed only through the shared channel",
+		"kvstore rows sweep the store's bucket-shard count (default 64): fewer shards "+
+			"serialize writers on the per-shard locks regardless of allocator sharding")
 	return t, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +56,12 @@ var (
 	devStoresTracked = devStores.With("tracked")
 	devBytesFast     = devStoreBytes.With("fast")
 	devBytesTracked  = devStoreBytes.With("tracked")
+
+	// Batched-pipeline telemetry: flush requests a FlushAccum merged
+	// away before reaching the device, and fences answered by another
+	// committer's fence through the GroupFence combiner.
+	devFlushCoalesced = telemetry.Default.Counter("spp_dev_flushes_coalesced_total", "flush requests merged by a flush accumulator")
+	devFencesShared   = telemetry.Default.Counter("spp_dev_fences_shared_total", "fences satisfied by another goroutine's fence via the group combiner")
 )
 
 // CachelineSize is the flush granularity of the simulated device.
@@ -124,6 +131,13 @@ type Pool struct {
 	persisted []byte // durable image
 	sink      TraceSink
 	stripes   [flushStripes]flushStripe
+
+	// Fence combiner (GroupFence): fenceEpoch counts combined fences
+	// that have *started*; fenceMu serializes leaders. Only consulted
+	// when tracking is on — that is the only mode where a fence does
+	// real work worth sharing.
+	fenceEpoch atomic.Uint64
+	fenceMu    sync.Mutex
 }
 
 // NewPool returns an in-memory pool of the given size with tracking
@@ -272,6 +286,37 @@ func (p *Pool) WriteU64(off uint64, v uint64) {
 	p.recordStore(off, 8)
 }
 
+// WriteU64s writes consecutive little-endian 64-bit values starting at
+// off — the bulk log-write path. With tracking off the whole run is one
+// store (one gate check, one telemetry event of len(vals)*8 bytes); with
+// tracking on it falls back to per-word WriteU64 so the persistence
+// trace keeps the exact 8-byte store sequence pmemcheck's atomicity
+// model expects.
+func (p *Pool) WriteU64s(off uint64, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	if p.gates.Load()&gateTracking != 0 {
+		for i, v := range vals {
+			p.WriteU64(off+uint64(i)*8, v)
+		}
+		return
+	}
+	b := p.data[off : off+uint64(len(vals))*8]
+	for i, v := range vals {
+		e := b[i*8 : i*8+8]
+		e[0] = byte(v)
+		e[1] = byte(v >> 8)
+		e[2] = byte(v >> 16)
+		e[3] = byte(v >> 24)
+		e[4] = byte(v >> 32)
+		e[5] = byte(v >> 40)
+		e[6] = byte(v >> 48)
+		e[7] = byte(v >> 56)
+	}
+	p.recordStore(off, uint64(len(vals))*8)
+}
+
 // ReadBytes copies size bytes at off into a fresh slice.
 func (p *Pool) ReadBytes(off, size uint64) []byte {
 	out := make([]byte, size)
@@ -373,6 +418,133 @@ func (p *Pool) Fence() {
 	if sink != nil {
 		sink.RecordFence()
 	}
+}
+
+// GroupFence is Fence with cross-goroutine combining — classic group
+// commit. The caller's flushes must already be registered (Flush
+// returned) before the call. If another goroutine's fence *started*
+// after that point, it retired our pending lines too, so we return
+// without fencing; otherwise we become the leader for every committer
+// now piling up behind the combiner lock. Under contention N
+// concurrent fences collapse to ~1.
+//
+// The epoch is bumped before the leader's Fence begins, and followers
+// observe it only after acquiring the lock the leader holds for the
+// whole fence — so an observed epoch change proves a fence ran
+// entirely after the follower's flushes were registered.
+func (p *Pool) GroupFence() {
+	g := p.gates.Load()
+	if g&gateTracking == 0 {
+		// Fast mode: a fence is at most a telemetry bump; nothing worth
+		// sharing, and the combiner would add an atomic + lock.
+		p.Fence()
+		return
+	}
+	e := p.fenceEpoch.Load()
+	p.fenceMu.Lock()
+	if p.fenceEpoch.Load() != e {
+		p.fenceMu.Unlock()
+		if g&gateTelem != 0 {
+			devFencesShared.Inc()
+		}
+		return
+	}
+	p.fenceEpoch.Add(1)
+	p.Fence()
+	p.fenceMu.Unlock()
+}
+
+// FlushAccum coalesces the flush traffic of one commit epoch: requests
+// are rounded to cachelines and merged with adjacent or duplicate
+// lines, then issued to the device in one pass by Drain — the "flush
+// once per line per fence" discipline PMDK's FLUSH macros implement
+// with a dirty-line set. An accumulator belongs to one goroutine; the
+// typical owner is a transaction commit or a redo publication.
+//
+// When coalescing is disabled (or the device is in the all-off fast
+// mode, where Flush is free anyway) requests pass straight through, so
+// callers need no mode branches.
+type FlushAccum struct {
+	p        *Pool
+	coalesce bool
+	lines    []flushRange // cacheline-rounded, merged opportunistically
+	requests int          // raw requests this epoch
+}
+
+// NewFlushAccum returns an accumulator over p. With coalesce false the
+// accumulator is a transparent pass-through.
+func NewFlushAccum(p *Pool, coalesce bool) *FlushAccum {
+	return &FlushAccum{p: p, coalesce: coalesce}
+}
+
+// Flush records a flush request for [off, off+size).
+func (a *FlushAccum) Flush(off, size uint64) {
+	if size == 0 {
+		return
+	}
+	if !a.coalesce {
+		a.p.Flush(off, size)
+		return
+	}
+	if a.p.gates.Load() == 0 {
+		// Flushes are free no-ops with tracking and telemetry both off;
+		// recording them would only cost memory.
+		return
+	}
+	start := off &^ (CachelineSize - 1)
+	end := (off + size + CachelineSize - 1) &^ (CachelineSize - 1)
+	if end > uint64(len(a.p.data)) {
+		end = uint64(len(a.p.data))
+	}
+	a.requests++
+	// Merge with the previous range when overlapping or adjacent — the
+	// common shape (sequential log writes, block header pairs) without
+	// paying for a sort on every request.
+	if n := len(a.lines); n > 0 {
+		l := &a.lines[n-1]
+		if start <= l.off+l.size && l.off <= end {
+			newEnd := l.off + l.size
+			if end > newEnd {
+				newEnd = end
+			}
+			if start < l.off {
+				l.off = start
+			}
+			l.size = newEnd - l.off
+			return
+		}
+	}
+	a.lines = append(a.lines, flushRange{start, end - start})
+}
+
+// Drain merges the accumulated lines and issues one device flush per
+// disjoint range. The epoch's coalescing win is counted into telemetry.
+func (a *FlushAccum) Drain() {
+	if len(a.lines) == 0 {
+		a.requests = 0
+		return
+	}
+	sort.Slice(a.lines, func(i, j int) bool { return a.lines[i].off < a.lines[j].off })
+	issued := 0
+	cur := a.lines[0]
+	for _, r := range a.lines[1:] {
+		if r.off <= cur.off+cur.size {
+			if e := r.off + r.size; e > cur.off+cur.size {
+				cur.size = e - cur.off
+			}
+			continue
+		}
+		a.p.Flush(cur.off, cur.size)
+		issued++
+		cur = r
+	}
+	a.p.Flush(cur.off, cur.size)
+	issued++
+	if a.p.gates.Load()&gateTelem != 0 && a.requests > issued {
+		devFlushCoalesced.Add(uint64(a.requests - issued))
+	}
+	a.lines = a.lines[:0]
+	a.requests = 0
 }
 
 // Persist is Flush followed by Fence, PMDK's pmemobj_persist.

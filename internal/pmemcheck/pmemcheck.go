@@ -103,6 +103,10 @@ type Report struct {
 	// RedundantFlushes counts flushes of ranges with no dirty store,
 	// a performance diagnostic pmemcheck also emits.
 	RedundantFlushes int
+	// DuplicateLineFlushes counts cachelines flushed more than once
+	// within a single fence epoch — wasted flush traffic the commit
+	// pipeline's coalescing is meant to eliminate.
+	DuplicateLineFlushes int
 	// Stores, Flushes, Fences count the trace events.
 	Stores, Flushes, Fences int
 }
@@ -121,6 +125,8 @@ type pendingStore struct {
 func Analyze(events []Event) Report {
 	var rep Report
 	var inflight []pendingStore
+	const lineSize = 64
+	lines := make(map[uint64]struct{}) // cachelines flushed this epoch
 	for _, ev := range events {
 		switch ev.Kind {
 		case EvStore:
@@ -128,6 +134,13 @@ func Analyze(events []Event) Report {
 			inflight = append(inflight, pendingStore{ev.Off, ev.Size, false})
 		case EvFlush:
 			rep.Flushes++
+			for l := ev.Off &^ (lineSize - 1); l < ev.Off+ev.Size; l += lineSize {
+				if _, dup := lines[l]; dup {
+					rep.DuplicateLineFlushes++
+				} else {
+					lines[l] = struct{}{}
+				}
+			}
 			hit := false
 			for i := range inflight {
 				s := &inflight[i]
@@ -152,6 +165,7 @@ func Analyze(events []Event) Report {
 				}
 			}
 			inflight = kept
+			clear(lines)
 		}
 	}
 	for _, s := range inflight {

@@ -71,6 +71,26 @@ func TestAnalyzeCountsRedundantFlush(t *testing.T) {
 	}
 }
 
+func TestAnalyzeCountsDuplicateLineFlushes(t *testing.T) {
+	dev := pmem.NewPool("t", 1<<12)
+	tr := NewTracker()
+	dev.EnableTracking(tr)
+	dev.WriteU64(0, 1)
+	dev.WriteU64(8, 2)
+	dev.Flush(0, 8)
+	dev.Flush(8, 8) // same cacheline again, same epoch
+	dev.Fence()
+	dev.WriteU64(16, 3)
+	dev.Persist(16, 8) // same line, but a new fence epoch: not a dup
+	rep := Analyze(tr.Events())
+	if rep.DuplicateLineFlushes != 1 {
+		t.Errorf("duplicate line flushes = %d, want 1", rep.DuplicateLineFlushes)
+	}
+	if !rep.Clean() {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
 // TestExploreCatchesOrderingBug builds the classic bug: a length field
 // persisted before its data. A crash between the two exposes a state
 // where the length is visible but the data is garbage.

@@ -20,16 +20,18 @@ type redoEntry struct {
 // apply.
 func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, error) {
 	metRedoEnts.Observe(uint64(len(entries)))
+	s := p.getScratch()
+	defer p.putScratch(s)
 	inLane := len(entries)
 	if inLane > p.redoCap {
 		inLane = p.redoCap
 	}
-	for i, e := range entries[:inLane] {
-		base := lane + laneRedoBase + uint64(i)*16
-		p.dev.WriteU64(base, e.off)
-		p.dev.WriteU64(base+8, e.val)
+	words := s.words[:0]
+	for _, e := range entries[:inLane] {
+		words = append(words, e.off, e.val)
 	}
-	p.dev.Flush(lane+laneRedoBase, uint64(inLane)*16)
+	p.dev.WriteU64s(lane+laneRedoBase, words)
+	s.ac.Flush(lane+laneRedoBase, uint64(inLane)*16)
 
 	var exts []reservation
 	prevLink := lane + laneRedoExt
@@ -45,6 +47,8 @@ func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, err
 			for _, r := range exts {
 				p.heap.releaseBlock(p, r)
 			}
+			s.ac.Drain()
+			s.words = words
 			return nil, fmt.Errorf("redo log extension: %w", err)
 		}
 		p.dev.WriteU64(resv.blk, resv.size)
@@ -52,29 +56,31 @@ func (p *Pool) prepareRedo(lane uint64, entries []redoEntry) ([]reservation, err
 		p.dev.WriteU64(resv.blk+8, blockUncommitted)
 		p.dev.Persist(resv.blk+8, 8)
 		p.heap.unreserve(resv.blk)
+		// Segment header and entries are contiguous: {next=0, count,
+		// off/val pairs} lands in one bulk write and one flush range.
 		payload := resv.payloadOff()
-		p.dev.WriteU64(payload+redoExtNextOff, 0)
-		p.dev.WriteU64(payload+redoExtCountOff, uint64(n))
-		for i, e := range rest[:n] {
-			base := payload + redoExtDataOff + uint64(i)*16
-			p.dev.WriteU64(base, e.off)
-			p.dev.WriteU64(base+8, e.val)
+		words = append(words[:0], 0, uint64(n))
+		for _, e := range rest[:n] {
+			words = append(words, e.off, e.val)
 		}
-		p.dev.Flush(payload, redoExtDataOff+uint64(n)*16)
+		p.dev.WriteU64s(payload+redoExtNextOff, words)
+		s.ac.Flush(payload, redoExtDataOff+uint64(n)*16)
 		p.dev.WriteU64(prevLink, payload)
-		p.dev.Flush(prevLink, 8)
+		s.ac.Flush(prevLink, 8)
 		prevLink = payload + redoExtNextOff
 		exts = append(exts, resv)
 		rest = rest[n:]
 	}
 
 	p.dev.WriteU64(lane+laneRedoCount, uint64(len(entries)))
-	p.dev.Flush(lane+laneRedoCount, 8)
-	p.dev.Flush(lane+laneRedoExt, 8)
-	p.dev.Fence()
+	s.ac.Flush(lane+laneRedoCount, 8)
+	s.ac.Flush(lane+laneRedoExt, 8)
+	s.ac.Drain()
+	p.fence()
 	// The committed flag is a single 8-byte store: the atomicity point.
 	p.dev.WriteU64(lane+laneRedoState, redoCommitted)
-	p.dev.Persist(lane+laneRedoState, 8)
+	p.persist(lane+laneRedoState, 8)
+	s.words = words
 	return exts, nil
 }
 
@@ -88,12 +94,17 @@ func (p *Pool) applyRedo(lane uint64) {
 	if inLane > uint64(p.redoCap) {
 		inLane = uint64(p.redoCap)
 	}
+	// Redo targets cluster heavily — a tx's {size, state} flips are 8
+	// bytes apart — so the accumulator collapses most of the per-entry
+	// flushes.
+	s := p.getScratch()
+	defer p.putScratch(s)
 	apply := func(base, n uint64) {
 		for i := uint64(0); i < n; i++ {
 			off := p.dev.ReadU64(base + i*16)
 			val := p.dev.ReadU64(base + i*16 + 8)
 			p.dev.WriteU64(off, val)
-			p.dev.Flush(off, 8)
+			s.ac.Flush(off, 8)
 		}
 	}
 	apply(lane+laneRedoBase, inLane)
@@ -107,7 +118,8 @@ func (p *Pool) applyRedo(lane uint64) {
 		remaining -= n
 		ext = p.dev.ReadU64(ext + redoExtNextOff)
 	}
-	p.dev.Fence()
+	s.ac.Drain()
+	p.fence()
 	p.discardRedo(lane)
 }
 
@@ -134,22 +146,24 @@ func (p *Pool) releaseRedoExts(exts []reservation) {
 // discardRedo clears the lane's redo log.
 func (p *Pool) discardRedo(lane uint64) {
 	p.dev.WriteU64(lane+laneRedoState, redoEmpty)
-	p.dev.Persist(lane+laneRedoState, 8)
+	p.persist(lane+laneRedoState, 8)
 }
 
 // writeUndoEntry appends one snapshot entry to a segment whose data
 // region starts at dataBase with the given used counter field. The
 // entry becomes valid only once the used counter is advanced (a
 // single 8-byte store), so a torn append is ignored by recovery.
+// The two fences cannot be merged: the entry body must be durable
+// before the used counter that validates it advances, or recovery
+// parses a torn entry.
 func (p *Pool) writeUndoEntry(dataBase, usedField, used, off, length uint64) {
 	base := dataBase + used
-	p.dev.WriteU64(base, off)
-	p.dev.WriteU64(base+8, length)
+	p.dev.WriteU64s(base, []uint64{off, length})
 	p.dev.WriteBytes(base+16, p.dev.ReadBytes(off, length))
 	p.dev.Flush(base, 16+align8(length))
-	p.dev.Fence()
+	p.fence()
 	p.dev.WriteU64(usedField, used+16+align8(length))
-	p.dev.Persist(usedField, 8)
+	p.persist(usedField, 8)
 }
 
 // parseUndoSegment collects the valid entries of one undo segment.
@@ -202,15 +216,16 @@ func (p *Pool) rollbackUndo(undo uint64) error {
 		ext = p.dev.ReadU64(ext + extNextOff)
 		seen++
 	}
+	s := p.getScratch()
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
 		p.dev.WriteBytes(e.off, p.dev.ReadBytes(e.data, e.length))
-		p.dev.Flush(e.off, e.length)
+		s.ac.Flush(e.off, e.length)
 	}
-	p.dev.Fence()
-	p.dev.WriteU64(undo+undoUsedOff, 0)
-	p.dev.WriteU64(undo+undoExtOff, 0)
-	p.dev.WriteU64(undo+undoStateOff, undoInactive)
-	p.dev.Persist(undo, undoDataOff)
+	s.ac.Drain()
+	p.putScratch(s)
+	p.fence()
+	p.dev.WriteU64s(undo+undoStateOff, []uint64{undoInactive, 0, 0})
+	p.persist(undo, undoDataOff)
 	return nil
 }

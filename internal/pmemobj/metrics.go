@@ -35,6 +35,9 @@ var (
 	metRedoEnts   = telemetry.Default.Histogram("spp_redo_entries", "entries per published redo log")
 	metRecovered  = telemetry.Default.Counter("spp_recovered_lanes_total", "lanes repaired during pool recovery")
 	metLogExtends = telemetry.Default.Counter("spp_undo_extensions_total", "undo-log heap extensions")
+
+	metRangeDedup = telemetry.Default.Counter("spp_tx_ranges_deduped_total", "AddRange calls fully or partially covered by an earlier snapshot")
+	metDedupBytes = telemetry.Default.Counter("spp_tx_dedup_bytes_total", "snapshot bytes skipped by undo-range dedup")
 )
 
 // maxDistLabels caps the distance label cardinality; probes farther

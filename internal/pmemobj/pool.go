@@ -42,6 +42,18 @@ type Config struct {
 	// DisableLaneAffinity turns off the worker-affine lane cache and
 	// dispenses every lane through the shared channel. Volatile.
 	DisableLaneAffinity bool
+	// DisableRangeDedup makes AddRange snapshot every requested range
+	// in full instead of only the sub-ranges not yet covered by this
+	// transaction's interval set. Volatile.
+	DisableRangeDedup bool
+	// DisableFlushCoalesce makes the commit pipeline's flush
+	// accumulators pass each flush straight to the device instead of
+	// merging duplicate and adjacent cachelines per fence epoch.
+	// Volatile.
+	DisableFlushCoalesce bool
+	// DisableGroupFence gives every committer a private fence instead
+	// of sharing one through the device's epoch combiner. Volatile.
+	DisableGroupFence bool
 	// Telemetry turns on the global metrics registry and binds this
 	// pool's heap-state gauges to it. Volatile; the flag is process-wide
 	// once set (see internal/telemetry).
@@ -106,6 +118,13 @@ type Pool struct {
 
 	nArenas      int
 	laneAffinity bool
+
+	// Batched commit pipeline knobs (see DESIGN.md §12) and the
+	// recycled per-commit scratch (flush accumulator + word buffer).
+	rangeDedup    bool
+	flushCoalesce bool
+	groupFence    bool
+	scratch       sync.Pool
 
 	heap  heap
 	lanes *laneQueue
@@ -240,6 +259,12 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool
 		p.nArenas = DefaultNArenas
 	}
 	p.laneAffinity = !cfg.DisableLaneAffinity
+	p.rangeDedup = !cfg.DisableRangeDedup
+	p.flushCoalesce = !cfg.DisableFlushCoalesce
+	p.groupFence = !cfg.DisableGroupFence
+	p.scratch.New = func() any {
+		return &commitScratch{ac: pmem.NewFlushAccum(p.dev, p.flushCoalesce)}
+	}
 
 	if cfg.Telemetry {
 		telemetry.Enable()
@@ -555,3 +580,13 @@ func (p *Pool) NArenas() int { return p.nArenas }
 
 // LaneAffinity reports whether the worker-affine lane cache is active.
 func (p *Pool) LaneAffinity() bool { return p.laneAffinity }
+
+// RangeDedup reports whether AddRange interval dedup is active.
+func (p *Pool) RangeDedup() bool { return p.rangeDedup }
+
+// FlushCoalesce reports whether commit-path flush coalescing is active.
+func (p *Pool) FlushCoalesce() bool { return p.flushCoalesce }
+
+// GroupFence reports whether commit fences go through the device's
+// group combiner.
+func (p *Pool) GroupFence() bool { return p.groupFence }

@@ -3,6 +3,7 @@ package pmemobj
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/telemetry"
 )
@@ -49,10 +50,8 @@ type Tx struct {
 func (p *Pool) Begin() *Tx {
 	lane := p.lanes.acquire()
 	undo := p.undoOff(lane)
-	p.dev.WriteU64(undo+undoUsedOff, 0)
-	p.dev.WriteU64(undo+undoExtOff, 0)
-	p.dev.WriteU64(undo+undoStateOff, undoActive)
-	p.dev.Persist(undo, undoDataOff)
+	p.dev.WriteU64s(undo+undoStateOff, []uint64{undoActive, 0, 0})
+	p.persist(undo, undoDataOff)
 	metTxBegin.Inc()
 	telemetry.Flight.Record(telemetry.EvTxBegin, uint64(lane), 0)
 	return &Tx{
@@ -66,7 +65,9 @@ func (p *Pool) Begin() *Tx {
 // AddRange snapshots [off, off+size) of the pool into the undo log
 // (pmemobj_tx_add_range). Ranges snapshotted through this call are
 // flushed at commit, so the caller may store into them with plain
-// writes.
+// writes. With range dedup on (the default), the transaction keeps a
+// sorted interval set of everything snapshotted so far — PMDK's ranges
+// tree — and only the uncovered sub-ranges grow the undo log.
 func (tx *Tx) AddRange(off, size uint64) error {
 	if tx.done {
 		return ErrTxDone
@@ -74,10 +75,75 @@ func (tx *Tx) AddRange(off, size uint64) error {
 	if off+size > tx.p.dev.Size() || off+size < off {
 		return fmt.Errorf("%w: range [%#x,+%d) outside pool", ErrBadOid, off, size)
 	}
-	if err := tx.undoAppend(off, size); err != nil {
-		return err
+	if !tx.p.rangeDedup {
+		if err := tx.undoAppend(off, size); err != nil {
+			return err
+		}
+		tx.ranges = append(tx.ranges, txRange{off, size})
+		return nil
 	}
-	tx.ranges = append(tx.ranges, txRange{off, size})
+	return tx.addRangeDedup(off, size)
+}
+
+// addRangeDedup snapshots only the sub-ranges of [off, off+size) not
+// yet covered by this transaction, then folds the request into the
+// interval set, merging overlapping and adjacent intervals. A byte's
+// first covering call snapshots its pre-tx value, so the LIFO rollback
+// restores exactly what the dense path would: the oldest snapshot is
+// replayed last either way.
+func (tx *Tx) addRangeDedup(off, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	lo, hi := off, off+size
+	rs := tx.ranges
+	// First interval ending at or after lo; everything before it is
+	// strictly left of the request and not adjacent to it.
+	i := sort.Search(len(rs), func(k int) bool { return rs[k].off+rs[k].size >= lo })
+	cur, appended := lo, uint64(0)
+	j := i
+	for ; j < len(rs) && rs[j].off <= hi; j++ {
+		if rs[j].off > cur {
+			if err := tx.undoAppend(cur, rs[j].off-cur); err != nil {
+				return err
+			}
+			appended += rs[j].off - cur
+		}
+		if end := rs[j].off + rs[j].size; end > cur {
+			cur = end
+		}
+	}
+	if cur < hi {
+		if err := tx.undoAppend(cur, hi-cur); err != nil {
+			return err
+		}
+		appended += hi - cur
+	}
+	if appended < size {
+		metRangeDedup.Inc()
+		metDedupBytes.Add(size - appended)
+	}
+	// Replace rs[i:j] with the union of the request and the intervals
+	// it touched.
+	merged := txRange{lo, hi - lo}
+	if i < j {
+		if rs[i].off < merged.off {
+			merged.off = rs[i].off
+		}
+		if end := rs[j-1].off + rs[j-1].size; end > hi {
+			merged.size = end - merged.off
+		} else {
+			merged.size = hi - merged.off
+		}
+	}
+	if i == j {
+		rs = append(rs, txRange{})
+		copy(rs[i+1:], rs[i:])
+	} else if i+1 < j {
+		rs = append(rs[:i+1], rs[j:]...)
+	}
+	rs[i] = merged
+	tx.ranges = rs
 	return nil
 }
 
@@ -102,17 +168,19 @@ func (tx *Tx) undoAppend(off, size uint64) error {
 		}
 		metLogExtends.Inc()
 		// Publish the uncommitted header while the block is still in
-		// the reserved set, then settle it.
+		// the reserved set, then settle it. The size gets its own fence
+		// (a sized state flip must never be seen with a stale size);
+		// the state and the segment header share the second fence, both
+		// only needing to be durable before the link that makes the
+		// segment reachable.
+		payload := resv.payloadOff()
 		p.dev.WriteU64(resv.blk, resv.size)
 		p.dev.Persist(resv.blk, 8)
 		p.dev.WriteU64(resv.blk+8, blockUncommitted)
-		p.dev.Persist(resv.blk+8, 8)
+		p.dev.Flush(resv.blk+8, 8)
+		p.dev.WriteU64s(payload+extNextOff, []uint64{0, 0})
+		p.persist(payload, extDataOff)
 		p.heap.unreserve(resv.blk)
-
-		payload := resv.payloadOff()
-		p.dev.WriteU64(payload+extNextOff, 0)
-		p.dev.WriteU64(payload+extUsedOff, 0)
-		p.dev.Persist(payload, extDataOff)
 		// Link the extension into the chain; the link is the validity
 		// point for the new segment.
 		var linkField uint64
@@ -122,7 +190,7 @@ func (tx *Tx) undoAppend(off, size uint64) error {
 			linkField = tx.exts[len(tx.exts)-1].payloadOff() + extNextOff
 		}
 		p.dev.WriteU64(linkField, payload)
-		p.dev.Persist(linkField, 8)
+		p.persist(linkField, 8)
 
 		tx.exts = append(tx.exts, resv)
 		tx.segData = payload + extDataOff
@@ -180,15 +248,17 @@ func (tx *Tx) Alloc(size uint64) (Oid, error) {
 	}
 	// Publish the reservation in the uncommitted state. Size first,
 	// fence, then state, so the heap walk never sees a sized state
-	// change with a stale size. The block stays in the reserved set
-	// until Commit/Abort settles it: its state word is rewritten by
-	// the commit redo without any lock held.
-	tx.p.dev.WriteU64(resv.blk, resv.size)
-	tx.p.dev.Persist(resv.blk, 8)
-	tx.p.dev.WriteU64(resv.blk+8, blockUncommitted)
-	tx.p.dev.Persist(resv.blk+8, 8)
+	// change with a stale size. The zeroed payload rides the size
+	// fence — it only needs to be durable before the state flip. The
+	// block stays in the reserved set until Commit/Abort settles it:
+	// its state word is rewritten by the commit redo without any lock
+	// held.
 	tx.p.dev.Zero(resv.payloadOff(), resv.size-blockHdrSize)
-	tx.p.dev.Persist(resv.payloadOff(), resv.size-blockHdrSize)
+	tx.p.dev.Flush(resv.payloadOff(), resv.size-blockHdrSize)
+	tx.p.dev.WriteU64(resv.blk, resv.size)
+	tx.p.persist(resv.blk, 8)
+	tx.p.dev.WriteU64(resv.blk+8, blockUncommitted)
+	tx.p.persist(resv.blk+8, 8)
 	tx.allocs = append(tx.allocs, resv)
 	return Oid{Pool: tx.p.uuid, Off: resv.payloadOff(), Size: size}, nil
 }
@@ -255,14 +325,20 @@ func (tx *Tx) Commit() error {
 	p := tx.p
 
 	// 1. Make all stores into snapshotted ranges — and into objects
-	// allocated by this transaction — durable.
+	// allocated by this transaction — durable. The accumulator merges
+	// ranges that share cachelines (dedup already merged adjacent
+	// snapshots, but allocs and ranges still collide) and the fence is
+	// shared with concurrent committers.
+	s := p.getScratch()
 	for _, r := range tx.ranges {
-		p.dev.Flush(r.off, r.size)
+		s.ac.Flush(r.off, r.size)
 	}
 	for _, r := range tx.allocs {
-		p.dev.Flush(r.blk+blockHdrSize, r.size-blockHdrSize)
+		s.ac.Flush(r.blk+blockHdrSize, r.size-blockHdrSize)
 	}
-	p.dev.Fence()
+	s.ac.Drain()
+	p.putScratch(s)
+	p.fence()
 
 	// 2. Prepare (but do not apply) the redo log with the allocation
 	// state flips and deferred frees. Every block the redo will touch
@@ -298,11 +374,15 @@ func (tx *Tx) Commit() error {
 		}
 	}
 
-	// 3. Commit point: invalidate the undo log.
+	// 3. Commit point: invalidate the undo log. The state flip and the
+	// used reset keep separate fences: collapsing them would admit a
+	// crash image with used=0 durable while the state is still active,
+	// where rollback restores nothing but the prepared redo is
+	// discarded.
 	p.dev.WriteU64(tx.undoOff+undoStateOff, undoInactive)
-	p.dev.Persist(tx.undoOff+undoStateOff, 8)
+	p.persist(tx.undoOff+undoStateOff, 8)
 	p.dev.WriteU64(tx.undoOff+undoUsedOff, 0)
-	p.dev.Persist(tx.undoOff+undoUsedOff, 8)
+	p.persist(tx.undoOff+undoUsedOff, 8)
 
 	// 4. Complete the heap updates.
 	if len(entries) > 0 {

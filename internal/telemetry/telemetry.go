@@ -124,6 +124,46 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 
+// promQuantiles are the quantile series derived from every histogram in
+// snapshots and Prometheus exposition.
+var promQuantiles = [...]struct {
+	suffix string
+	q      float64
+}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observations by
+// linear interpolation inside the histogram's fixed buckets — the same
+// estimator Prometheus applies to _bucket series. It returns 0 with no
+// observations, and ranks landing in the overflow bucket report the
+// last finite bound (the estimate is a floor there, not a value).
+func (h *Histogram) Quantile(q float64) float64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	cum := uint64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(histBuckets) {
+				break // overflow bucket: no finite upper bound
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(histBuckets[i-1])
+			}
+			hi := float64(histBuckets[i])
+			return lo + (hi-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return float64(histBuckets[len(histBuckets)-1])
+}
+
 // Vec is a family of counters distinguished by one label, e.g. steal
 // counts by arena distance. Children are created on first use and
 // cached; hot paths should cache the *Counter returned by With.
@@ -328,6 +368,9 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			out[m.name+"_sum"] = int64(m.hist.Sum())
 			out[m.name+"_count"] = int64(m.hist.Count())
+			for _, pq := range promQuantiles {
+				out[m.name+pq.suffix] = int64(m.hist.Quantile(pq.q) + 0.5)
+			}
 		case kindVec:
 			m.vec.mu.RLock()
 			for _, lv := range m.vec.order {
@@ -375,6 +418,12 @@ func (r *Registry) WriteProm(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%s_sum %d\n", m.name, m.hist.Sum())
 			fmt.Fprintf(w, "%s_count %d\n", m.name, m.hist.Count())
+			for _, pq := range promQuantiles {
+				qn := m.name + pq.suffix
+				fmt.Fprintf(w, "# HELP %s estimated %g-quantile of %s\n", qn, pq.q, m.name)
+				fmt.Fprintf(w, "# TYPE %s gauge\n", qn)
+				fmt.Fprintf(w, "%s %.6g\n", qn, m.hist.Quantile(pq.q))
+			}
 		case kindVec:
 			m.vec.mu.RLock()
 			values := append([]string(nil), m.vec.order...)

@@ -163,6 +163,55 @@ func TestSnapshotDelta(t *testing.T) {
 	})
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := new(Histogram)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %g, want 0", got)
+	}
+	withEnabled(t, func() {
+		h.Observe(10)  // bucket le=16
+		h.Observe(300) // bucket le=1024
+	})
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		// rank 1 lands at the top of the first bucket (linear interp
+		// over [0,16] with one observation).
+		{0.50, 16},
+		// rank 1.9 sits 90% into [256,1024].
+		{0.95, 256 + 0.9*768},
+		{0.99, 256 + 0.98*768},
+		{1.00, 1024},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Observations past the last finite bound clamp to it.
+	over := new(Histogram)
+	withEnabled(t, func() {
+		over.Observe(1 << 40)
+	})
+	if got := over.Quantile(0.99); got != 65536 {
+		t.Errorf("overflow-bucket p99 = %g, want last finite bound 65536", got)
+	}
+	// Snapshot carries the rounded quantile series.
+	r := NewRegistry()
+	hr := r.Histogram("spp_q_test", "q")
+	withEnabled(t, func() {
+		hr.Observe(10)
+		hr.Observe(300)
+	})
+	snap := r.Snapshot()
+	if snap.Get("spp_q_test_p50") != 16 || snap.Get("spp_q_test_p95") != 947 || snap.Get("spp_q_test_p99") != 1009 {
+		t.Errorf("snapshot quantiles = %d/%d/%d, want 16/947/1009",
+			snap.Get("spp_q_test_p50"), snap.Get("spp_q_test_p95"), snap.Get("spp_q_test_p99"))
+	}
+}
+
 // TestWritePromGolden pins the exposition format: counters, gauges,
 // cumulative histogram buckets and sorted vec children. A drift here
 // breaks real scrapers, so the full text is asserted.
@@ -202,6 +251,15 @@ spp_test_bytes_bucket{le="65536"} 2
 spp_test_bytes_bucket{le="+Inf"} 2
 spp_test_bytes_sum 310
 spp_test_bytes_count 2
+# HELP spp_test_bytes_p50 estimated 0.5-quantile of spp_test_bytes
+# TYPE spp_test_bytes_p50 gauge
+spp_test_bytes_p50 16
+# HELP spp_test_bytes_p95 estimated 0.95-quantile of spp_test_bytes
+# TYPE spp_test_bytes_p95 gauge
+spp_test_bytes_p95 947.2
+# HELP spp_test_bytes_p99 estimated 0.99-quantile of spp_test_bytes
+# TYPE spp_test_bytes_p99 gauge
+spp_test_bytes_p99 1008.64
 # HELP spp_test_steals_total steals by distance
 # TYPE spp_test_steals_total counter
 spp_test_steals_total{distance="1"} 4

@@ -55,6 +55,12 @@ type Options struct {
 	// DisableLaneAffinity dispenses lanes only through the shared
 	// channel (volatile knob).
 	DisableLaneAffinity bool
+	// DisableRangeDedup, DisableFlushCoalesce and DisableGroupFence
+	// turn off the corresponding legs of the batched commit pipeline
+	// (volatile knobs; see pmemobj.Config).
+	DisableRangeDedup    bool
+	DisableFlushCoalesce bool
+	DisableGroupFence    bool
 	// Telemetry enables the global metrics registry and binds the
 	// pool's heap-state gauges (volatile knob).
 	Telemetry bool
@@ -66,10 +72,13 @@ type Options struct {
 // poolConfig translates the volatile knobs into a pmemobj.Config.
 func (o Options) poolConfig() pmemobj.Config {
 	return pmemobj.Config{
-		NArenas:             o.NArenas,
-		DisableLaneAffinity: o.DisableLaneAffinity,
-		Telemetry:           o.Telemetry,
-		FlightRecorder:      o.FlightRecorder,
+		NArenas:              o.NArenas,
+		DisableLaneAffinity:  o.DisableLaneAffinity,
+		DisableRangeDedup:    o.DisableRangeDedup,
+		DisableFlushCoalesce: o.DisableFlushCoalesce,
+		DisableGroupFence:    o.DisableGroupFence,
+		Telemetry:            o.Telemetry,
+		FlightRecorder:       o.FlightRecorder,
 	}
 }
 
