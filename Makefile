@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures bench telemetry-smoke commit-smoke
+.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
 ## detector over the concurrency-sensitive packages, the sppc -lint
-## self-check over the shipped IR fixtures, the disabled-telemetry
-## overhead smoke test, and the commit-pipeline differential crash
-## tests plus a tiny run of the commit experiment.
-check: fmt vet test race lint-fixtures telemetry-smoke commit-smoke
+## self-check over the shipped IR fixtures, the per-diagnostic
+## analysis smoke test, the disabled-telemetry overhead smoke test,
+## and the commit-pipeline differential crash tests plus a tiny run of
+## the commit experiment.
+check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -33,6 +34,26 @@ lint-fixtures:
 	@if $(GO) run ./cmd/sppc -lint examples/compiler-pass/laundered.ir; then \
 		echo "laundered.ir unexpectedly passed lint"; exit 1; \
 	else echo "laundered.ir flagged as expected"; fi
+
+## analysis-smoke: every seeded-bug fixture must produce exactly its
+## diagnostic code (non-zero exit + the rule name in the output), and
+## the clean fixture must stay clean — one fixture per linter rule.
+analysis-smoke:
+	@set -e; \
+	for pair in \
+		double-flush.ir:double-flush \
+		fence-no-flush.ir:fence-no-pending-flush \
+		store-after-flush.ir:store-after-flush-before-fence \
+		missing-flush.ir:unflushed-pm-store \
+		laundered.ir:laundered-pointer; do \
+		f=$${pair%%:*}; rule=$${pair##*:}; \
+		out="$$($(GO) run ./cmd/sppc -lint examples/compiler-pass/$$f 2>&1)" \
+			&& { echo "$$f unexpectedly passed lint"; exit 1; } || true; \
+		echo "$$out" | grep -q "$$rule" \
+			|| { echo "$$f did not report $$rule:"; echo "$$out"; exit 1; }; \
+		echo "$$f -> $$rule ok"; \
+	done
+	$(GO) run ./cmd/sppc -lint examples/compiler-pass/clean.ir
 
 bench:
 	$(GO) run ./cmd/sppbench -exp all -scale 0.02 | tee bench_results.txt

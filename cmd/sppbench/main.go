@@ -37,6 +37,7 @@ var experiments = []experiment{
 	{"table4", "RIPE attacks (Table IV)", bench.Table4},
 	{"crash", "crash consistency (§VI-E)", bench.CrashConsistency},
 	{"ablation", "design-choice ablation (DESIGN.md §7)", bench.Ablation},
+	{"elide", "static elision tiers: range, loop, persistence (DESIGN.md §13)", bench.Elide},
 	{"scaling", "memory-path concurrency scaling (DESIGN.md §10)", bench.Scaling},
 	{"steal", "cross-arena steal rates under skewed size classes (DESIGN.md §11)", bench.Steal},
 	{"commit", "commit pipeline batching (DESIGN.md §12)", bench.Commit},

@@ -63,6 +63,8 @@ func run(args []string, out io.Writer) error {
 	noPreempt := fs.Bool("no-preempt", false, "disable bound-check preemption")
 	noHoist := fs.Bool("no-hoist", false, "disable loop check hoisting")
 	noElide := fs.Bool("no-elide", false, "disable value-range check elision")
+	noLoop := fs.Bool("no-loop", false, "disable the loop analysis tier (IV ranges, invariant hoist, widened checks)")
+	noFlushElim := fs.Bool("no-flush-elim", false, "disable static elimination of provably-redundant flushes")
 	noLTO := fs.Bool("no-lto", false, "disable the LTO class refinement")
 	restore := fs.Bool("restore-intptr", false, "re-derive laundered pointers via use-def chains (§IV-G mitigation)")
 	quiet := fs.Bool("q", false, "do not print the modules")
@@ -107,6 +109,8 @@ func run(args []string, out io.Writer) error {
 		DisablePreemption:      *noPreempt,
 		DisableHoisting:        *noHoist,
 		DisableValueRange:      *noElide,
+		DisableLoopOpt:         *noLoop,
+		DisableFlushElim:       *noFlushElim,
 		DisableLTO:             *noLTO,
 		RestoreIntPtr:          *restore,
 	}
@@ -170,6 +174,11 @@ func printStats(out io.Writer, s transform.Stats) {
 	fmt.Fprintf(out, "  preempted checks      %d\n", s.Preempted)
 	fmt.Fprintf(out, "  hoisted checks        %d\n", s.Hoisted)
 	fmt.Fprintf(out, "  restored int-to-ptrs  %d\n", s.RestoredPtrs)
+	fmt.Fprintln(out, "loop analysis:")
+	fmt.Fprintf(out, "  invariant hoisted     %d\n", s.LoopInvariantHoisted)
+	fmt.Fprintf(out, "  widened IV checks     %d\n", s.WidenedIVChecks)
+	fmt.Fprintln(out, "persistence ordering:")
+	fmt.Fprintf(out, "  flushes elided        %d\n", s.FlushesElided)
 	fmt.Fprintln(out, "instrumentation:")
 	fmt.Fprintf(out, "  updatetag hooks       %d\n", s.UpdateTags)
 	fmt.Fprintf(out, "  checkbound hooks      %d\n", s.CheckBounds)

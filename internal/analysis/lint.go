@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/ir"
@@ -16,11 +17,13 @@ const (
 
 // Diagnostic is one linter finding.
 type Diagnostic struct {
-	Rule  string
-	Func  string
-	Block string
-	Instr string // rendered offending instruction
-	Msg   string
+	Rule     string
+	Func     string
+	Block    string
+	BlockIdx int    // index of Block in its function, for stable ordering
+	Pos      int    // instruction index within Block
+	Instr    string // rendered offending instruction
+	Msg      string
 }
 
 func (d Diagnostic) String() string {
@@ -36,11 +39,19 @@ func (d Diagnostic) String() string {
 //   - external calls receiving tagged pointers without masking: the
 //     uninstrumented callee would fault on the raw dereference;
 //   - stores to persistent memory with no flush+fence on some path to
-//     function exit: the data may not be durable after a crash.
+//     function exit: the data may not be durable after a crash;
+//   - persistence-ordering hazards from the flush/fence dataflow:
+//     double flushes of one cacheline, fences ordering nothing, and
+//     stores landing on a flushed-but-unfenced line.
+//
+// Output is deterministic: diagnostics are sorted by (function, block,
+// instruction position, rule), so goldens and CI diffs are stable.
 func Lint(m *ir.Module) []Diagnostic {
 	prov := PointerProvenance(m, true)
 	var diags []Diagnostic
-	for _, f := range m.Funcs {
+	funcIdx := make(map[string]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		funcIdx[f.Name] = i
 		if f.External {
 			continue
 		}
@@ -48,7 +59,21 @@ func Lint(m *ir.Module) []Diagnostic {
 		diags = append(diags, lintLaundering(f)...)
 		diags = append(diags, lintExternalCalls(f, classes)...)
 		diags = append(diags, lintUnflushedStores(f, classes)...)
+		diags = append(diags, AnalyzePersistence(f).Diags...)
 	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Func != b.Func {
+			return funcIdx[a.Func] < funcIdx[b.Func]
+		}
+		if a.BlockIdx != b.BlockIdx {
+			return a.BlockIdx < b.BlockIdx
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Rule < b.Rule
+	})
 	return diags
 }
 
@@ -101,8 +126,9 @@ func lintLaundering(f *ir.Func) []Diagnostic {
 				msg = fmt.Sprintf("%s is an integer-born pointer with no recoverable pointer origin; "+
 					"-restore-intptr cannot repair it — keep the provenance in pointer form (gep) instead of integer arithmetic", src.Dst)
 			}
+			blk, bi, pos := locate(f, src)
 			diags = append(diags, Diagnostic{
-				Rule: RuleLaunderedPointer, Func: f.Name, Block: blockOf(f, src),
+				Rule: RuleLaunderedPointer, Func: f.Name, Block: blk, BlockIdx: bi, Pos: pos,
 				Instr: src.String(), Msg: msg,
 			})
 		}
@@ -122,8 +148,8 @@ func lintExternalCalls(f *ir.Func, classes map[string]Class) []Diagnostic {
 		}
 	}
 	var diags []Diagnostic
-	for _, blk := range f.Blocks {
-		for _, in := range blk.Instrs {
+	for bi, blk := range f.Blocks {
+		for ii, in := range blk.Instrs {
 			if in.Op != ir.CallExt {
 				continue
 			}
@@ -135,7 +161,7 @@ func lintExternalCalls(f *ir.Func, classes map[string]Class) []Diagnostic {
 					continue
 				}
 				diags = append(diags, Diagnostic{
-					Rule: RuleUnmaskedExternal, Func: f.Name, Block: blk.Name,
+					Rule: RuleUnmaskedExternal, Func: f.Name, Block: blk.Name, BlockIdx: bi, Pos: ii,
 					Instr: in.String(),
 					Msg: fmt.Sprintf("external callee @%s receives tagged pointer %s unmasked and would fault dereferencing it; "+
 						"mask it with spp.cleantag.ext (the SPP LTO pass injects this automatically)", in.Sym, a),
@@ -264,7 +290,7 @@ func lintUnflushedStores(f *ir.Func, classes map[string]Class) []Diagnostic {
 			in := blk.Instrs[i]
 			if in.Op == ir.Store && classes[in.Args[0]] == Persistent && !fact.has(roots(in.Args[0])) {
 				diags = append(diags, Diagnostic{
-					Rule: RuleUnflushedStore, Func: f.Name, Block: blk.Name,
+					Rule: RuleUnflushedStore, Func: f.Name, Block: blk.Name, BlockIdx: bi, Pos: i,
 					Instr: in.String(),
 					Msg: fmt.Sprintf("store to persistent memory through %s is not followed by flush+fence of the same object "+
 						"on every path to return; the data may not be durable after a crash", in.Args[0]),
@@ -316,12 +342,19 @@ func FormatDiagnostics(diags []Diagnostic) string {
 }
 
 func blockOf(f *ir.Func, target *ir.Instr) string {
-	for _, blk := range f.Blocks {
-		for _, in := range blk.Instrs {
+	name, _, _ := locate(f, target)
+	return name
+}
+
+// locate returns the block name, block index and instruction position
+// of target within f.
+func locate(f *ir.Func, target *ir.Instr) (string, int, int) {
+	for bi, blk := range f.Blocks {
+		for ii, in := range blk.Instrs {
 			if in == target {
-				return blk.Name
+				return blk.Name, bi, ii
 			}
 		}
 	}
-	return "?"
+	return "?", 1 << 30, 1 << 30
 }

@@ -1,0 +1,325 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Loop is one natural loop: a header plus every block that can reach a
+// back edge to the header without passing through the header. Loops
+// sharing a header are merged, as usual.
+type Loop struct {
+	// Header is the block index of the loop header.
+	Header int
+	// Blocks is the loop body, header included.
+	Blocks map[int]bool
+	// Latches are the sources of the back edges.
+	Latches []int
+	// Exiting are the body blocks with a successor outside the loop.
+	Exiting []int
+	// Preheader is the unique predecessor of the header outside the
+	// loop, when it ends in an unconditional branch to the header — the
+	// only shape that guarantees a hoisted check executes exactly when
+	// the loop is entered. -1 otherwise.
+	Preheader int
+}
+
+// Contains reports whether block index b is in the loop body.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// LoopInfo is the result of natural-loop discovery over one function.
+type LoopInfo struct {
+	CFG *CFG
+	Dom *DomTree
+	// Loops is ordered by header block index.
+	Loops []*Loop
+}
+
+// FindLoops discovers the natural loops of c: every edge u->h where h
+// dominates u is a back edge, and the loop body is collected by walking
+// predecessors from u until h.
+func FindLoops(c *CFG, d *DomTree) *LoopInfo {
+	li := &LoopInfo{CFG: c, Dom: d}
+	byHeader := make(map[int]*Loop)
+	for u := range c.Succs {
+		for _, h := range c.Succs[u] {
+			if d.rpoNum[u] < 0 || !d.Dominates(h, u) {
+				continue // unreachable source or not a back edge
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[int]bool{h: true}, Preheader: -1}
+				byHeader[h] = l
+				li.Loops = append(li.Loops, l)
+			}
+			l.Latches = append(l.Latches, u)
+			// Walk backward from the latch, stopping at the header.
+			work := []int{u}
+			for len(work) > 0 {
+				b := work[len(work)-1]
+				work = work[:len(work)-1]
+				if l.Blocks[b] {
+					continue
+				}
+				l.Blocks[b] = true
+				work = append(work, c.Preds[b]...)
+			}
+		}
+	}
+	// Order by header index so downstream rewrites are deterministic.
+	for i := 1; i < len(li.Loops); i++ {
+		for j := i; j > 0 && li.Loops[j-1].Header > li.Loops[j].Header; j-- {
+			li.Loops[j-1], li.Loops[j] = li.Loops[j], li.Loops[j-1]
+		}
+	}
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			for _, s := range c.Succs[b] {
+				if !l.Blocks[s] {
+					l.Exiting = append(l.Exiting, b)
+					break
+				}
+			}
+		}
+		l.Preheader = findPreheader(c, l)
+	}
+	return li
+}
+
+// findPreheader returns the unique out-of-loop predecessor of the
+// header when it ends in an unconditional br to the header, else -1.
+// The unconditional-branch requirement matters for check hoisting: a
+// conditional branch into the loop would execute a preheader check on
+// the path that skips the loop entirely.
+func findPreheader(c *CFG, l *Loop) int {
+	pre := -1
+	for _, p := range c.Preds[l.Header] {
+		if l.Blocks[p] {
+			continue // back edge
+		}
+		if pre != -1 {
+			return -1 // multiple entries
+		}
+		pre = p
+	}
+	if pre == -1 {
+		return -1
+	}
+	blk := c.Func.Blocks[pre]
+	if len(blk.Instrs) == 0 || blk.Instrs[len(blk.Instrs)-1].Op != ir.Br {
+		return -1
+	}
+	return pre
+}
+
+// IndVar is a recognized memory-slot induction variable of a loop. The
+// mini-IR has no phis: loop counters live in a malloc'd slot that is
+// loaded, incremented and stored back once per iteration. The canonical
+// shape recognized here confines the whole increment to the single
+// latch block,
+//
+//	%cur  = load.8 slot
+//	%next = add %cur, step          ; step a positive constant
+//	store.8 slot, %next
+//	%c    = icmp.lt %next, limit    ; limit a constant
+//	condbr %c, header, exit
+//
+// with one constant-init store outside the loop dominating the header,
+// and no other access to the slot anywhere in the function. Because the
+// only in-loop store sits in the latch — whose sole successors are the
+// header and the exit — every other in-loop load observes the value the
+// slot held at header entry, which the latch compare bounds below
+// Limit; latch loads after the store observe at most one extra step.
+type IndVar struct {
+	// Slot is the counter's memory cell (a malloc result).
+	Slot string
+	// Init, Step, Limit: initial value, positive stride, and the
+	// exclusive bound of the latch compare.
+	Init, Step, Limit int64
+	// MaxVal is the largest value the slot holds at header entry:
+	// Init + floor((Limit-1-Init)/Step)*Step, or Init when the compare
+	// fails on the first iteration (do-while runs the body once).
+	MaxVal int64
+	// Latch is the block index holding the increment.
+	Latch int
+	// Inc is the increment store.
+	Inc *ir.Instr
+	// LoadHi bounds each in-loop load of the slot: [Init, LoadHi[ld]].
+	// Loads before the increment see MaxVal; latch loads after it see
+	// MaxVal+Step.
+	LoadHi map[*ir.Instr]int64
+}
+
+// IndVars recognizes the induction variables of l. Only loops with a
+// single latch ending in the canonical compare-and-branch are
+// considered.
+func (li *LoopInfo) IndVars(l *Loop) []IndVar {
+	if len(l.Latches) != 1 {
+		return nil
+	}
+	f := li.CFG.Func
+	latch := l.Latches[0]
+	lb := f.Blocks[latch]
+	if len(lb.Instrs) == 0 {
+		return nil
+	}
+	term := lb.Instrs[len(lb.Instrs)-1]
+	header := f.Blocks[l.Header].Name
+	if term.Op != ir.CondBr {
+		return nil
+	}
+	// Exactly one arm re-enters via the header; the other leaves.
+	var exitName string
+	switch {
+	case term.Sym == header && term.SymElse != header:
+		exitName = term.SymElse
+	case term.SymElse == header && term.Sym != header:
+		exitName = term.Sym
+	default:
+		return nil
+	}
+	if ei, ok := li.CFG.Index[exitName]; !ok || l.Blocks[ei] {
+		return nil
+	}
+
+	defCount := make(map[string]int)
+	defs := make(map[string]*ir.Instr)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defCount[in.Dst]++
+				defs[in.Dst] = in
+			}
+		}
+	}
+	constOf := func(v string) (int64, bool) {
+		d := defs[v]
+		if d == nil || d.Op != ir.Const || defCount[v] != 1 {
+			return 0, false
+		}
+		return d.Imm, true
+	}
+	cond := defs[term.Args[0]]
+	if cond == nil || cond.Op != ir.ICmpLt || defCount[term.Args[0]] != 1 {
+		return nil
+	}
+	next := cond.Args[0]
+	limit, ok := constOf(cond.Args[1])
+	if !ok || limit >= rangeBound || limit <= -rangeBound {
+		return nil
+	}
+	add := defs[next]
+	if add == nil || add.Op != ir.Add || defCount[next] != 1 {
+		return nil
+	}
+	cur, step, ok := addOperands(add, constOf)
+	if !ok || step <= 0 || step >= rangeBound {
+		return nil
+	}
+	ld := defs[cur]
+	if ld == nil || ld.Op != ir.Load || ld.Size != 8 || defCount[cur] != 1 {
+		return nil
+	}
+	slot := ld.Args[0]
+	sd := defs[slot]
+	if sd == nil || sd.Op != ir.Malloc || defCount[slot] != 1 {
+		return nil
+	}
+
+	// Canonical ordering inside the latch: load, add, store, compare.
+	idx := make(map[*ir.Instr]int)
+	for i, in := range lb.Instrs {
+		idx[in] = i
+	}
+	ldIdx, okLd := idx[ld]
+	addIdx, okAdd := idx[add]
+	cmpIdx, okCmp := idx[cond]
+	if !okLd || !okAdd || !okCmp {
+		return nil
+	}
+	var inc *ir.Instr
+	incIdx := -1
+
+	// Audit every use of the slot across the function: only 8-byte
+	// loads and stores through it, one in-loop store (the increment),
+	// one constant-init store outside, in a block dominating the header.
+	var init int64
+	haveInit := false
+	var loads []*ir.Instr
+	for bi, blk := range f.Blocks {
+		for ii, in := range blk.Instrs {
+			uses := false
+			for ai, a := range in.Args {
+				if a != slot {
+					continue
+				}
+				if (in.Op != ir.Load && in.Op != ir.Store) || ai != 0 || in.Size != 8 {
+					return nil // escapes, or a non-word access
+				}
+				uses = true
+			}
+			if !uses {
+				continue
+			}
+			switch in.Op {
+			case ir.Load:
+				if l.Blocks[bi] {
+					loads = append(loads, in)
+				}
+			case ir.Store:
+				if l.Blocks[bi] {
+					if inc != nil || bi != latch || in.Args[1] != next {
+						return nil // a second in-loop store, or not the increment
+					}
+					inc, incIdx = in, ii
+				} else {
+					if haveInit {
+						return nil // one init store only
+					}
+					c, ok := constOf(in.Args[1])
+					if !ok || c >= rangeBound || c <= -rangeBound {
+						return nil
+					}
+					if !li.Dom.Dominates(bi, l.Header) {
+						return nil
+					}
+					init, haveInit = c, true
+				}
+			}
+		}
+	}
+	if inc == nil || !haveInit {
+		return nil
+	}
+	if !(ldIdx < addIdx && addIdx < incIdx && incIdx < cmpIdx) {
+		return nil
+	}
+
+	maxv := init
+	if limit > init {
+		k := (limit - 1 - init) / step
+		maxv = init + k*step
+	}
+	iv := IndVar{
+		Slot: slot, Init: init, Step: step, Limit: limit,
+		MaxVal: maxv, Latch: latch, Inc: inc,
+		LoadHi: make(map[*ir.Instr]int64, len(loads)),
+	}
+	for _, lod := range loads {
+		hi := maxv
+		if i, ok := idx[lod]; ok && i > incIdx {
+			hi = maxv + step // latch load after the increment
+		}
+		iv.LoadHi[lod] = hi
+	}
+	return []IndVar{iv}
+}
+
+// addOperands splits an add into (variable, constant) via constOf,
+// accepting either operand order.
+func addOperands(add *ir.Instr, constOf func(string) (int64, bool)) (string, int64, bool) {
+	if c, ok := constOf(add.Args[1]); ok {
+		return add.Args[0], c, true
+	}
+	if c, ok := constOf(add.Args[0]); ok {
+		return add.Args[1], c, true
+	}
+	return "", 0, false
+}

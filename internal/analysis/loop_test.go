@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// canonicalLoop is the slot-IV shape the loop tier recognizes: init in
+// the preheader path, the whole increment quadruple in the latch.
+const canonicalLoop = `
+func @f() {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  store.8 %slot, %zero
+  br loop
+loop:
+  %i = load.8 %slot
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %lim = const 100
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`
+
+func loopsOf(t *testing.T, src string) (*LoopInfo, *CFG) {
+	t.Helper()
+	f := parse(t, src).Funcs[0]
+	c := BuildCFG(f)
+	return FindLoops(c, Dominators(c)), c
+}
+
+func TestFindLoopsShape(t *testing.T) {
+	li, c := loopsOf(t, canonicalLoop)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	loop, entry, done := c.Index["loop"], c.Index["entry"], c.Index["done"]
+	if l.Header != loop {
+		t.Errorf("header = %d, want %d", l.Header, loop)
+	}
+	if !l.Contains(loop) || l.Contains(entry) || l.Contains(done) {
+		t.Errorf("body = %v", l.Blocks)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != loop {
+		t.Errorf("latches = %v", l.Latches)
+	}
+	if len(l.Exiting) != 1 || l.Exiting[0] != loop {
+		t.Errorf("exiting = %v", l.Exiting)
+	}
+	if l.Preheader != entry {
+		t.Errorf("preheader = %d, want %d", l.Preheader, entry)
+	}
+}
+
+// A conditional branch into the header is not a preheader: a hoisted
+// check would run on the loop-skipping path too.
+func TestNoPreheaderOnConditionalEntry(t *testing.T) {
+	li, _ := loopsOf(t, `
+func @f(%n) {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  store.8 %slot, %zero
+  %go = icmp.lt %zero, %n
+  condbr %go, loop, done
+loop:
+  %i = load.8 %slot
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %lim = const 100
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %n
+}
+`)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	if li.Loops[0].Preheader != -1 {
+		t.Errorf("preheader = %d, want -1 (conditional entry)", li.Loops[0].Preheader)
+	}
+}
+
+func TestIndVarRecognition(t *testing.T) {
+	li, _ := loopsOf(t, canonicalLoop)
+	ivs := li.IndVars(li.Loops[0])
+	if len(ivs) != 1 {
+		t.Fatalf("ivs = %v, want 1", ivs)
+	}
+	iv := ivs[0]
+	if iv.Init != 0 || iv.Step != 1 || iv.Limit != 100 {
+		t.Errorf("init/step/limit = %d/%d/%d, want 0/1/100", iv.Init, iv.Step, iv.Limit)
+	}
+	// Header-entry values are 0,1,...,99: MaxVal is 99.
+	if iv.MaxVal != 99 {
+		t.Errorf("MaxVal = %d, want 99", iv.MaxVal)
+	}
+	// The single load precedes the increment store, so it observes at
+	// most MaxVal.
+	if len(iv.LoadHi) != 1 {
+		t.Fatalf("LoadHi = %v, want one load", iv.LoadHi)
+	}
+	for _, hi := range iv.LoadHi {
+		if hi != 99 {
+			t.Errorf("LoadHi = %d, want 99", hi)
+		}
+	}
+}
+
+func TestIndVarStride(t *testing.T) {
+	li, _ := loopsOf(t, `
+func @f() {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %four = const 4
+  store.8 %slot, %four
+  br loop
+loop:
+  %i = load.8 %slot
+  %step = const 3
+  %i2 = add %i, %step
+  store.8 %slot, %i2
+  %lim = const 20
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`)
+	ivs := li.IndVars(li.Loops[0])
+	if len(ivs) != 1 {
+		t.Fatalf("ivs = %v, want 1", ivs)
+	}
+	// Values at header entry: 4,7,10,13,16,19 — 4 + floor((20-1-4)/3)*3 = 19.
+	if ivs[0].MaxVal != 19 {
+		t.Errorf("MaxVal = %d, want 19", ivs[0].MaxVal)
+	}
+}
+
+// Negative recognition cases: any deviation from the audited canonical
+// shape must yield no induction variable, never a wrong bound.
+func TestIndVarRejections(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"slot escapes via call", `
+func @g(%p) {
+entry:
+  ret
+}
+func @f() {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  store.8 %slot, %zero
+  call @g, %slot
+  br loop
+loop:
+  %i = load.8 %slot
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %lim = const 100
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`},
+		{"second in-loop store", `
+func @f() {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  store.8 %slot, %zero
+  br loop
+loop:
+  %i = load.8 %slot
+  store.8 %slot, %i
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %lim = const 100
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`},
+		{"non-constant limit", `
+func @f(%n) {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  store.8 %slot, %zero
+  br loop
+loop:
+  %i = load.8 %slot
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %c = icmp.lt %i2, %n
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`},
+		{"negative step", `
+func @f() {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  %hund = const 100
+  store.8 %slot, %hund
+  br loop
+loop:
+  %i = load.8 %slot
+  %step = const -1
+  %i2 = add %i, %step
+  store.8 %slot, %i2
+  %lim = const 200
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`},
+		{"no init store", `
+func @f() {
+entry:
+  %eight = const 8
+  %slot = malloc %eight
+  br loop
+loop:
+  %i = load.8 %slot
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %lim = const 100
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := parse(t, tc.src)
+			f := m.Funcs[len(m.Funcs)-1] // @f is last when a helper precedes it
+			c := BuildCFG(f)
+			li := FindLoops(c, Dominators(c))
+			if len(li.Loops) != 1 {
+				t.Fatalf("loops = %d, want 1", len(li.Loops))
+			}
+			if ivs := li.IndVars(li.Loops[0]); len(ivs) != 0 {
+				t.Errorf("recognized an IV from a non-canonical loop: %+v", ivs)
+			}
+		})
+	}
+}
+
+// The IV-aware range tier proves an in-bounds monotone access pattern
+// that the plain tier cannot: the loop body load %i is bounded by
+// [0, 99], so %off = %i*8 is within the 800-byte object.
+func TestInferRangesLoopTier(t *testing.T) {
+	src := `
+func @f() {
+entry:
+  %size = const 800
+  %oid = pmalloc %size
+  %p = direct %oid
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  store.8 %slot, %zero
+  br loop
+loop:
+  %i = load.8 %slot
+  %c8 = const 8
+  %off = mul %i, %c8
+  %q = gep %p, %off
+  store.8 %q, %i
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %slot, %i2
+  %lim = const 100
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  ret %i2
+}
+`
+	f := parse(t, src).Funcs[0]
+	with := InferRangesOpt(f, RangeOptions{Loops: true})
+	without := InferRangesOpt(f, RangeOptions{Loops: false})
+	var target *ir.Instr
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.Store && in.Args[0] == "%q" {
+				target = in
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("loop store not found")
+	}
+	if !with.SafeAccess(target) {
+		t.Errorf("loop tier must prove the IV-indexed store in bounds; fact = %+v",
+			with.AddrFact[target])
+	}
+	if without.SafeAccess(target) {
+		t.Error("plain tier proved an IV-indexed store it cannot bound — unsound transfer somewhere")
+	}
+}

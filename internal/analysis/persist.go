@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Persistence-ordering lint rules.
+const (
+	// RuleDoubleFlush: a cacheline is flushed twice with no intervening
+	// store or fence — the second flush is provably redundant.
+	RuleDoubleFlush = "double-flush"
+	// RuleFenceNoFlush: a fence with no flush on any path since the
+	// previous fence orders nothing and signals a misplaced barrier.
+	RuleFenceNoFlush = "fence-no-pending-flush"
+	// RuleStoreAfterFlush: a store may hit a cacheline that was already
+	// flushed but not yet fenced; whether the new value is covered by
+	// the pending flush depends on eviction timing.
+	RuleStoreAfterFlush = "store-after-flush-before-fence"
+)
+
+// cacheline is the flush granularity assumed by the device model.
+const cacheline = 64
+
+// flushKey identifies a flushed location exactly: a byte offset from an
+// allocation root, resolved through single-def gep/hook chains.
+type flushKey struct {
+	Root string
+	Off  int64
+}
+
+// sameLineAllShifts reports whether offsets o1 and o2 from the same
+// root land on the same cacheline for EVERY possible alignment of the
+// root. Allocator payloads are only 16-byte aligned, so "same line"
+// must hold for all 8-byte-aligned base residues to be a proof; this
+// is what licenses deleting the second flush.
+func sameLineAllShifts(o1, o2 int64) bool {
+	if o1 < 0 || o2 < 0 {
+		return false // truncating division misorders negative offsets
+	}
+	for r := int64(0); r < cacheline; r += 8 {
+		if (r+o1)/cacheline != (r+o2)/cacheline {
+			return false
+		}
+	}
+	return true
+}
+
+// mayShareLine over-approximates: could o1 and o2 share a cacheline
+// under SOME root alignment? Used for warnings, where erring toward
+// reporting is the right bias.
+func mayShareLine(o1, o2 int64) bool {
+	d := o1 - o2
+	if d < 0 {
+		d = -d
+	}
+	return d < cacheline
+}
+
+// persistFact is the forward fact of the persistence-ordering pass.
+// clean is a MUST set (intersection at joins): lines flushed on every
+// path with no store or fence since — a second flush of such a line is
+// redundant. pending is a MAY set (union): lines flushed on some path
+// since the last fence — a store to one is a reordering hazard.
+// anyFlush is a MAY bit driving the fence diagnostic; unlike pending it
+// survives unresolvable flushes and calls, so it never fires falsely.
+type persistFact struct {
+	univ     bool // lattice top: unvisited (identity at meets)
+	clean    map[flushKey]bool
+	pending  map[flushKey]bool
+	anyFlush bool
+}
+
+func (pf persistFact) clone() persistFact {
+	out := persistFact{univ: pf.univ, anyFlush: pf.anyFlush,
+		clean:   make(map[flushKey]bool, len(pf.clean)),
+		pending: make(map[flushKey]bool, len(pf.pending))}
+	for k := range pf.clean {
+		out.clean[k] = true
+	}
+	for k := range pf.pending {
+		out.pending[k] = true
+	}
+	return out
+}
+
+type persistProblem struct {
+	cfg     *CFG
+	resolve func(string) (flushKey, bool)
+}
+
+func (p *persistProblem) Direction() Direction { return Forward }
+func (p *persistProblem) Boundary() persistFact {
+	return persistFact{clean: map[flushKey]bool{}, pending: map[flushKey]bool{}}
+}
+func (p *persistProblem) Top() persistFact { return persistFact{univ: true} }
+
+func (p *persistProblem) Meet(a, b persistFact) persistFact {
+	if a.univ {
+		return b
+	}
+	if b.univ {
+		return a
+	}
+	out := persistFact{anyFlush: a.anyFlush || b.anyFlush,
+		clean: make(map[flushKey]bool), pending: make(map[flushKey]bool)}
+	for k := range a.clean {
+		if b.clean[k] {
+			out.clean[k] = true
+		}
+	}
+	for k := range a.pending {
+		out.pending[k] = true
+	}
+	for k := range b.pending {
+		out.pending[k] = true
+	}
+	return out
+}
+
+func (p *persistProblem) Equal(a, b persistFact) bool {
+	if a.univ != b.univ || a.anyFlush != b.anyFlush ||
+		len(a.clean) != len(b.clean) || len(a.pending) != len(b.pending) {
+		return false
+	}
+	for k := range a.clean {
+		if !b.clean[k] {
+			return false
+		}
+	}
+	for k := range a.pending {
+		if !b.pending[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *persistProblem) Transfer(b int, in persistFact) persistFact {
+	out := in.clone()
+	for _, instr := range p.cfg.Func.Blocks[b].Instrs {
+		p.step(instr, &out, nil)
+	}
+	return out
+}
+
+// step applies one instruction. When info is non-nil (the replay pass)
+// it also records redundant flushes and diagnostics.
+func (p *persistProblem) step(in *ir.Instr, f *persistFact, info *PersistInfo) {
+	killRoot := func(root string) {
+		for k := range f.clean {
+			if k.Root == root {
+				delete(f.clean, k)
+			}
+		}
+		for k := range f.pending {
+			if k.Root == root {
+				delete(f.pending, k)
+			}
+		}
+	}
+	switch in.Op {
+	case ir.Flush:
+		key, exact := p.resolve(in.Args[0])
+		if exact && !f.univ {
+			for k := range f.clean {
+				if k.Root == key.Root && sameLineAllShifts(k.Off, key.Off) {
+					if info != nil {
+						info.RedundantFlushes = append(info.RedundantFlushes, in)
+						info.diag(in, RuleDoubleFlush, fmt.Sprintf(
+							"cacheline of %s (offset %d from %s) is already flushed on every path "+
+								"with no intervening store or fence; this flush is redundant",
+							in.Args[0], key.Off, key.Root))
+					}
+					break
+				}
+			}
+		}
+		if exact {
+			if f.clean == nil {
+				f.clean = map[flushKey]bool{}
+			}
+			if f.pending == nil {
+				f.pending = map[flushKey]bool{}
+			}
+			f.univ = false
+			f.clean[key] = true
+			f.pending[key] = true
+		}
+		f.anyFlush = true
+
+	case ir.Fence:
+		if info != nil && !f.anyFlush && !f.univ {
+			info.diag(in, RuleFenceNoFlush,
+				"fence with no flush on any path since the previous fence; "+
+					"the barrier orders nothing — a flush is missing or the fence is misplaced")
+		}
+		f.clean = map[flushKey]bool{}
+		f.pending = map[flushKey]bool{}
+		f.univ = false
+		f.anyFlush = false
+
+	case ir.Store:
+		if info != nil && !f.univ {
+			if key, exact := p.resolve(in.Args[0]); exact {
+				for k := range f.pending {
+					if k.Root == key.Root && mayShareLine(k.Off, key.Off) {
+						info.diag(in, RuleStoreAfterFlush, fmt.Sprintf(
+							"store through %s may hit a cacheline flushed earlier but not yet fenced; "+
+								"whether the new value reaches persistence under the pending flush depends "+
+								"on eviction timing — flush again after the store or fence first", in.Args[0]))
+						break
+					}
+				}
+			}
+		}
+		// Any store may dirty any tracked line (the resolver's roots are
+		// name identities, not a full alias analysis): drop all proofs.
+		f.clean = map[flushKey]bool{}
+
+	case ir.MemCpy, ir.MemSet, ir.StrCpy:
+		f.clean = map[flushKey]bool{}
+
+	case ir.Call, ir.CallExt:
+		// The callee may store anywhere (drop proofs) and may flush
+		// (so a following fence is not vacuous).
+		f.clean = map[flushKey]bool{}
+		f.anyFlush = true
+	}
+	// Redefining a name invalidates keys rooted at it: the old
+	// allocation the key described is no longer what the name denotes.
+	if in.Dst != "" {
+		killRoot(in.Dst)
+	}
+}
+
+// PersistInfo is the result of the persistence-ordering pass over one
+// function.
+type PersistInfo struct {
+	fn *ir.Func
+	// RedundantFlushes are flush instructions whose cacheline is
+	// provably already flushed on every path with no intervening store
+	// or fence: deleting them cannot change any durable image.
+	RedundantFlushes []*ir.Instr
+	// Diags are the ordering diagnostics (double-flush, vacuous fence,
+	// store-after-flush hazards).
+	Diags []Diagnostic
+	// Converged is false when the solver hit its iteration cap; the
+	// result is then empty (nothing proven, nothing reported).
+	Converged bool
+}
+
+func (pi *PersistInfo) diag(in *ir.Instr, rule, msg string) {
+	blk, bi, pos := locate(pi.fn, in)
+	pi.Diags = append(pi.Diags, Diagnostic{
+		Rule: rule, Func: pi.fn.Name, Block: blk, BlockIdx: bi, Pos: pos,
+		Instr: in.String(), Msg: msg,
+	})
+}
+
+// AnalyzePersistence runs the flush/fence ordering dataflow over f,
+// reporting redundant flushes and ordering hazards.
+func AnalyzePersistence(f *ir.Func) *PersistInfo {
+	info := &PersistInfo{fn: f}
+	if f.External || len(f.Blocks) == 0 {
+		info.Converged = true
+		return info
+	}
+	usesFlush := false
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.Flush || in.Op == ir.Fence {
+				usesFlush = true
+			}
+		}
+	}
+	if !usesFlush {
+		info.Converged = true
+		return info
+	}
+
+	cfg := BuildCFG(f)
+	dom := Dominators(cfg)
+	prob := &persistProblem{cfg: cfg, resolve: persistResolver(f)}
+	in, _, converged := Solve(cfg, prob)
+	info.Converged = converged
+	if !converged {
+		return info
+	}
+	// Replay reachable blocks from their entry facts, recording
+	// redundancies and diagnostics. Unreachable blocks keep top facts
+	// (everything "proven"), which must not report or delete anything.
+	for bi, blk := range f.Blocks {
+		if dom.rpoNum[bi] < 0 {
+			continue
+		}
+		fact := in[bi].clone()
+		for _, instr := range blk.Instrs {
+			prob.step(instr, &fact, info)
+		}
+	}
+	return info
+}
+
+// persistResolver maps a pointer value to an exact (root, offset) pair
+// by walking single-def chains of constant-offset geps and SPP hooks.
+// Variable offsets, multi-def intermediates or over-deep chains return
+// exact=false.
+func persistResolver(f *ir.Func) func(string) (flushKey, bool) {
+	defs := make(map[string]*ir.Instr)
+	defCount := make(map[string]int)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defs[in.Dst] = in
+				defCount[in.Dst]++
+			}
+		}
+	}
+	var walk func(v string, off int64, depth int) (flushKey, bool)
+	walk = func(v string, off int64, depth int) (flushKey, bool) {
+		if depth > 64 {
+			return flushKey{}, false
+		}
+		d := defs[v]
+		if d == nil {
+			return flushKey{Root: v, Off: off}, true // param or undefined: name identity
+		}
+		switch d.Op {
+		case ir.Gep:
+			if defCount[v] != 1 || len(d.Args) != 1 {
+				return flushKey{}, false // multi-def or variable offset
+			}
+			return walk(d.Args[0], off+d.Imm, depth+1)
+		case ir.SppCheckBound, ir.SppUpdateTag, ir.SppCleanTag, ir.SppCleanExternal, ir.SppMemIntrCheck:
+			if defCount[v] != 1 {
+				return flushKey{}, false
+			}
+			// Hooks pass the already-computed address through (the gep
+			// did the arithmetic); the hook only adjusts tag bits.
+			return walk(d.Args[0], off, depth+1)
+		}
+		// Terminal def (malloc, pmem.direct, load, ...): root identity.
+		return flushKey{Root: v, Off: off}, true
+	}
+	return func(v string) (flushKey, bool) { return walk(v, 0, 0) }
+}

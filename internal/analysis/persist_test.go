@@ -1,0 +1,315 @@
+package analysis
+
+import "testing"
+
+func persistOne(t *testing.T, src string) *PersistInfo {
+	t.Helper()
+	info := AnalyzePersistence(parse(t, src).Funcs[0])
+	if !info.Converged {
+		t.Fatal("persistence dataflow did not converge")
+	}
+	return info
+}
+
+func countRule(info *PersistInfo, rule string) int {
+	n := 0
+	for _, d := range info.Diags {
+		if d.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSameLineAllShifts(t *testing.T) {
+	cases := []struct {
+		o1, o2 int64
+		want   bool
+	}{
+		{0, 0, true},    // identical
+		{16, 16, true},  // identical, nonzero
+		{0, 8, false},   // residue 56: 56/64=0 but 64/64=1
+		{0, 63, false},  // same line only at residue 0
+		{64, 64, true},  // identical on the next line
+		{0, 64, false},  // different lines at every residue
+		{-8, -8, false}, // negative offsets: refuse to prove
+		{0, -8, false},
+	}
+	for _, tc := range cases {
+		if got := sameLineAllShifts(tc.o1, tc.o2); got != tc.want {
+			t.Errorf("sameLineAllShifts(%d, %d) = %v, want %v", tc.o1, tc.o2, got, tc.want)
+		}
+	}
+}
+
+func TestMayShareLine(t *testing.T) {
+	if !mayShareLine(0, 63) || !mayShareLine(63, 0) {
+		t.Error("offsets 63 apart may share a line under some alignment")
+	}
+	if mayShareLine(0, 64) {
+		t.Error("offsets 64 apart never share a line")
+	}
+}
+
+func TestDoubleFlushDetected(t *testing.T) {
+	info := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  flush %p
+  fence
+  ret %v
+}
+`)
+	if len(info.RedundantFlushes) != 1 {
+		t.Fatalf("redundant flushes = %d, want 1", len(info.RedundantFlushes))
+	}
+	if countRule(info, RuleDoubleFlush) != 1 {
+		t.Errorf("diags = %v, want one double-flush", info.Diags)
+	}
+}
+
+// The MUST set survives a join only when both arms flushed the line.
+func TestDoubleFlushAcrossJoin(t *testing.T) {
+	both := persistOne(t, `
+func @f(%p, %c) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  condbr %c, left, right
+left:
+  flush %p
+  br join
+right:
+  flush %p
+  br join
+join:
+  flush %p
+  fence
+  ret %v
+}
+`)
+	if len(both.RedundantFlushes) != 1 {
+		t.Errorf("both arms flush: redundant = %d, want 1", len(both.RedundantFlushes))
+	}
+	oneArm := persistOne(t, `
+func @f(%p, %c) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  condbr %c, left, join
+left:
+  flush %p
+  br join
+join:
+  flush %p
+  fence
+  ret %v
+}
+`)
+	if len(oneArm.RedundantFlushes) != 0 {
+		t.Errorf("one arm flushes: redundant = %d, want 0 (intersection must drop it)",
+			len(oneArm.RedundantFlushes))
+	}
+}
+
+// A store, a fence, or a call between the flushes invalidates the proof.
+func TestDoubleFlushKilled(t *testing.T) {
+	for _, tc := range []struct{ name, clobber string }{
+		{"store", "store.8 %p, %v"},
+		{"fence", "fence"},
+		{"call", "call @g, %p"},
+		{"memset", "memset %p, %v, %v"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := parse(t, `
+func @g(%q) {
+entry:
+  ret
+}
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  `+tc.clobber+`
+  flush %p
+  fence
+  ret %v
+}
+`)
+			info := AnalyzePersistence(m.Func("f"))
+			if !info.Converged {
+				t.Fatal("did not converge")
+			}
+			if len(info.RedundantFlushes) != 0 {
+				t.Errorf("%s between flushes: redundant = %d, want 0", tc.name, len(info.RedundantFlushes))
+			}
+		})
+	}
+}
+
+// Geps with constant offsets resolve to exact keys: offset 0 vs 8 can
+// straddle a line boundary (residue 56), so no elision; offset 0 vs 0
+// through a gep chain is still the same key.
+func TestFlushKeyResolution(t *testing.T) {
+	straddle := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  %q = gep %p, 8
+  flush %q
+  fence
+  ret %v
+}
+`)
+	if len(straddle.RedundantFlushes) != 0 {
+		t.Error("offsets 0 and 8 are not provably same-line for all alignments")
+	}
+	chain := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  %q = gep %p, 0
+  flush %q
+  fence
+  ret %v
+}
+`)
+	if len(chain.RedundantFlushes) != 1 {
+		t.Error("gep +0 resolves to the same key; second flush is redundant")
+	}
+}
+
+func TestFenceNoPendingFlush(t *testing.T) {
+	info := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  fence
+  fence
+  ret %v
+}
+`)
+	if countRule(info, RuleFenceNoFlush) != 1 {
+		t.Errorf("diags = %v, want one fence-no-pending-flush (the second fence)", info.Diags)
+	}
+	// A call may flush: the conservative bit suppresses the diagnostic.
+	m := parse(t, `
+func @g(%q) {
+entry:
+  ret
+}
+func @f(%p) {
+entry:
+  %v = const 1
+  flush %p
+  fence
+  call @g, %p
+  fence
+  ret %v
+}
+`)
+	quiet := AnalyzePersistence(m.Func("f"))
+	if countRule(quiet, RuleFenceNoFlush) != 0 {
+		t.Errorf("a call may flush; fence after call must not be flagged: %v", quiet.Diags)
+	}
+}
+
+func TestStoreAfterFlushBeforeFence(t *testing.T) {
+	info := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  store.8 %p, %v
+  fence
+  ret %v
+}
+`)
+	if countRule(info, RuleStoreAfterFlush) != 1 {
+		t.Errorf("diags = %v, want one store-after-flush", info.Diags)
+	}
+	// After the fence the pending set is empty: no hazard.
+	clean := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  fence
+  store.8 %p, %v
+  flush %p
+  fence
+  ret %v
+}
+`)
+	if countRule(clean, RuleStoreAfterFlush) != 0 {
+		t.Errorf("store after fence is ordered; diags = %v", clean.Diags)
+	}
+	// A store to a far offset of the same root cannot share the line.
+	far := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = const 1
+  store.8 %p, %v
+  flush %p
+  %q = gep %p, 128
+  store.8 %q, %v
+  flush %q
+  fence
+  ret %v
+}
+`)
+	if countRule(far, RuleStoreAfterFlush) != 0 {
+		t.Errorf("offset 128 never shares the flushed line; diags = %v", far.Diags)
+	}
+}
+
+// Redefining a name kills keys rooted at it: the second flush flushes a
+// DIFFERENT allocation even though the name matches.
+func TestDefKillsKeys(t *testing.T) {
+	info := persistOne(t, `
+func @f() {
+entry:
+  %eight = const 8
+  %v = const 1
+  br a
+a:
+  %p = malloc %eight
+  store.8 %p, %v
+  flush %p
+  %c = icmp.lt %v, %eight
+  condbr %c, a, b
+b:
+  fence
+  ret %v
+}
+`)
+	if len(info.RedundantFlushes) != 0 {
+		t.Error("flush of a re-allocated name must not be proven redundant")
+	}
+}
+
+// Functions with no flush or fence skip the dataflow entirely.
+func TestPersistEarlyOut(t *testing.T) {
+	info := persistOne(t, `
+func @f(%p) {
+entry:
+  %v = load.8 %p
+  ret %v
+}
+`)
+	if len(info.Diags) != 0 || len(info.RedundantFlushes) != 0 {
+		t.Errorf("flush-free function produced results: %+v", info)
+	}
+}

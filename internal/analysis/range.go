@@ -75,6 +75,10 @@ type rangeProblem struct {
 	cfg    *CFG
 	consts map[string]int64 // def-once const values
 	multi  map[string]bool  // names defined more than once: untracked
+	// ivLoad bounds loads of recognized induction-variable slots (the
+	// loop tier): the loaded value provably stays in the interval for
+	// every execution of that load.
+	ivLoad map[*ir.Instr]Interval
 }
 
 func (p *rangeProblem) Direction() Direction { return Forward }
@@ -267,6 +271,12 @@ func (p *rangeProblem) step(blk *ir.Block, in *ir.Instr, f *rangeFact, record *R
 		}
 		if in.Op == ir.Load {
 			kill(in.Dst)
+			if iv, ok := p.ivLoad[in]; ok {
+				// A load of an induction-variable slot: the loop tier
+				// bounds the loaded value independently of the incoming
+				// fact, so this is a constant transfer (monotone).
+				setInt(in.Dst, iv)
+			}
 		}
 
 	default:
@@ -302,11 +312,26 @@ func mulHull(a, b Interval) (int64, int64) {
 	return lo, hi
 }
 
-// InferRanges runs interval analysis over f and returns per-access
+// RangeOptions selects optional tiers of the value-range analysis.
+type RangeOptions struct {
+	// Loops enables the loop tier: natural-loop discovery plus
+	// induction-variable recognition feed loads of recognized counter
+	// slots into the interval domain, so strided loop accesses get
+	// finite offset intervals without a trip-count annotation.
+	Loops bool
+}
+
+// InferRanges runs interval analysis over f with every tier enabled.
+func InferRanges(f *ir.Func) *RangeInfo {
+	return InferRangesOpt(f, RangeOptions{Loops: true})
+}
+
+// InferRangesOpt runs interval analysis over f and returns per-access
 // bound facts. Allocation sizes come from def-once constants feeding
 // malloc / pmemobj_alloc; offsets flow through gep chains, integer
-// arithmetic and trip-count-annotated loops.
-func InferRanges(f *ir.Func) *RangeInfo {
+// arithmetic, trip-count-annotated loops and (with the loop tier)
+// recognized induction variables.
+func InferRangesOpt(f *ir.Func, opt RangeOptions) *RangeInfo {
 	info := &RangeInfo{
 		RootSize: make(map[string]uint64),
 		AddrFact: make(map[*ir.Instr]PtrFact),
@@ -367,6 +392,9 @@ func InferRanges(f *ir.Func) *RangeInfo {
 
 	cfg := BuildCFG(f)
 	prob := &rangeProblem{cfg: cfg, consts: consts, multi: multi}
+	if opt.Loops {
+		prob.ivLoad = inductionLoadBounds(cfg)
+	}
 	in, _, converged := Solve(cfg, prob)
 	info.Converged = converged
 	if !converged {
@@ -383,4 +411,37 @@ func InferRanges(f *ir.Func) *RangeInfo {
 		}
 	}
 	return info
+}
+
+// inductionLoadBounds runs loop discovery and induction-variable
+// recognition, returning the value interval of each in-loop load of a
+// recognized counter slot.
+func inductionLoadBounds(cfg *CFG) map[*ir.Instr]Interval {
+	dom := Dominators(cfg)
+	li := FindLoops(cfg, dom)
+	if len(li.Loops) == 0 {
+		return nil
+	}
+	bounds := make(map[*ir.Instr]Interval)
+	for _, l := range li.Loops {
+		for _, iv := range li.IndVars(l) {
+			for ld, hi := range iv.LoadHi {
+				b := Interval{iv.Init, hi}
+				if prev, ok := bounds[ld]; ok {
+					// A slot can only be claimed by one loop, but stay
+					// defensive: keep the tighter bound.
+					if prev.Hi < b.Hi {
+						b.Hi = prev.Hi
+					}
+					if prev.Lo > b.Lo {
+						b.Lo = prev.Lo
+					}
+				}
+				if b.valid() {
+					bounds[ld] = b
+				}
+			}
+		}
+	}
+	return bounds
 }

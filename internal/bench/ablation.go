@@ -89,10 +89,12 @@ var ablationConfigs = []struct {
 	}},
 	{"no preemption/hoisting", transform.Options{
 		DisablePreemption: true, DisableHoisting: true, DisableValueRange: true,
+		DisableLoopOpt: true,
 	}},
 	{"no optimizations", transform.Options{
 		DisablePointerTracking: true, DisablePreemption: true,
 		DisableHoisting: true, DisableLTO: true, DisableValueRange: true,
+		DisableLoopOpt: true, DisableFlushElim: true,
 	}},
 }
 

@@ -254,3 +254,38 @@ func TestAblationRuns(t *testing.T) {
 	}
 	t.Log("\n" + tab.Format())
 }
+
+func TestElideRuns(t *testing.T) {
+	tab, err := Elide(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(elideConfigs) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(elideConfigs))
+	}
+	// Rows: 0 none, 1 range only, 2 range+loop, 3 +flush-elim. Surviving
+	// static checks must shrink monotonically as tiers are added.
+	checks := make([]int, len(tab.Rows))
+	for i, row := range tab.Rows {
+		checks[i], _ = strconv.Atoi(row[1])
+	}
+	if !(checks[0] > checks[1] && checks[1] > checks[2] && checks[2] == checks[3]) {
+		t.Errorf("checks per tier = %v, want strictly shrinking then stable", checks)
+	}
+	// The acceptance bar: range+loop elides at least 35% of the checks
+	// the no-analysis build emits.
+	if checks[0] > 0 && (checks[0]-checks[2])*100/checks[0] < 35 {
+		t.Errorf("range+loop elided %d%%, want >= 35%%",
+			(checks[0]-checks[2])*100/checks[0])
+	}
+	// The loop tier must exercise the widened-check path (the
+	// kernel-param program's array size is only known dynamically).
+	if tab.Rows[2][3] == "0" {
+		t.Error("range+loop widened no IV check")
+	}
+	// The persistence tier must delete the seeded redundant flush.
+	if tab.Rows[3][4] == "0" {
+		t.Error("flush-elim config elided no flush")
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/transform"
+	"repro/internal/variant"
+)
+
+// elidePrograms is the static-elision corpus: hook-heavy kernels where
+// each analysis tier has something to prove. The inner loops are NOT
+// annotated with !loop.bound — the point of the ablation is what the
+// discovered-loop tier proves on its own.
+var elidePrograms = []struct {
+	name string
+	src  string
+}{
+	// A slot-IV sweep over a known-size array with a per-round flush
+	// epoch that double-flushes the first line: the loop tier widens the
+	// IV access, the range tier elides the epilogue's constant geps, and
+	// the persistence pass deletes the redundant flush.
+	{"iv-sweep", `
+func @main(%iters) {
+entry:
+  %size = const 4096
+  %oid = pmalloc %size
+  %p = direct %oid
+  %eight = const 8
+  %islot = malloc %eight
+  %oslot = malloc %eight
+  %acc = malloc %eight
+  %zero = const 0
+  store.8 %acc, %zero
+  store.8 %oslot, %zero
+  br outer
+outer:
+  %o = load.8 %oslot
+  %more = icmp.lt %o, %iters
+  condbr %more, fill, end
+fill:
+  store.8 %islot, %zero
+  br loop
+loop:
+  %i = load.8 %islot
+  %c8 = const 8
+  %off = mul %i, %c8
+  %q = gep %p, %off
+  store.8 %q, %i
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %islot, %i2
+  %n = const 512
+  %c = icmp.lt %i2, %n
+  condbr %c, loop, epi
+epi:
+  %a = gep %p, 0
+  %x = load.8 %a
+  %b = gep %p, 8
+  %y = load.8 %b
+  %xy = add %x, %y
+  %old = load.8 %acc
+  %new = add %old, %xy
+  store.8 %acc, %new
+  flush %p
+  flush %p
+  %far = gep %p, 128
+  flush %far
+  fence
+  %o2 = load.8 %oslot
+  %one2 = const 1
+  %onext = add %o2, %one2
+  store.8 %oslot, %onext
+  br outer
+end:
+  %r = load.8 %acc
+  ret %r
+}
+`},
+	// Three strided IV accesses per iteration: the widened check covers
+	// the whole iteration space of all three, replacing three dynamic
+	// checks per iteration with one per loop entry.
+	{"stencil", `
+func @main(%iters) {
+entry:
+  %size = const 8192
+  %oid = pmalloc %size
+  %p = direct %oid
+  %eight = const 8
+  %islot = malloc %eight
+  %oslot = malloc %eight
+  %acc = malloc %eight
+  %zero = const 0
+  store.8 %acc, %zero
+  store.8 %oslot, %zero
+  br outer
+outer:
+  %o = load.8 %oslot
+  %more = icmp.lt %o, %iters
+  condbr %more, fill, end
+fill:
+  store.8 %islot, %zero
+  br loop
+loop:
+  %i = load.8 %islot
+  %c8 = const 8
+  %c16 = const 16
+  %off0 = mul %i, %c8
+  %q0 = gep %p, %off0
+  store.8 %q0, %i
+  %off1 = mul %i, %c16
+  %q1 = gep %p, %off1
+  %v1 = load.8 %q1
+  %off2 = mul %i, %c8
+  %q2 = gep %p, %off2
+  %v2 = load.8 %q2
+  %s = add %v1, %v2
+  %old = load.8 %acc
+  %new = add %old, %s
+  store.8 %acc, %new
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %islot, %i2
+  %n = const 500
+  %c = icmp.lt %i2, %n
+  condbr %c, loop, next
+next:
+  %o2 = load.8 %oslot
+  %one2 = const 1
+  %onext = add %o2, %one2
+  store.8 %oslot, %onext
+  br outer
+end:
+  %r = load.8 %acc
+  ret %r
+}
+`},
+	// The array reaches the loop as a call parameter, so its size is
+	// statically unknown and the range tier cannot elide: this is the
+	// widened-check tier's territory — one whole-iteration-space check
+	// per loop entry replaces one check per iteration.
+	{"kernel-param", `
+func @kernel(%p) {
+entry:
+  %eight = const 8
+  %islot = malloc %eight
+  %zero = const 0
+  store.8 %islot, %zero
+  br loop
+loop:
+  %i = load.8 %islot
+  %c8 = const 8
+  %off = mul %i, %c8
+  %q = gep %p, %off
+  store.8 %q, %i
+  %one = const 1
+  %i2 = add %i, %one
+  store.8 %islot, %i2
+  %n = const 512
+  %c = icmp.lt %i2, %n
+  condbr %c, loop, done
+done:
+  %x = load.8 %p
+  ret %x
+}
+func @main(%iters) {
+entry:
+  %size = const 4096
+  %oid = pmalloc %size
+  %p = direct %oid
+  %eight = const 8
+  %oslot = malloc %eight
+  %acc = malloc %eight
+  %zero = const 0
+  store.8 %acc, %zero
+  store.8 %oslot, %zero
+  br outer
+outer:
+  %o = load.8 %oslot
+  %more = icmp.lt %o, %iters
+  condbr %more, body, end
+body:
+  %x = call @kernel, %p
+  %old = load.8 %acc
+  %new = add %old, %x
+  store.8 %acc, %new
+  %one = const 1
+  %onext = add %o, %one
+  store.8 %oslot, %onext
+  br outer
+end:
+  %r = load.8 %acc
+  ret %r
+}
+`},
+	// Straight-line constant geps over a known-size object: entirely the
+	// plain range tier's territory.
+	{"const-geps", `
+func @main(%iters) {
+entry:
+  %size = const 256
+  %oid = pmalloc %size
+  %p = direct %oid
+  %v = const 7
+  store.8 %p, %v
+  %a = gep %p, 64
+  store.8 %a, %v
+  %b = gep %p, 128
+  store.8 %b, %v
+  %d = gep %p, 248
+  store.8 %d, %v
+  %x = load.8 %p
+  %y = load.8 %a
+  %xy = add %x, %y
+  ret %xy
+}
+`},
+}
+
+// elideConfigs are the static-analysis tiers of the DESIGN.md §13
+// ablation, cumulative left to right. Pointer tracking, preemption and
+// hoisting stay on in every row: the question is what the value-range,
+// loop and persistence tiers remove beyond the classic passes.
+var elideConfigs = []struct {
+	name string
+	opts transform.Options
+}{
+	{"none", transform.Options{
+		DisableValueRange: true, DisableLoopOpt: true, DisableFlushElim: true,
+	}},
+	{"range only", transform.Options{DisableLoopOpt: true, DisableFlushElim: true}},
+	{"range+loop", transform.Options{DisableFlushElim: true}},
+	{"range+loop+flush-elim", transform.Options{}},
+}
+
+// Elide quantifies the static-analysis tiers (DESIGN.md §13): surviving
+// bound checks, the elision rate against the no-analysis build, elided
+// flushes, and the run time of the instrumented corpus under SPP. Every
+// configuration must compute the same results.
+func Elide(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		Title: "Static elision: value-range, loop, and persistence tiers",
+		Columns: []string{"configuration", "checks", "elided", "widened",
+			"flushes elided", "runtime", "vs none"},
+	}
+	mods := make([]*ir.Module, len(elidePrograms))
+	for i, p := range elidePrograms {
+		m, err := ir.Parse(p.src)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", p.name, err)
+		}
+		mods[i] = m
+	}
+	iters := uint64(cfg.scaled(100_000) / 100)
+	var baseline time.Duration
+	var baseChecks int
+	want := make([]uint64, len(elidePrograms))
+	for ci, ec := range elideConfigs {
+		checks, widened, flushElided := 0, 0, 0
+		var elapsed time.Duration
+		for pi := range mods {
+			instrumented, stats, err := transform.Apply(mods[pi], ec.opts)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s: %w", ec.name, elidePrograms[pi].name, err)
+			}
+			checks += stats.CheckBounds
+			widened += stats.WidenedIVChecks
+			flushElided += stats.FlushesElided
+			env, err := newEnv(variant.SPP, cfg, 0)
+			if err != nil {
+				return t, err
+			}
+			mach := interp.New(instrumented, env)
+			mach.MaxSteps = 1 << 40
+			start := time.Now()
+			got, err := mach.Run("main", iters)
+			if err != nil {
+				return t, fmt.Errorf("%s/%s: %w", ec.name, elidePrograms[pi].name, err)
+			}
+			elapsed += time.Since(start)
+			if ci == 0 {
+				want[pi] = got
+			} else if got != want[pi] {
+				return t, fmt.Errorf("%s/%s: result %d != %d",
+					ec.name, elidePrograms[pi].name, got, want[pi])
+			}
+		}
+		if ci == 0 {
+			baseline, baseChecks = elapsed, checks
+		}
+		elided := "-"
+		if ci > 0 && baseChecks > 0 {
+			elided = fmt.Sprintf("%d%%", (baseChecks-checks)*100/baseChecks)
+		}
+		t.Rows = append(t.Rows, []string{
+			ec.name,
+			fmt.Sprintf("%d", checks),
+			elided,
+			fmt.Sprintf("%d", widened),
+			fmt.Sprintf("%d", flushElided),
+			fmt.Sprintf("%.2fms", float64(elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", float64(elapsed)/float64(baseline)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"checks are static SppCheckBound hooks after pointer tracking, preemption and "+
+			"hoisting — the classic passes stay on in every row",
+		"a widened check replaces every per-iteration check of its loop with one "+
+			"whole-iteration-space check in the preheader")
+	return t, nil
+}

@@ -342,15 +342,30 @@ func (m *Machine) execBlock(f *ir.Func, blk *ir.Block, vals map[string]uint64) (
 				}
 			}
 
-		case ir.Flush, ir.Fence:
-			// Durability is modeled at the pmemobj layer (redo/undo logs
-			// flush their own ranges); application-level flush/fence are
-			// ordering hints here. Operands are still resolved so an
-			// undefined reference faults like any other use.
-			if in.Op == ir.Flush {
-				if _, err := get(in.Args[0]); err != nil {
-					return nil, 0, false, err
+		case ir.Flush:
+			// An application-level flush forwards to the device model:
+			// the cacheline holding the (untagged) address joins the
+			// pending set, and the next fence persists it. Addresses
+			// outside the pool (volatile memory) are a no-op, as on
+			// real hardware where clwb of DRAM has no durability
+			// effect. The operand is always resolved so an undefined
+			// reference faults like any other use.
+			p, err := get(in.Args[0])
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if m.env.Pool != nil && m.env.Dev != nil {
+				if off, err := m.env.Pool.OffsetOf(rt.External(p)); err == nil {
+					m.env.Dev.Flush(off, 1)
 				}
+			}
+
+		case ir.Fence:
+			// Orders pending flushes: the device copies the current
+			// working contents of every pending line to the durable
+			// image. Free when persistence tracking is off.
+			if m.env.Dev != nil {
+				m.env.Dev.Fence()
 			}
 
 		case ir.SppUpdateTag:

@@ -178,6 +178,58 @@ func Analyze(events []Event) Report {
 	return rep
 }
 
+// FenceImages replays the trace with the device model's semantics —
+// stores update a working image, flushes make ranges pending, a fence
+// copies the CURRENT working contents of every pending range into the
+// durable image — and returns the durable image after each fence, plus
+// the final durable state as the last element. Two traces that differ
+// only in provably-redundant flushes (same line, no intervening store
+// or fence) must produce byte-identical sequences; the flush
+// elimination tests assert exactly that.
+func FenceImages(base []byte, events []Event) [][]byte {
+	working := make([]byte, len(base))
+	durable := make([]byte, len(base))
+	copy(working, base)
+	copy(durable, base)
+
+	type rng struct{ off, size uint64 }
+	var pending []rng
+	var images [][]byte
+	clampLen := uint64(len(base))
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvStore:
+			end := ev.Off + uint64(len(ev.Data))
+			if ev.Off < clampLen {
+				if end > clampLen {
+					end = clampLen
+				}
+				copy(working[ev.Off:end], ev.Data[:end-ev.Off])
+			}
+		case EvFlush:
+			pending = append(pending, rng{ev.Off, ev.Size})
+		case EvFence:
+			for _, r := range pending {
+				end := r.off + r.size
+				if r.off >= clampLen {
+					continue
+				}
+				if end > clampLen {
+					end = clampLen
+				}
+				copy(durable[r.off:end], working[r.off:end])
+			}
+			pending = pending[:0]
+			snap := make([]byte, len(durable))
+			copy(snap, durable)
+			images = append(images, snap)
+		}
+	}
+	final := make([]byte, len(durable))
+	copy(final, durable)
+	return append(images, final)
+}
+
 // Strategy selects which in-flight-store subsets Explore tries at a
 // crash point, mirroring pmreorder's engines.
 type Strategy int

@@ -23,9 +23,13 @@ var optLevels = []struct {
 	name string
 	opts Options
 }{
-	{"no-opt", Options{DisablePreemption: true, DisableHoisting: true, DisableValueRange: true}},
-	{"preempt", Options{DisableHoisting: true, DisableValueRange: true}},
-	{"preempt+hoist", Options{DisableValueRange: true}},
+	{"no-opt", Options{DisablePreemption: true, DisableHoisting: true, DisableValueRange: true,
+		DisableLoopOpt: true, DisableFlushElim: true}},
+	{"preempt", Options{DisableHoisting: true, DisableValueRange: true,
+		DisableLoopOpt: true, DisableFlushElim: true}},
+	{"preempt+hoist", Options{DisableValueRange: true, DisableLoopOpt: true, DisableFlushElim: true}},
+	{"range", Options{DisableLoopOpt: true, DisableFlushElim: true}},
+	{"range+loop", Options{DisableFlushElim: true}},
 	{"full-analysis", Options{}},
 }
 
@@ -307,3 +311,198 @@ func TestValueRangeElisionRate(t *testing.T) {
 		t.Errorf("elision rate %.1f%% below the 20%% acceptance bar", rate*100)
 	}
 }
+
+// Loop fault kinds genLoopProgram can inject.
+const (
+	faultLoopOverflow = "loop-overflow"  // induction variable runs past the object
+	faultLoopInvar    = "loop-invariant" // loop-invariant access past the object
+)
+
+// genLoopProgram builds a random loop-heavy program: @main allocates a
+// persistent object and iterates a strided store loop over it with a
+// slot induction variable (statically known size: the range+loop tier
+// elides everything), and @kernel receives the pointer as a parameter
+// (size unknown: only the loop tier's widened and invariant preheader
+// checks apply). Fault kinds push the induction range or an invariant
+// access past the object.
+func genLoopProgram(rng *rand.Rand, fault string) string {
+	const objSize = 256
+	trip := rng.Intn(24) + 8 // 8..31 iterations, stride 8: in bounds
+	if fault == faultLoopOverflow {
+		trip = objSize/8 + 1 + rng.Intn(4) // runs one or more strides past
+	}
+	invarOff := rng.Intn(16) * 8
+	if fault == faultLoopInvar {
+		invarOff = objSize + rng.Intn(4)*8
+	}
+	nInvar := rng.Intn(2) + 1 // invariant loads in the kernel loop
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "func @kernel(%%p) {\nentry:\n")
+	fmt.Fprintf(&b, "  %%eight = const 8\n  %%zero = const 0\n  %%one = const 1\n")
+	fmt.Fprintf(&b, "  %%slot = malloc %%eight\n  store.8 %%slot, %%zero\n")
+	fmt.Fprintf(&b, "  %%acc = malloc %%eight\n  store.8 %%acc, %%zero\n")
+	fmt.Fprintf(&b, "  br loop\nloop:\n")
+	fmt.Fprintf(&b, "  %%i = load.8 %%slot\n")
+	fmt.Fprintf(&b, "  %%off = mul %%i, %%eight\n")
+	fmt.Fprintf(&b, "  %%q = gep %%p, %%off\n")
+	fmt.Fprintf(&b, "  store.8 %%q, %%i\n")
+	for k := 0; k < nInvar; k++ {
+		off := rng.Intn(8) * 8
+		if k == 0 {
+			off = invarOff
+		}
+		fmt.Fprintf(&b, "  %%f%d = gep %%p, %d\n  %%x%d = load.8 %%f%d\n", k, off, k, k)
+		fmt.Fprintf(&b, "  %%a%d = load.8 %%acc\n  %%s%d = add %%a%d, %%x%d\n  store.8 %%acc, %%s%d\n",
+			k, k, k, k, k)
+	}
+	fmt.Fprintf(&b, "  %%i2 = add %%i, %%one\n")
+	fmt.Fprintf(&b, "  store.8 %%slot, %%i2\n")
+	fmt.Fprintf(&b, "  %%lim = const %d\n", trip)
+	fmt.Fprintf(&b, "  %%c = icmp.lt %%i2, %%lim\n")
+	fmt.Fprintf(&b, "  condbr %%c, loop, done\ndone:\n")
+	fmt.Fprintf(&b, "  %%r = load.8 %%acc\n  ret %%r\n}\n")
+
+	mainTrip := rng.Intn(24) + 8
+	fmt.Fprintf(&b, "func @main() {\nentry:\n")
+	fmt.Fprintf(&b, "  %%size = const %d\n  %%oid = pmalloc %%size\n  %%pm = direct %%oid\n", objSize)
+	fmt.Fprintf(&b, "  %%eight = const 8\n  %%zero = const 0\n  %%one = const 1\n")
+	fmt.Fprintf(&b, "  %%slot = malloc %%eight\n  store.8 %%slot, %%zero\n  br fill\nfill:\n")
+	fmt.Fprintf(&b, "  %%i = load.8 %%slot\n  %%off = mul %%i, %%eight\n")
+	fmt.Fprintf(&b, "  %%q = gep %%pm, %%off\n  store.8 %%q, %%i\n")
+	fmt.Fprintf(&b, "  %%i2 = add %%i, %%one\n  store.8 %%slot, %%i2\n  %%lim = const %d\n", mainTrip)
+	fmt.Fprintf(&b, "  %%c = icmp.lt %%i2, %%lim\n  condbr %%c, fill, run\nrun:\n")
+	fmt.Fprintf(&b, "  %%r = call @kernel, %%pm\n  ret %%r\n}\n")
+	return b.String()
+}
+
+// TestLoopFaultVerdicts: the loop tier's hoisted and widened preheader
+// checks must reach the same verdict as the per-access checks they
+// replace, for in-bounds loops and for loops whose induction range or
+// invariant access runs past the object. A widened check may trap at
+// the preheader where the unoptimized program traps mid-loop, but
+// trap/no-trap and computed results must agree.
+func TestLoopFaultVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	faults := []string{faultNone, faultLoopOverflow, faultLoopInvar}
+	for trial := 0; trial < 18; trial++ {
+		fault := faults[trial%len(faults)]
+		src := genLoopProgram(rng, fault)
+		mod, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v\n%s", trial, err, src)
+		}
+		for _, kind := range diffVariants {
+			var base verdict
+			for li, lv := range optLevels {
+				instrumented, _, err := Apply(mod, lv.opts)
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, lv.name, err)
+				}
+				env := newEnv(t, kind)
+				mach := interp.New(instrumented, env)
+				mach.MaxSteps = 1 << 24
+				got, runErr := mach.Run("main")
+				v := verdict{errored: runErr != nil, trapped: hooks.IsSafetyTrap(runErr)}
+				if runErr == nil {
+					v.value = got
+				}
+				if li == 0 {
+					base = v
+					continue
+				}
+				if v != base {
+					t.Fatalf("trial %d (%s) %s: verdict diverged at %s: %+v vs %s %+v\n%s",
+						trial, fault, kind, lv.name, v, optLevels[0].name, base, src)
+				}
+			}
+			if kind == variant.SPP && fault != faultNone && !base.trapped {
+				t.Errorf("trial %d (%s) %s: out-of-bounds loop access not trapped\n%s",
+					trial, fault, kind, src)
+			}
+		}
+	}
+}
+
+// TestLoopElisionRate: on the loop-heavy corpus the range+loop tiers
+// together must elide at least 35% of the bound checks that survive
+// preemption and hoisting (the value-range tier alone clears 20% on
+// the straight-line corpus).
+func TestLoopElisionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	baseOpts := Options{DisableValueRange: true, DisableLoopOpt: true, DisableFlushElim: true}
+	loopOpts := Options{DisableFlushElim: true}
+	var surviving, withLoop int
+	count := func(src string) {
+		mod, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("invalid program: %v\n%s", err, src)
+		}
+		_, base, err := Apply(mod, baseOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, full, err := Apply(mod, loopOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		surviving += base.CheckBounds
+		withLoop += full.CheckBounds
+	}
+	for trial := 0; trial < 30; trial++ {
+		count(genLoopProgram(rng, faultNone))
+	}
+	count(loopProgram)
+	count(ablationKernel)
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "examples", "compiler-pass", "*.ir"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no compiler-pass fixtures found: %v", err)
+	}
+	for _, fx := range fixtures {
+		b, err := os.ReadFile(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count(string(b))
+	}
+	if surviving == 0 {
+		t.Fatal("corpus produced no bound checks")
+	}
+	rate := float64(surviving-withLoop) / float64(surviving)
+	t.Logf("bound checks surviving preemption+hoisting: %d, after range+loop: %d (%.0f%% elided)",
+		surviving, withLoop, rate*100)
+	if rate < 0.35 {
+		t.Errorf("range+loop elision rate %.1f%% below the 35%% acceptance bar", rate*100)
+	}
+}
+
+// ablationKernel mirrors the shape of the bench ablation program: an
+// unannotated slot-IV loop over a known-size persistent array, which
+// the loop tier must fully prove.
+const ablationKernel = `
+func @main() {
+entry:
+  %size = const 4096
+  %oid = pmalloc %size
+  %p = direct %oid
+  %eight = const 8
+  %slot = malloc %eight
+  %zero = const 0
+  %one = const 1
+  store.8 %slot, %zero
+  br loop
+loop:
+  %i = load.8 %slot
+  %off = mul %i, %eight
+  %q = gep %p, %off
+  store.8 %q, %i
+  %i2 = add %i, %one
+  %lim = const 512
+  %c = icmp.lt %i2, %lim
+  condbr %c, loop, done
+done:
+  %last = gep %p, 4088
+  %r = load.8 %last
+  ret %r
+}
+`

@@ -31,7 +31,7 @@ func elideProvenChecks(f *ir.Func, classes map[string]Class, opts Options, stats
 	if f.External || len(f.Blocks) == 0 {
 		return
 	}
-	ri := analysis.InferRanges(f)
+	ri := analysis.InferRangesOpt(f, analysis.RangeOptions{Loops: !opts.DisableLoopOpt})
 	if !ri.Converged || len(ri.RootSize) == 0 {
 		return
 	}

@@ -1,0 +1,46 @@
+package transform
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// elideRedundantFlushes deletes flush instructions the
+// persistence-ordering dataflow proves redundant: the same cacheline
+// (for every possible allocation alignment) is already flushed on
+// every path to the instruction, with no store or fence in between.
+//
+// Safety: the device model line-rounds flushes and a fence persists
+// the current working contents of every pending line. Removing the
+// second of two back-to-back flushes of one line leaves the pending
+// set's line coverage — and therefore every durable image at every
+// fence and every crash point — byte-identical, because the line's
+// working contents did not change between the two flushes. The
+// crash-equivalence tests check exactly this, image by image.
+//
+// The pass runs before instrumentation and before any check rewrites,
+// so the value graph the resolver walks is still the source program's.
+func elideRedundantFlushes(f *ir.Func, stats *Stats) {
+	if f.External || len(f.Blocks) == 0 {
+		return
+	}
+	pi := analysis.AnalyzePersistence(f)
+	if !pi.Converged || len(pi.RedundantFlushes) == 0 {
+		return
+	}
+	drop := make(map[*ir.Instr]bool, len(pi.RedundantFlushes))
+	for _, in := range pi.RedundantFlushes {
+		drop[in] = true
+	}
+	for _, blk := range f.Blocks {
+		out := blk.Instrs[:0]
+		for _, in := range blk.Instrs {
+			if drop[in] {
+				stats.FlushesElided++
+				continue
+			}
+			out = append(out, in)
+		}
+		blk.Instrs = out
+	}
+}

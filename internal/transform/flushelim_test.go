@@ -1,0 +1,203 @@
+package transform
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/pmemcheck"
+	"repro/internal/variant"
+)
+
+// flushElimPrograms exercise the persistence-ordering pass: each
+// contains at least one provably-redundant flush (and some flushes
+// that must NOT be eliminated).
+var flushElimPrograms = []struct {
+	name      string
+	src       string
+	wantElide int
+}{
+	{
+		// Straight-line double flush of one line; the offset-8 flush is
+		// NOT removable (offset 0 and 8 can straddle a line boundary
+		// under some alignments), and the post-store flush is live.
+		name: "straight-line",
+		src: `
+func @main() {
+entry:
+  %size = const 256
+  %oid = pmalloc %size
+  %p = direct %oid
+  %v = const 7
+  store.8 %p, %v
+  flush %p
+  flush %p
+  %q = gep %p, 8
+  flush %q
+  fence
+  %w = const 9
+  store.8 %p, %w
+  flush %p
+  fence
+  ret %w
+}
+`,
+		wantElide: 1,
+	},
+	{
+		// Both branch arms flush the same line, the join flushes it
+		// again: the must-intersection proves the join flush redundant.
+		name: "branch-join",
+		src: `
+func @main() {
+entry:
+  %size = const 256
+  %oid = pmalloc %size
+  %p = direct %oid
+  %v = const 7
+  store.8 %p, %v
+  %c = icmp.lt %v, %size
+  condbr %c, left, right
+left:
+  flush %p
+  br join
+right:
+  flush %p
+  br join
+join:
+  flush %p
+  fence
+  ret %v
+}
+`,
+		wantElide: 1,
+	},
+	{
+		// A store between the flushes keeps the second flush alive, and
+		// a fence between flushes also blocks elimination.
+		name: "no-false-elision",
+		src: `
+func @main() {
+entry:
+  %size = const 256
+  %oid = pmalloc %size
+  %p = direct %oid
+  %v = const 7
+  store.8 %p, %v
+  flush %p
+  %w = const 9
+  store.8 %p, %w
+  flush %p
+  fence
+  flush %p
+  fence
+  ret %w
+}
+`,
+		wantElide: 0,
+	},
+}
+
+// TestFlushElimStats: the pass removes exactly the provably-redundant
+// flushes.
+func TestFlushElimStats(t *testing.T) {
+	for _, tc := range flushElimPrograms {
+		mod, err := ir.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		_, stats, err := Apply(mod, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if stats.FlushesElided != tc.wantElide {
+			t.Errorf("%s: FlushesElided = %d, want %d", tc.name, stats.FlushesElided, tc.wantElide)
+		}
+	}
+}
+
+// TestFlushElimCrashEquivalence: removing a provably-redundant flush
+// must leave every durable image unchanged — after each fence and at
+// the end — and must not introduce pmemcheck protocol violations. The
+// trace is recorded by the device model while the instrumented program
+// runs, so it includes allocator flush traffic too; fence counts and
+// the per-fence durable images must match byte for byte.
+func TestFlushElimCrashEquivalence(t *testing.T) {
+	for _, tc := range flushElimPrograms {
+		mod, err := ir.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		type trace struct {
+			events  []pmemcheck.Event
+			base    []byte
+			durable []byte
+		}
+		runOne := func(opts Options) trace {
+			t.Helper()
+			instrumented, _, err := Apply(mod, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			env := newEnv(t, variant.SPP)
+			tracker := pmemcheck.NewTracker()
+			env.Dev.EnableTracking(tracker)
+			base := append([]byte(nil), env.Dev.Data()...)
+			if _, err := interp.New(instrumented, env).Run("main"); err != nil {
+				t.Fatalf("%s: run failed: %v", tc.name, err)
+			}
+			durable, err := env.Dev.DurableImage()
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			return trace{events: tracker.Events(), base: base, durable: durable}
+		}
+		kept := runOne(Options{DisableFlushElim: true})
+		elided := runOne(Options{})
+
+		// The pool header holds a random identity stamp, so raw images
+		// from two fresh pools are never byte-equal. Normalize each image
+		// against its own run's base: the diff contains exactly the
+		// trace-driven writes, which must match.
+		if !bytes.Equal(xorDiff(kept.durable, kept.base), xorDiff(elided.durable, elided.base)) {
+			t.Errorf("%s: final durable image changed by flush elimination", tc.name)
+		}
+		imgsKept := pmemcheck.FenceImages(kept.base, kept.events)
+		imgsElided := pmemcheck.FenceImages(elided.base, elided.events)
+		if len(imgsKept) != len(imgsElided) {
+			t.Fatalf("%s: fence count changed: %d vs %d", tc.name, len(imgsKept)-1, len(imgsElided)-1)
+		}
+		for i := range imgsKept {
+			if !bytes.Equal(xorDiff(imgsKept[i], kept.base), xorDiff(imgsElided[i], elided.base)) {
+				t.Errorf("%s: durable image after fence %d differs", tc.name, i)
+			}
+		}
+		repKept := pmemcheck.Analyze(kept.events)
+		repElided := pmemcheck.Analyze(elided.events)
+		if len(repElided.Violations) > len(repKept.Violations) {
+			t.Errorf("%s: flush elimination introduced pmemcheck violations: %v",
+				tc.name, repElided.Violations)
+		}
+		if repElided.Flushes >= repKept.Flushes && tcElides(tc.wantElide) {
+			t.Errorf("%s: expected fewer dynamic flushes (%d vs %d)",
+				tc.name, repElided.Flushes, repKept.Flushes)
+		}
+	}
+}
+
+func tcElides(n int) bool { return n > 0 }
+
+// xorDiff returns a XOR b (truncated to the shorter length): the bytes
+// that differ from the run's own starting image.
+func xorDiff(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package transform
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// loopHoistChecks is the loop tier of check elision: it runs on loops
+// DISCOVERED from the CFG (natural-loop analysis + induction-variable
+// recognition in internal/analysis), where hoistLoopChecks only
+// handles loops carrying a !loop.bound annotation. Two rewrites:
+//
+//   - invariant hoist: a dereference of a loop-invariant address —
+//     directly or through a constant-offset gep of an invariant base —
+//     is covered by one check in the preheader when its block
+//     dominates every latch and every exiting block, i.e. the access
+//     executes whenever the loop iterates or leaves;
+//
+//   - widened induction check: a dereference through
+//     base + iv*stride, with iv a recognized slot induction variable,
+//     is covered by one preheader check of the whole iteration space
+//     [0, maxIV*stride + size) when the latch is the only exit (the
+//     loop cannot leave before the IV runs its course) and the access
+//     dominates the latch (it executes every iteration).
+//
+// Trap equivalence: a hoisted check traps exactly when some execution
+// of the covered access would trap — except on executions where the
+// loop body diverges before reaching the access; there the hoisted
+// check may trap where the original program would spin forever. The
+// differential fault-verdict tests exercise the terminating cases.
+//
+// The pass runs after the annotation-based hoisting, so annotated
+// loops (whose headers the legacy pass owns) are skipped, and before
+// instrumentFunc, so elided accesses simply never get hooks.
+func loopHoistChecks(f *ir.Func, classes map[string]Class, opts Options, stats *Stats) {
+	if f.External || len(f.Blocks) == 0 {
+		return
+	}
+	cfg := analysis.BuildCFG(f)
+	dom := analysis.Dominators(cfg)
+	li := analysis.FindLoops(cfg, dom)
+	if len(li.Loops) == 0 {
+		return
+	}
+
+	defBlk := make(map[string]int) // value name -> defining block index
+	defCount := make(map[string]int)
+	defs := make(map[string]*ir.Instr)
+	uses := useCounts(f)
+	for bi, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != "" {
+				defBlk[in.Dst] = bi
+				defCount[in.Dst]++
+				defs[in.Dst] = in
+			}
+		}
+	}
+	consts := constValues(f)
+	classOf := func(v string) Class {
+		if opts.DisablePointerTracking {
+			return Unknown
+		}
+		return classes[v]
+	}
+
+	for _, l := range li.Loops {
+		if l.Preheader < 0 {
+			continue
+		}
+		if f.Blocks[l.Header].LoopBound > 0 {
+			continue // annotated: the legacy hoisting pass owns this loop
+		}
+		pre := f.Blocks[l.Preheader]
+
+		// invariant: defined outside the loop, in a block whose def
+		// dominates the preheader (so the hoisted check may use it).
+		invariant := func(v string) bool {
+			bi, ok := defBlk[v]
+			if !ok {
+				return true // parameter
+			}
+			return !l.Blocks[bi] && dom.Dominates(bi, l.Preheader)
+		}
+		// anchored: the access block runs whenever the loop iterates or
+		// leaves — the trap-equivalence condition for hoisting.
+		anchored := func(bi int) bool {
+			for _, latch := range l.Latches {
+				if !dom.Dominates(bi, latch) {
+					return false
+				}
+			}
+			for _, ex := range l.Exiting {
+				if !dom.Dominates(bi, ex) {
+					return false
+				}
+			}
+			return true
+		}
+		emit := func(base string, size uint64, suffix string) string {
+			masked := freshValueName(defCount, base+suffix)
+			hook := &ir.Instr{
+				Op: ir.SppCheckBound, Dst: masked, Args: []string{base},
+				Size:    size,
+				KnownPM: classOf(base) == Persistent,
+			}
+			pre.Instrs = insertBefore(pre.Instrs, pre.Instrs[len(pre.Instrs)-1], hook)
+			stats.CheckBounds++
+			if hook.KnownPM {
+				stats.DirectHooks++
+			}
+			return masked
+		}
+
+		// --- Invariant hoisting -------------------------------------
+		type access struct {
+			gep   *ir.Instr // nil when the base is dereferenced directly
+			deref *ir.Instr
+			end   int64
+		}
+		groups := make(map[string][]access)
+		var order []string
+		add := func(base string, a access) {
+			if _, seen := groups[base]; !seen {
+				order = append(order, base)
+			}
+			groups[base] = append(groups[base], a)
+		}
+		for bi, blk := range f.Blocks {
+			if !l.Blocks[bi] || !anchored(bi) {
+				continue
+			}
+			for _, in := range blk.Instrs {
+				if (in.Op != ir.Load && in.Op != ir.Store) || in.SkipCheck {
+					continue
+				}
+				addr := in.Args[0]
+				if invariant(addr) && classOf(addr) != Volatile {
+					add(addr, access{deref: in, end: int64(in.Size)})
+					continue
+				}
+				g := defs[addr]
+				if g == nil || g.Op != ir.Gep || g.SkipTagUpdate ||
+					len(g.Args) != 1 || defCount[addr] != 1 || uses[addr] != 1 {
+					continue
+				}
+				gbi, ok := defBlk[addr]
+				if !ok || !l.Blocks[gbi] {
+					continue // the gep must live in the loop for the rebase to be local
+				}
+				base := g.Args[0]
+				if invariant(base) && classOf(base) != Volatile {
+					add(base, access{gep: g, deref: in, end: g.Imm + int64(in.Size)})
+				}
+			}
+		}
+		for _, base := range order {
+			accs := groups[base]
+			var maxEnd int64
+			ok := true
+			for _, a := range accs {
+				if a.end <= 0 {
+					ok = false // negative offsets: keep per-access checks
+					break
+				}
+				if a.end > maxEnd {
+					maxEnd = a.end
+				}
+			}
+			if !ok || maxEnd <= 0 {
+				continue
+			}
+			masked := emit(base, uint64(maxEnd), ".lh")
+			for _, a := range accs {
+				if a.gep != nil {
+					a.gep.Args[0] = masked
+					a.gep.SkipTagUpdate = true
+				} else {
+					a.deref.Args[0] = masked
+				}
+				a.deref.SkipCheck = true
+				stats.LoopInvariantHoisted++
+			}
+		}
+
+		// --- Widened induction-variable checks ----------------------
+		ivs := li.IndVars(l)
+		if len(ivs) == 0 {
+			continue
+		}
+		if len(l.Exiting) != 1 || len(l.Latches) != 1 || l.Exiting[0] != l.Latches[0] {
+			continue // an early exit could leave before the IV runs out
+		}
+		latch := l.Latches[0]
+		ivHi := make(map[string]int64) // mul dst -> max offset value
+		for _, iv := range ivs {
+			if iv.Init < 0 {
+				continue
+			}
+			for ld, hi := range iv.LoadHi {
+				if ld.Dst == "" || defCount[ld.Dst] != 1 {
+					continue
+				}
+				// Find muls of the IV load by a positive constant.
+				for _, blk := range f.Blocks {
+					for _, in := range blk.Instrs {
+						if in.Op != ir.Mul || in.Dst == "" || defCount[in.Dst] != 1 {
+							continue
+						}
+						var stride int64
+						switch {
+						case in.Args[0] == ld.Dst:
+							stride = consts[in.Args[1]]
+						case in.Args[1] == ld.Dst:
+							stride = consts[in.Args[0]]
+						default:
+							continue
+						}
+						if stride <= 0 {
+							continue
+						}
+						ivHi[in.Dst] = hi * stride
+					}
+				}
+			}
+		}
+		if len(ivHi) == 0 {
+			continue
+		}
+		for bi, blk := range f.Blocks {
+			if !l.Blocks[bi] {
+				continue
+			}
+			for _, g := range blk.Instrs {
+				if g.Op != ir.Gep || len(g.Args) != 2 || g.SkipTagUpdate || defCount[g.Dst] != 1 {
+					continue
+				}
+				maxOff, ok := ivHi[g.Args[1]]
+				base := g.Args[0]
+				if !ok || !invariant(base) || classOf(base) == Volatile {
+					continue
+				}
+				var derefs []*ir.Instr
+				covered := true
+				for _, u := range f.Blocks {
+					for _, in := range u.Instrs {
+						usesG := false
+						for _, a := range in.Args {
+							if a == g.Dst {
+								usesG = true
+							}
+						}
+						if !usesG {
+							continue
+						}
+						if (in.Op == ir.Load || in.Op == ir.Store) && in.Args[0] == g.Dst && !in.SkipCheck {
+							derefs = append(derefs, in)
+						} else {
+							covered = false // the tagged value escapes: keep the tag
+						}
+					}
+				}
+				if !covered || len(derefs) == 0 {
+					continue
+				}
+				allAnchored := true
+				var maxSize uint64
+				for _, d := range derefs {
+					_, dbi, _ := locateIn(f, d)
+					if !dom.Dominates(dbi, latch) || !l.Blocks[dbi] {
+						allAnchored = false
+						break
+					}
+					if d.Size > maxSize {
+						maxSize = d.Size
+					}
+				}
+				if !allAnchored {
+					continue
+				}
+				masked := emit(base, uint64(maxOff)+maxSize, ".w")
+				g.Args[0] = masked
+				g.SkipTagUpdate = true
+				for _, d := range derefs {
+					d.SkipCheck = true
+					stats.WidenedIVChecks++
+				}
+			}
+		}
+	}
+}
+
+// locateIn returns the block name, block index and instruction index of
+// target in f.
+func locateIn(f *ir.Func, target *ir.Instr) (string, int, int) {
+	for bi, blk := range f.Blocks {
+		for ii, in := range blk.Instrs {
+			if in == target {
+				return blk.Name, bi, ii
+			}
+		}
+	}
+	return "", -1, -1
+}

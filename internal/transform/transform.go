@@ -61,6 +61,16 @@ type Options struct {
 	// statically known allocation sizes and removes their
 	// __spp_checkbound/__spp_updatetag hooks entirely.
 	DisableValueRange bool
+	// DisableLoopOpt turns off the loop tier of the static analysis:
+	// natural-loop discovery with induction-variable recognition, which
+	// (a) feeds loop-carried counter bounds into the value-range proof
+	// and (b) hoists loop-invariant checks and widens monotone
+	// induction-variable accesses into one preheader check.
+	DisableLoopOpt bool
+	// DisableFlushElim turns off static flush elimination: deleting
+	// flushes the persistence-ordering dataflow proves redundant (same
+	// cacheline already flushed, no intervening store or fence).
+	DisableFlushElim bool
 }
 
 // Stats reports what the instrumentation did, for tests and the
@@ -85,6 +95,12 @@ type Stats struct {
 	ClassUnknown      int // values classified unknown
 	ClassVolatile     int // values classified volatile
 	ClassPersistent   int // values classified persistent
+
+	// Loop tier (discovered loops; the annotated-loop hoists are in
+	// Hoisted) and persistence-ordering results.
+	LoopInvariantHoisted int // loop-invariant checks moved to the preheader
+	WidenedIVChecks      int // induction-variable accesses covered by one widened check
+	FlushesElided        int // provably-redundant flushes deleted
 }
 
 // Apply runs the passes over a copy of m and returns the instrumented
@@ -97,6 +113,15 @@ func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
 		for _, f := range out.Funcs {
 			if !f.External {
 				stats.RestoredPtrs += restoreIntPtr(f)
+			}
+		}
+	}
+	// Flush elimination runs first, before any check rewrite disturbs
+	// the value graph the persistence resolver walks.
+	if !opts.DisableFlushElim {
+		for _, f := range out.Funcs {
+			if !f.External {
+				elideRedundantFlushes(f, &stats)
 			}
 		}
 	}
@@ -130,6 +155,9 @@ func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
 		if !opts.DisableHoisting {
 			hoistLoopChecks(f, fc, opts, &stats)
 		}
+		if !opts.DisableLoopOpt {
+			loopHoistChecks(f, fc, opts, &stats)
+		}
 		instrumentFunc(f, fc, opts, &stats)
 	}
 	if err := out.Verify(); err != nil {
@@ -141,10 +169,13 @@ func Apply(m *ir.Module, opts Options) (*ir.Module, Stats, error) {
 	if telemetry.On() {
 		passCheckBounds.Add(uint64(stats.CheckBounds))
 		passUpdateTags.Add(uint64(stats.UpdateTags))
-		passElidedChecks.Add(uint64(stats.RangeElidedChecks + stats.Preempted + stats.Hoisted))
+		passElidedChecks.Add(uint64(stats.RangeElidedChecks + stats.Preempted + stats.Hoisted +
+			stats.LoopInvariantHoisted + stats.WidenedIVChecks))
 		passElidedTags.Add(uint64(stats.RangeElidedTags))
 		passPruned.Add(uint64(stats.PrunedVolatile))
 		passDirect.Add(uint64(stats.DirectHooks))
+		passHoisted.Add(uint64(stats.Hoisted + stats.LoopInvariantHoisted + stats.WidenedIVChecks))
+		passFlushElided.Add(uint64(stats.FlushesElided))
 	}
 	return out, stats, nil
 }
@@ -158,6 +189,8 @@ var (
 	passElidedTags   = telemetry.Default.Counter("spp_pass_elided_tags_total", "tag updates removed by chain rebasing")
 	passPruned       = telemetry.Default.Counter("spp_pass_pruned_volatile_total", "hooks omitted for proven-volatile pointers")
 	passDirect       = telemetry.Default.Counter("spp_pass_direct_hooks_total", "hooks emitted as the _direct variant")
+	passHoisted      = telemetry.Default.Counter("spp_pass_hoisted_checks_total", "checks hoisted out of loops (annotated, invariant and widened-IV)")
+	passFlushElided  = telemetry.Default.Counter("spp_pass_flushes_elided_total", "provably-redundant flushes deleted by the persistence-ordering pass")
 )
 
 // instrumentFunc performs the transformation pass proper.
