@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke
+.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
 ## detector over the concurrency-sensitive packages, the sppc -lint
 ## self-check over the shipped IR fixtures, the per-diagnostic
 ## analysis smoke test, the disabled-telemetry overhead smoke test,
-## and the commit-pipeline differential crash tests plus a tiny run of
-## the commit experiment.
-check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke
+## the commit-pipeline differential crash tests plus a tiny run of
+## the commit experiment, and the compiled-vs-interpreted
+## differential tests plus a tiny run of the compile experiment.
+check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -23,9 +24,9 @@ test:
 
 ## race: the concurrency-sensitive packages under the race detector —
 ## the memory path (device, allocator, lanes), the runtimes above it,
-## and the concurrent kvstore workloads.
+## the concurrent kvstore workloads, and the compiled dispatch.
 race:
-	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry
+	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry ./internal/interp
 
 ## lint-fixtures: the clean fixture must lint clean; the laundered one
 ## must be flagged (non-zero exit) — both outcomes are asserted.
@@ -72,3 +73,11 @@ telemetry-smoke:
 commit-smoke:
 	$(GO) test -run 'TestBatchedCommit' ./internal/pmemobj -count=1
 	$(GO) run ./cmd/sppbench -exp commit -scale 0.002 -threads 1,2
+
+## compile-smoke: the closure-compiled dispatch must agree with the
+## reference interpreter — results, fault verdicts, durable images —
+## and the bitmap allocator must round-trip against the map-based
+## free lists, plus a tiny run of the compile experiment end to end.
+compile-smoke:
+	$(GO) test -run 'TestCompile|TestCompiled|TestBitmap|TestFbits' ./internal/interp ./internal/transform ./internal/pmemobj -count=1
+	$(GO) run ./cmd/sppbench -exp compile -scale 0.005

@@ -41,6 +41,7 @@ var experiments = []experiment{
 	{"scaling", "memory-path concurrency scaling (DESIGN.md §10)", bench.Scaling},
 	{"steal", "cross-arena steal rates under skewed size classes (DESIGN.md §11)", bench.Steal},
 	{"commit", "commit pipeline batching (DESIGN.md §12)", bench.Commit},
+	{"compile", "closure compilation vs reference interpreter (DESIGN.md §14)", bench.Compile},
 }
 
 func main() {
@@ -62,6 +63,8 @@ func run(args []string) error {
 	noDedup := fs.Bool("no-range-dedup", false, "disable undo-range interval dedup in transactions")
 	noCoalesce := fs.Bool("no-flush-coalesce", false, "disable commit-time flush coalescing")
 	noGroupFence := fs.Bool("no-group-fence", false, "disable the cross-lane group-fence combiner")
+	noCompile := fs.Bool("no-compile", false, "disable closure compilation; run every function in the reference interpreter")
+	noBitmapAlloc := fs.Bool("no-bitmap-alloc", false, "disable the free-bitmap size-class pools; use map-based free lists")
 	metrics := fs.Bool("metrics", false, "enable the telemetry metrics registry")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/audit, /debug/flight and /debug/pprof on this address (implies -metrics)")
 	flight := fs.Bool("flight", false, "enable the flight-recorder event ring and dump it after the run")
@@ -97,7 +100,8 @@ func run(args []string) error {
 		NArenas: *arenas, DisableLaneAffinity: *noAffinity,
 		DisableRangeDedup: *noDedup, DisableFlushCoalesce: *noCoalesce,
 		DisableGroupFence: *noGroupFence,
-		Telemetry:         *metrics, FlightRecorder: *flight,
+		NoCompile:         *noCompile, DisableBitmapAlloc: *noBitmapAlloc,
+		Telemetry: *metrics, FlightRecorder: *flight,
 	}
 
 	selected := experiments

@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	noFlushElim := fs.Bool("no-flush-elim", false, "disable static elimination of provably-redundant flushes")
 	noLTO := fs.Bool("no-lto", false, "disable the LTO class refinement")
 	restore := fs.Bool("restore-intptr", false, "re-derive laundered pointers via use-def chains (§IV-G mitigation)")
+	noCompile := fs.Bool("no-compile", false, "disable closure compilation; run every function in the reference interpreter")
 	quiet := fs.Bool("q", false, "do not print the modules")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,8 +125,27 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "--- instrumented module ---")
 		fmt.Fprint(out, instrumented.String())
 	}
+	var mach *interp.Machine
+	if *doStats || *doRun {
+		env, err := variant.New(variant.Kind(*prot),
+			variant.Options{PoolSize: 64 << 20, NoCompile: *noCompile})
+		if err != nil {
+			return err
+		}
+		mach = interp.New(instrumented, env)
+	}
 	if *doStats {
 		printStats(out, stats)
+		fmt.Fprintln(out, "closure compilation:")
+		if *noCompile {
+			fmt.Fprintln(out, "  disabled (-no-compile)")
+		} else {
+			cst := mach.CompileAll()
+			fmt.Fprintf(out, "  funcs compiled        %d\n", cst.Funcs)
+			fmt.Fprintf(out, "  thunks emitted        %d\n", cst.Thunks)
+			fmt.Fprintf(out, "  hooks inlined         %d\n", cst.Hooks)
+			fmt.Fprintf(out, "  interp fallbacks      %d\n", cst.Fallbacks)
+		}
 		fmt.Fprintln(out, "safety linter:")
 		fmt.Fprintf(out, "  diagnostics           %d\n", len(analysis.Lint(mod)))
 	} else {
@@ -135,12 +155,8 @@ func run(args []string, out io.Writer) error {
 	if !*doRun {
 		return nil
 	}
-	env, err := variant.New(variant.Kind(*prot), variant.Options{PoolSize: 64 << 20})
-	if err != nil {
-		return err
-	}
 	auditMark := telemetry.Audit.Total()
-	ret, err := interp.New(instrumented, env).Run("main")
+	ret, err := mach.Run("main")
 	switch {
 	case hooks.IsSafetyTrap(err):
 		fmt.Fprintf(out, "--- execution under %s ---\nMEMORY-SAFETY VIOLATION DETECTED: %v\n", *prot, err)

@@ -22,6 +22,21 @@ func TestRunDemo(t *testing.T) {
 		"-no-hoist", "-no-elide", "-no-lto", "-restore-intptr"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-demo", "-q", "-run", "-no-compile"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsNoCompile: with -no-compile the stats table must say so
+// instead of reporting zero compiled functions.
+func TestStatsNoCompile(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-demo", "-q", "-stats", "-no-compile"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled (-no-compile)") {
+		t.Errorf("-stats -no-compile output lacks the disabled marker:\n%s", buf.String())
+	}
 }
 
 func TestRunFromFile(t *testing.T) {

@@ -1,5 +1,7 @@
 package analysis
 
+import "repro/internal/ir"
+
 // DomTree is the dominator tree of a CFG, computed with the
 // Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
 type DomTree struct {
@@ -64,6 +66,63 @@ func (d *DomTree) intersect(a, b int) int {
 		}
 	}
 	return a
+}
+
+// UsesDominated reports whether every value use in f is dominated by a
+// definition of that name (or the name is a parameter). When it holds,
+// no execution path can read a value before some definition of it has
+// executed — so running f over zero-initialized register slots is
+// observably identical to the interpreter's per-name map, which faults
+// on undefined reads. The compiler (internal/interp) requires it;
+// functions that fail it fall back to interpretation, preserving the
+// fault-on-undefined semantics exactly. Uses inside blocks unreachable
+// from the entry are ignored: neither execution mode can reach them.
+func UsesDominated(f *ir.Func) bool {
+	if f.External || len(f.Blocks) == 0 {
+		return false
+	}
+	c := BuildCFG(f)
+	d := Dominators(c)
+	param := make(map[string]bool, len(f.Params))
+	for _, p := range f.Params {
+		param[p] = true
+	}
+	type defSite struct{ blk, idx int }
+	defs := map[string][]defSite{}
+	for bi, blk := range f.Blocks {
+		for ii, in := range blk.Instrs {
+			if in.Dst != "" {
+				defs[in.Dst] = append(defs[in.Dst], defSite{bi, ii})
+			}
+		}
+	}
+	for bi, blk := range f.Blocks {
+		if d.rpoNum[bi] < 0 {
+			continue // unreachable
+		}
+		for ii, in := range blk.Instrs {
+			for _, a := range in.Args {
+				if param[a] {
+					continue
+				}
+				ok := false
+				for _, ds := range defs[a] {
+					if ds.blk == bi && ds.idx < ii {
+						ok = true
+						break
+					}
+					if ds.blk != bi && d.rpoNum[ds.blk] >= 0 && d.Dominates(ds.blk, bi) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // Dominates reports whether block a dominates block b (reflexively).

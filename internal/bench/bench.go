@@ -38,6 +38,12 @@ type Config struct {
 	DisableRangeDedup    bool
 	DisableFlushCoalesce bool
 	DisableGroupFence    bool
+	// NoCompile disables closure compilation of IR functions, forcing
+	// the reference interpreter in every environment the harness builds.
+	NoCompile bool
+	// DisableBitmapAlloc disables the hierarchical free-bitmap size-class
+	// pools, falling back to the map-based free lists.
+	DisableBitmapAlloc bool
 	// Telemetry enables the metrics registry in every environment the
 	// harness builds.
 	Telemetry bool
@@ -140,6 +146,8 @@ func newEnv(kind variant.Kind, cfg Config, tagBits uint) (*variant.Env, error) {
 		DisableRangeDedup:    cfg.DisableRangeDedup,
 		DisableFlushCoalesce: cfg.DisableFlushCoalesce,
 		DisableGroupFence:    cfg.DisableGroupFence,
+		NoCompile:            cfg.NoCompile,
+		DisableBitmapAlloc:   cfg.DisableBitmapAlloc,
 		Telemetry:            cfg.Telemetry,
 		FlightRecorder:       cfg.FlightRecorder,
 	})

@@ -289,3 +289,25 @@ func TestElideRuns(t *testing.T) {
 	}
 	t.Log("\n" + tab.Format())
 }
+
+func TestCompileRuns(t *testing.T) {
+	tab, err := Compile(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per corpus program plus the total.
+	if len(tab.Rows) != len(elidePrograms)+1 {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(elidePrograms)+1)
+	}
+	total := tab.Rows[len(tab.Rows)-1]
+	if total[0] != "total" {
+		t.Fatalf("last row is %q, want the total", total[0])
+	}
+	// Result equality between modes is enforced inside Compile; here
+	// check the loop-heavy programs come out ahead even at tiny scale
+	// (the one-off compile cost is amortized within a single run).
+	if s := parseSlowdown(t, total[3]); s <= 1.0 {
+		t.Errorf("compiled total not faster than interpreted: %s", total[3])
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -34,6 +34,14 @@ type Machine struct {
 
 	steps    int
 	MaxSteps int
+
+	// NoCompile pins execution to the reference interpreter. It is
+	// initialized from the environment's option and may be flipped
+	// before the first Run; compiled functions are cached, so flipping
+	// it afterwards only affects functions not yet executed.
+	NoCompile bool
+	compiled  map[string]*compiledFunc
+	cstats    CompileStats
 }
 
 // New returns a machine for the module over the environment, with the
@@ -46,8 +54,9 @@ func New(mod *ir.Module, env *variant.Env) *Machine {
 		// Both SPP layouts carry tags in the pointer (pmemobj.Config.SPP
 		// is set for either); the packed-oid variant must not degrade
 		// the tag hooks to identity.
-		isSPP:    env.Kind == variant.SPP || env.Kind == variant.SPPPacked,
-		MaxSteps: 10_000_000,
+		isSPP:     env.Kind == variant.SPP || env.Kind == variant.SPPPacked,
+		MaxSteps:  10_000_000,
+		NoCompile: env.NoCompile(),
 	}
 	m.externals = map[string]ExternalFn{
 		// ext_store8(p, v): an uninstrumented library writing through a
@@ -100,6 +109,9 @@ func (m *Machine) Run(fn string, args ...uint64) (uint64, error) {
 	}
 	if len(args) != len(f.Params) {
 		return 0, fmt.Errorf("interp: %s wants %d args, got %d", fn, len(f.Params), len(args))
+	}
+	if cf := m.compiledFor(f); cf != nil {
+		return m.runCompiled(cf, args)
 	}
 	vals := make(map[string]uint64, 16)
 	for i, p := range f.Params {

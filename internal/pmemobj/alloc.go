@@ -60,6 +60,12 @@ type arena struct {
 	lo, hi  uint64
 	free    map[uint64][]uint64 // block size -> block offsets
 	freeSet map[uint64]freeRef  // block offset -> list position
+	// bm, when non-nil, is the bitmap fast path (fbits.go): blocks up
+	// to smallClassMax live in per-class stacks indexed by hierarchical
+	// bitmaps instead of the maps above, which then hold only the rare
+	// large blocks.
+	bm    *classPools
+	nFree int // live free-listed blocks (both structures)
 	// reserved maps the start offset of every in-flux block owned by
 	// this arena to its current span. See the package comment above.
 	reserved map[uint64]uint64
@@ -68,18 +74,32 @@ type arena struct {
 func (a *arena) contains(off uint64) bool { return off >= a.lo && off < a.hi }
 
 func (a *arena) addFree(off, size uint64) {
+	a.nFree++
+	if a.bm != nil && size <= smallClassMax {
+		a.bm.push(a.lo, off, size)
+		return
+	}
 	bucket := a.free[size]
 	a.freeSet[off] = freeRef{size: size, idx: len(bucket)}
 	a.free[size] = append(bucket, off)
 }
 
-// removeFree unlinks a free block in O(1): the freeSet index names its
-// bucket slot, and the bucket's last element is swapped into the hole.
+// removeFree unlinks a free block in O(1). In the bitmap fast path a
+// small block's slot bit is cleared and its stack entry left to lazy
+// discard; otherwise the freeSet index names its bucket slot and the
+// bucket's last element is swapped into the hole.
 func (a *arena) removeFree(off, size uint64) {
+	if a.bm != nil && size <= smallClassMax {
+		if a.bm.take(a.lo, off) {
+			a.nFree--
+		}
+		return
+	}
 	ref, ok := a.freeSet[off]
 	if !ok {
 		return
 	}
+	a.nFree--
 	delete(a.freeSet, off)
 	bucket := a.free[ref.size]
 	last := len(bucket) - 1
@@ -95,10 +115,32 @@ func (a *arena) removeFree(off, size uint64) {
 	}
 }
 
+// freeSizeAt reports whether a live free-listed block starts at off,
+// and its size. Caller holds a.mu.
+func (a *arena) freeSizeAt(p *Pool, off uint64) (uint64, bool) {
+	if a.bm != nil && a.bm.testSlot(a.lo, off) {
+		// The slot bit guarantees the persistent header is the free
+		// size (see fbits.go).
+		return p.dev.ReadU64(off), true
+	}
+	if ref, ok := a.freeSet[off]; ok {
+		return ref.size, true
+	}
+	return 0, false
+}
+
 // pick returns the best free block for a request of need bytes: exact
 // fit if available, else the smallest larger block. Caller holds a.mu.
-func (a *arena) pick(need uint64) (size, off uint64, ok bool) {
-	if bucket := a.free[need]; len(bucket) > 0 {
+func (a *arena) pick(p *Pool, need uint64) (size, off uint64, ok bool) {
+	if a.bm != nil {
+		if need <= smallClassMax {
+			if off, size, ok := a.bm.pickSmall(p, a.lo, need); ok {
+				return size, off, true
+			}
+		}
+		// Small classes dry (or the request is large): fall through to
+		// the map-based large lists.
+	} else if bucket := a.free[need]; len(bucket) > 0 {
 		return need, bucket[len(bucket)-1], true
 	}
 	best := ^uint64(0)
@@ -120,6 +162,10 @@ func (a *arena) pick(need uint64) (size, off uint64, ok bool) {
 func (a *arena) reset() {
 	a.free = map[uint64][]uint64{}
 	a.freeSet = map[uint64]freeRef{}
+	a.nFree = 0
+	if a.bm != nil {
+		a.bm.reset()
+	}
 }
 
 // arenaHint is a worker's remembered arena, recycled through a
@@ -146,7 +192,7 @@ type heap struct {
 	arenaMet []*telemetry.Counter
 }
 
-func (h *heap) init(lo, hi uint64, nArenas int) {
+func (h *heap) init(lo, hi uint64, nArenas int, bitmap bool) {
 	h.lo, h.hi = lo, hi
 	total := hi - lo
 	n := nArenas
@@ -171,6 +217,9 @@ func (h *heap) init(lo, hi uint64, nArenas int) {
 		a.hi = a.lo + span
 		if i == n-1 {
 			a.hi = hi
+		}
+		if bitmap {
+			a.bm = newClassPools(a.hi - a.lo)
 		}
 		a.reset()
 		a.reserved = map[uint64]uint64{}
@@ -294,7 +343,7 @@ func (h *heap) tryReserve(p *Pool, need uint64) (reservation, bool) {
 // offset (always this one or a higher-indexed one, keeping lock
 // acquisition ascending).
 func (h *heap) reserveIn(p *Pool, a *arena, need uint64) (reservation, bool) {
-	size, off, ok := a.pick(need)
+	size, off, ok := a.pick(p, need)
 	if !ok {
 		return reservation{}, false
 	}
@@ -360,15 +409,15 @@ func (h *heap) releaseBlock(p *Pool, r reservation) {
 // lists, merged into the span) and the whole span turns in-flux so
 // concurrent walks treat it as live until the redo publication
 // settles. Returns the merged span.
-func (h *heap) planFree(blk, size uint64) (merged uint64) {
+func (h *heap) planFree(p *Pool, blk, size uint64) (merged uint64) {
 	a := h.arenaOf(blk)
 	a.mu.Lock()
 	merged = size
 	next := blk + size
 	if next < h.hi && h.arenaOf(next) == a {
-		if ref, ok := a.freeSet[next]; ok {
-			a.removeFree(next, ref.size)
-			merged += ref.size
+		if nsz, ok := a.freeSizeAt(p, next); ok {
+			a.removeFree(next, nsz)
+			merged += nsz
 		}
 	}
 	a.reserved[blk] = merged
@@ -719,7 +768,7 @@ func (p *Pool) freeCommon(oid Oid, destOff *uint64) error {
 	defer p.lanes.release(lane)
 
 	size := p.dev.ReadU64(blk)
-	merged := p.heap.planFree(blk, size)
+	merged := p.heap.planFree(p, blk, size)
 	entries := []redoEntry{{blk, merged}, {blk + 8, blockFree}}
 	if destOff != nil {
 		entries = append(entries, p.destOidEntries(*destOff, OidNull)...)

@@ -100,7 +100,7 @@ func (p *Pool) registerTelemetry() {
 		for i := range p.heap.arenas {
 			a := &p.heap.arenas[i]
 			a.mu.Lock()
-			n += int64(len(a.freeSet))
+			n += int64(a.nFree)
 			a.mu.Unlock()
 		}
 		return n

@@ -54,6 +54,11 @@ type Config struct {
 	// DisableGroupFence gives every committer a private fence instead
 	// of sharing one through the device's epoch combiner. Volatile.
 	DisableGroupFence bool
+	// DisableBitmapAlloc turns off the hierarchical free-bitmap
+	// size-class pools (fbits.go) and serves every block from the
+	// map-based free lists. Volatile: both modes rebuild from the same
+	// persistent block headers.
+	DisableBitmapAlloc bool
 	// Telemetry turns on the global metrics registry and binds this
 	// pool's heap-state gauges to it. Volatile; the flag is process-wide
 	// once set (see internal/telemetry).
@@ -276,7 +281,7 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool
 	if err := p.recover(); err != nil {
 		return nil, err
 	}
-	p.heap.init(p.heapOff, p.heapEnd, p.nArenas)
+	p.heap.init(p.heapOff, p.heapEnd, p.nArenas, !cfg.DisableBitmapAlloc)
 	if err := p.heap.rebuild(p); err != nil {
 		return nil, err
 	}

@@ -35,12 +35,21 @@ type stormObj struct {
 // walk tiles exactly the union of live sets and Stats agrees), and a
 // reopen rebuilds the same picture.
 func TestConcurrentStormInvariants(t *testing.T) {
+	for _, m := range []struct {
+		name    string
+		noFbits bool
+	}{{"bitmap", false}, {"maps", true}} {
+		t.Run(m.name, func(t *testing.T) { stormInvariants(t, m.noFbits) })
+	}
+}
+
+func stormInvariants(t *testing.T, noFbits bool) {
 	const (
 		workers = 8
 		steps   = 300
 		window  = 16
 	)
-	p, dev := newTestPool(t, Config{NLanes: workers})
+	p, dev := newTestPool(t, Config{NLanes: workers, DisableBitmapAlloc: noFbits})
 
 	live := make([]map[uint64]stormObj, workers) // payload off -> obj
 	var wg sync.WaitGroup
@@ -172,7 +181,10 @@ func TestConcurrentStormInvariants(t *testing.T) {
 		return walked
 	}
 	before := verify(p, "post-storm")
-	q := reopen(t, dev)
+	q, err := OpenConfig(dev, nil, testBase, Config{DisableBitmapAlloc: noFbits})
+	if err != nil {
+		t.Fatalf("OpenConfig: %v", err)
+	}
 	after := verify(q, "post-reopen")
 	if len(before) != len(after) {
 		t.Errorf("reopen changed object count: %d -> %d", len(before), len(after))
@@ -187,11 +199,20 @@ func TestConcurrentStormInvariants(t *testing.T) {
 // must roll every parked transaction back and the pool must contain
 // exactly the committed oracle.
 func TestConcurrentStormCrashRecovery(t *testing.T) {
+	for _, m := range []struct {
+		name    string
+		noFbits bool
+	}{{"bitmap", false}, {"maps", true}} {
+		t.Run(m.name, func(t *testing.T) { stormCrashRecovery(t, m.noFbits) })
+	}
+}
+
+func stormCrashRecovery(t *testing.T, noFbits bool) {
 	const (
 		workers = 8
 		commits = 20
 	)
-	p, dev := newTestPool(t, Config{NLanes: workers})
+	p, dev := newTestPool(t, Config{NLanes: workers, DisableBitmapAlloc: noFbits})
 	root, err := p.Root(uint64(workers) * 32)
 	if err != nil {
 		t.Fatalf("Root: %v", err)

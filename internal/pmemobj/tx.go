@@ -354,7 +354,7 @@ func (tx *Tx) Commit() error {
 	}
 	for _, blk := range tx.frees {
 		size := p.dev.ReadU64(blk)
-		merged := p.heap.planFree(blk, size)
+		merged := p.heap.planFree(p, blk, size)
 		entries = append(entries, redoEntry{blk, merged}, redoEntry{blk + 8, blockFree})
 		freePlans = append(freePlans, mergedFree{blk, size, merged})
 	}

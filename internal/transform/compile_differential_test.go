@@ -1,0 +1,148 @@
+package transform
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hooks"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/pmemcheck"
+	"repro/internal/variant"
+)
+
+// The compiled execution path (internal/interp/compile.go) and the
+// reference interpreter must be observably identical: same results on
+// in-bounds programs, same fault verdicts on out-of-bounds ones, and
+// byte-identical durable images — at every optimization rung, under
+// every protection variant. The interpreter is the oracle; these tests
+// are the differential harness the refactor is accepted against.
+
+func newEnvCompiled(t *testing.T, kind variant.Kind, noCompile bool) *variant.Env {
+	t.Helper()
+	env, err := variant.New(kind, variant.Options{PoolSize: 8 << 20, NoCompile: noCompile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// runVerdict executes instrumented @main in one mode and folds the
+// outcome into a verdict.
+func runVerdict(t *testing.T, mod *ir.Module, kind variant.Kind, noCompile bool) verdict {
+	t.Helper()
+	env := newEnvCompiled(t, kind, noCompile)
+	mach := interp.New(mod, env)
+	mach.MaxSteps = 1 << 24
+	got, runErr := mach.Run("main")
+	v := verdict{errored: runErr != nil, trapped: hooks.IsSafetyTrap(runErr)}
+	if runErr == nil {
+		v.value = got
+	}
+	if !noCompile && !v.errored {
+		// A clean compiled run of these corpora must actually have
+		// compiled something — guard against silently falling back.
+		if st := mach.CompileStats(); st.Funcs == 0 {
+			t.Fatalf("compiled run executed %d funcs through the compiler", st.Funcs)
+		}
+	}
+	return v
+}
+
+// TestCompiledDifferentialVerdicts sweeps the random straight-line and
+// loop corpora — in-bounds and fault-injected — across all opt rungs
+// and protection variants, requiring the compiled path to reproduce the
+// interpreter's verdict exactly.
+func TestCompiledDifferentialVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240808))
+	faults := []string{faultNone, faultOverflow, faultStraddle, faultUnderflow}
+	var srcs []string
+	for trial := 0; trial < 12; trial++ {
+		srcs = append(srcs, genProgram(rng, faults[trial%len(faults)]))
+	}
+	loopFaults := []string{faultNone, faultLoopOverflow, faultLoopInvar}
+	for trial := 0; trial < 6; trial++ {
+		srcs = append(srcs, genLoopProgram(rng, loopFaults[trial%len(loopFaults)]))
+	}
+	for si, src := range srcs {
+		mod, err := ir.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d invalid: %v\n%s", si, err, src)
+		}
+		for _, lv := range optLevels {
+			instrumented, _, err := Apply(mod, lv.opts)
+			if err != nil {
+				t.Fatalf("program %d %s: %v", si, lv.name, err)
+			}
+			for _, kind := range diffVariants {
+				interpV := runVerdict(t, instrumented, kind, true)
+				compV := runVerdict(t, instrumented, kind, false)
+				if interpV != compV {
+					t.Fatalf("program %d %s %s: compiled %+v, interpreted %+v\n%s",
+						si, lv.name, kind, compV, interpV, src)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledDurableImageEquivalence: on the flush/fence corpus the
+// compiled path must leave exactly the interpreter's durable images —
+// after every fence and at the end — with the same fence count and no
+// new pmemcheck violations. Images are XOR-normalized against each
+// run's own base because the pool header carries a random identity.
+func TestCompiledDurableImageEquivalence(t *testing.T) {
+	for _, tc := range flushElimPrograms {
+		mod, err := ir.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		instrumented, _, err := Apply(mod, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		type trace struct {
+			events  []pmemcheck.Event
+			base    []byte
+			durable []byte
+		}
+		runOne := func(noCompile bool) trace {
+			t.Helper()
+			env := newEnvCompiled(t, variant.SPP, noCompile)
+			tracker := pmemcheck.NewTracker()
+			env.Dev.EnableTracking(tracker)
+			base := append([]byte(nil), env.Dev.Data()...)
+			if _, err := interp.New(instrumented, env).Run("main"); err != nil {
+				t.Fatalf("%s (noCompile=%v): run failed: %v", tc.name, noCompile, err)
+			}
+			durable, err := env.Dev.DurableImage()
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			return trace{events: tracker.Events(), base: base, durable: durable}
+		}
+		ref := runOne(true)
+		comp := runOne(false)
+
+		if !bytes.Equal(xorDiff(ref.durable, ref.base), xorDiff(comp.durable, comp.base)) {
+			t.Errorf("%s: compiled execution changed the final durable image", tc.name)
+		}
+		imgsRef := pmemcheck.FenceImages(ref.base, ref.events)
+		imgsComp := pmemcheck.FenceImages(comp.base, comp.events)
+		if len(imgsRef) != len(imgsComp) {
+			t.Fatalf("%s: fence count changed: %d vs %d", tc.name, len(imgsRef)-1, len(imgsComp)-1)
+		}
+		for i := range imgsRef {
+			if !bytes.Equal(xorDiff(imgsRef[i], ref.base), xorDiff(imgsComp[i], comp.base)) {
+				t.Errorf("%s: durable image after fence %d differs", tc.name, i)
+			}
+		}
+		repRef := pmemcheck.Analyze(ref.events)
+		repComp := pmemcheck.Analyze(comp.events)
+		if len(repComp.Violations) != len(repRef.Violations) {
+			t.Errorf("%s: compiled execution changed pmemcheck violations: %v vs %v",
+				tc.name, repComp.Violations, repRef.Violations)
+		}
+	}
+}

@@ -67,6 +67,13 @@ type Options struct {
 	// FlightRecorder enables the global flight-recorder event ring
 	// (volatile knob).
 	FlightRecorder bool
+	// DisableBitmapAlloc turns off the allocator's free-bitmap
+	// size-class pools (volatile knob; see pmemobj.Config).
+	DisableBitmapAlloc bool
+	// NoCompile makes the interpreter execute IR by walking
+	// instructions instead of through closure-compiled functions
+	// (volatile knob; the interpreter is the reference semantics).
+	NoCompile bool
 }
 
 // poolConfig translates the volatile knobs into a pmemobj.Config.
@@ -79,6 +86,7 @@ func (o Options) poolConfig() pmemobj.Config {
 		DisableGroupFence:    o.DisableGroupFence,
 		Telemetry:            o.Telemetry,
 		FlightRecorder:       o.FlightRecorder,
+		DisableBitmapAlloc:   o.DisableBitmapAlloc,
 	}
 }
 
@@ -192,6 +200,10 @@ func AdoptConfig(kind Kind, dev *pmem.Pool, opts Options) (*Env, error) {
 // re-opened from the same device, running recovery and rebuilding the
 // runtime's metadata. The environment's volatile concurrency knobs
 // (arena count, lane affinity) carry over.
+// NoCompile reports whether machines over this environment should run
+// the reference interpreter instead of closure-compiled functions.
+func (e *Env) NoCompile() bool { return e.opts.NoCompile }
+
 func (e *Env) Reopen() error {
 	if err := e.Pool.Close(); err != nil {
 		return err
