@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke
+.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke serve-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
 ## detector over the concurrency-sensitive packages, the sppc -lint
 ## self-check over the shipped IR fixtures, the per-diagnostic
 ## analysis smoke test, the disabled-telemetry overhead smoke test,
 ## the commit-pipeline differential crash tests plus a tiny run of
-## the commit experiment, and the compiled-vs-interpreted
-## differential tests plus a tiny run of the compile experiment.
-check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke
+## the commit experiment, the compiled-vs-interpreted differential
+## tests plus a tiny run of the compile experiment, and the KV
+## service suite plus a tiny run of the serve experiment.
+check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,7 +27,7 @@ test:
 ## the memory path (device, allocator, lanes), the runtimes above it,
 ## the concurrent kvstore workloads, and the compiled dispatch.
 race:
-	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry ./internal/interp
+	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry ./internal/interp ./internal/server ./internal/wire ./client
 
 ## lint-fixtures: the clean fixture must lint clean; the laundered one
 ## must be flagged (non-zero exit) — both outcomes are asserted.
@@ -81,3 +82,11 @@ commit-smoke:
 compile-smoke:
 	$(GO) test -run 'TestCompile|TestCompiled|TestBitmap|TestFbits' ./internal/interp ./internal/transform ./internal/pmemobj -count=1
 	$(GO) run ./cmd/sppbench -exp compile -scale 0.005
+
+## serve-smoke: the KV service suite — multi-tenant clients over a
+## real socket, malformed-frame rejection, admission-control shedding
+## with bounded latency, kill-and-restart crash recovery — plus a
+## tiny closed-loop run of the serve experiment end to end.
+serve-smoke:
+	$(GO) test ./internal/server ./internal/wire ./client -count=1
+	$(GO) run ./cmd/sppbench -exp serve -scale 0.002

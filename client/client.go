@@ -1,0 +1,134 @@
+// Package client is the Go client library for the sppserver KV
+// service. A Client is bound to one tenant on one connection and is
+// safe for concurrent use: requests are serialized onto the wire in
+// order (the protocol is strictly request/response per connection).
+// Open several clients for pipelined load.
+//
+// Shedding is a first-class outcome: when the server's admission
+// control rejects a request, calls fail with ErrOverloaded — the
+// operation was never executed and can be retried. Server-side
+// failures (including memory-safety traps) surface as *ServerError.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrOverloaded reports that the server shed the request before
+// executing it; retrying after backoff is safe.
+var ErrOverloaded = wire.ErrOverloaded
+
+// ServerError is an error reported by the server while executing an
+// operation (as opposed to transport or shedding errors).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// Client is one tenant's handle to a KV service.
+type Client struct {
+	tenant string
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a sppserver at addr and binds the client to tenant.
+func Dial(addr, tenant string) (*Client, error) {
+	if tenant == "" || len(tenant) > wire.MaxTenantLen {
+		return nil, fmt.Errorf("client: invalid tenant %q", tenant)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		tenant: tenant,
+		conn:   conn,
+		br:     bufio.NewReader(conn),
+		bw:     bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// do performs one round trip. The connection lock spans write and read
+// so concurrent callers cannot interleave frames.
+func (c *Client) do(req wire.Request) (wire.Response, error) {
+	req.Tenant = c.tenant
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return wire.Response{}, errors.New("client: closed")
+	}
+	if err := wire.WriteRequest(c.bw, req); err != nil {
+		return wire.Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := wire.ReadResponse(c.br)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	switch resp.Status {
+	case wire.StatusOverloaded:
+		return resp, ErrOverloaded
+	case wire.StatusError:
+		return resp, &ServerError{Msg: string(resp.Payload)}
+	}
+	return resp, nil
+}
+
+// Get fetches key. ok is false when the key is absent.
+func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
+	resp, err := c.do(wire.Request{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == wire.StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Payload, true, nil
+}
+
+// Put stores value under key, overwriting any prior value.
+func (c *Client) Put(key, value []byte) error {
+	_, err := c.do(wire.Request{Op: wire.OpPut, Key: key, Value: value})
+	return err
+}
+
+// Delete removes key; removed is false when it was absent.
+func (c *Client) Delete(key []byte) (removed bool, err error) {
+	resp, err := c.do(wire.Request{Op: wire.OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status != wire.StatusNotFound, nil
+}
+
+// Count returns the number of live keys in the tenant's store.
+func (c *Client) Count() (uint64, error) {
+	resp, err := c.do(wire.Request{Op: wire.OpCount})
+	if err != nil {
+		return 0, err
+	}
+	return wire.ParseCount(resp.Payload)
+}

@@ -1,0 +1,34 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDialRejectsBadTenant(t *testing.T) {
+	if _, err := Dial("127.0.0.1:0", ""); err == nil {
+		t.Error("empty tenant accepted")
+	}
+	if _, err := Dial("127.0.0.1:0", strings.Repeat("a", 300)); err == nil {
+		t.Error("oversized tenant accepted")
+	}
+}
+
+func TestServerErrorMatching(t *testing.T) {
+	err := error(&ServerError{Msg: "boom"})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Msg != "boom" {
+		t.Errorf("errors.As failed on %v", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestClosedClientFails(t *testing.T) {
+	c := &Client{tenant: "t"}
+	if err := c.Put([]byte("k"), []byte("v")); err == nil {
+		t.Error("Put on closed client succeeded")
+	}
+}

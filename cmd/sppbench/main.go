@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/telemetry"
 )
 
@@ -42,6 +43,7 @@ var experiments = []experiment{
 	{"steal", "cross-arena steal rates under skewed size classes (DESIGN.md §11)", bench.Steal},
 	{"commit", "commit pipeline batching (DESIGN.md §12)", bench.Commit},
 	{"compile", "closure compilation vs reference interpreter (DESIGN.md §14)", bench.Compile},
+	{"serve", "KV service under closed-loop load (DESIGN.md §15)", bench.ServeBench},
 }
 
 func main() {
@@ -58,26 +60,18 @@ func run(args []string) error {
 	pool := fs.Uint64("pool", 256<<20, "pool size in bytes per environment")
 	threads := fs.String("threads", "1,2,4,8", "comma-separated thread axis for fig5/scaling")
 	seed := fs.Int64("seed", 42, "workload seed")
-	arenas := fs.Int("arenas", 0, "allocator arena count (0 = pool default)")
-	noAffinity := fs.Bool("no-affinity", false, "disable the worker-affine lane cache")
-	noDedup := fs.Bool("no-range-dedup", false, "disable undo-range interval dedup in transactions")
-	noCoalesce := fs.Bool("no-flush-coalesce", false, "disable commit-time flush coalescing")
-	noGroupFence := fs.Bool("no-group-fence", false, "disable the cross-lane group-fence combiner")
-	noCompile := fs.Bool("no-compile", false, "disable closure compilation; run every function in the reference interpreter")
-	noBitmapAlloc := fs.Bool("no-bitmap-alloc", false, "disable the free-bitmap size-class pools; use map-based free lists")
-	metrics := fs.Bool("metrics", false, "enable the telemetry metrics registry")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/audit, /debug/flight and /debug/pprof on this address (implies -metrics)")
-	flight := fs.Bool("flight", false, "enable the flight-recorder event ring and dump it after the run")
+	knobs := engine.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *metricsAddr != "" {
-		*metrics = true
+		knobs.Telemetry = true
 	}
-	if *metrics {
+	if knobs.Telemetry {
 		telemetry.Enable()
 	}
-	if *flight {
+	if knobs.FlightRecorder {
 		telemetry.Flight.Enable()
 	}
 	if *metricsAddr != "" {
@@ -97,11 +91,7 @@ func run(args []string) error {
 	}
 	cfg := bench.Config{
 		Scale: *scale, PoolSize: *pool, Threads: ts, Seed: *seed,
-		NArenas: *arenas, DisableLaneAffinity: *noAffinity,
-		DisableRangeDedup: *noDedup, DisableFlushCoalesce: *noCoalesce,
-		DisableGroupFence: *noGroupFence,
-		NoCompile:         *noCompile, DisableBitmapAlloc: *noBitmapAlloc,
-		Telemetry: *metrics, FlightRecorder: *flight,
+		Knobs: *knobs,
 	}
 
 	selected := experiments
@@ -126,7 +116,7 @@ func run(args []string) error {
 		fmt.Println(table.Format())
 		fmt.Printf("(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
 	}
-	if *flight {
+	if knobs.FlightRecorder {
 		fmt.Println("== flight recorder (most recent events) ==")
 		if _, err := telemetry.Flight.WriteTo(os.Stdout); err != nil {
 			return err

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -67,8 +68,8 @@ func run(args []string, out io.Writer) error {
 	noFlushElim := fs.Bool("no-flush-elim", false, "disable static elimination of provably-redundant flushes")
 	noLTO := fs.Bool("no-lto", false, "disable the LTO class refinement")
 	restore := fs.Bool("restore-intptr", false, "re-derive laundered pointers via use-def chains (§IV-G mitigation)")
-	noCompile := fs.Bool("no-compile", false, "disable closure compilation; run every function in the reference interpreter")
 	quiet := fs.Bool("q", false, "do not print the modules")
+	knobs := engine.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,7 +129,7 @@ func run(args []string, out io.Writer) error {
 	var mach *interp.Machine
 	if *doStats || *doRun {
 		env, err := variant.New(variant.Kind(*prot),
-			variant.Options{PoolSize: 64 << 20, NoCompile: *noCompile})
+			variant.Options{PoolSize: 64 << 20, Knobs: *knobs})
 		if err != nil {
 			return err
 		}
@@ -137,7 +138,7 @@ func run(args []string, out io.Writer) error {
 	if *doStats {
 		printStats(out, stats)
 		fmt.Fprintln(out, "closure compilation:")
-		if *noCompile {
+		if knobs.NoCompile {
 			fmt.Fprintln(out, "  disabled (-no-compile)")
 		} else {
 			cst := mach.CompileAll()

@@ -1,0 +1,84 @@
+// Command sppserver runs the multi-tenant KV service: per-tenant
+// protected pools behind the internal/wire protocol, with admission
+// control shedding load past the configured in-flight window.
+//
+//	sppserver -addr :7421 -protection spp -data /var/lib/spp
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+// drain, then every tenant pool is saved (when -data is set) and
+// closed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sppserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("sppserver", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7421", "listen address")
+	protection := fs.String("protection", "spp", "protection variant: none, spp, safepm, memcheck")
+	pool := fs.Uint64("pool", server.DefaultPoolSize, "per-tenant pool size in bytes")
+	tagBits := fs.Uint("tag-bits", 0, "SPP tag bits (0 = paper default)")
+	shards := fs.Uint64("shards", 0, "kvstore shards per tenant (0 = default)")
+	dataDir := fs.String("data", "", "directory for tenant pool images (empty = volatile)")
+	inFlight := fs.Int("max-inflight", server.DefaultMaxInFlight, "admission window: concurrently executing requests")
+	queue := fs.Int("max-queue", 0, "admission queue depth before shedding (0 = 2*max-inflight)")
+	tenants := fs.Int("max-tenants", server.DefaultMaxTenants, "maximum distinct tenants")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug handlers on this address (implies -metrics)")
+	knobs := engine.RegisterFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		knobs.Telemetry = true
+	}
+
+	srv, err := server.New(server.Config{
+		Protection:  *protection,
+		PoolSize:    *pool,
+		TagBits:     *tagBits,
+		Shards:      *shards,
+		DataDir:     *dataDir,
+		MaxInFlight: *inFlight,
+		MaxQueue:    *queue,
+		MaxTenants:  *tenants,
+		Knobs:       *knobs,
+	})
+	if err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		maddr, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics\n", maddr)
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sppserver: %s pools, serving %s\n", *protection, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sppserver: shutting down")
+	return srv.Close()
+}

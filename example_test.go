@@ -64,6 +64,26 @@ func ExampleAllocSlice() {
 	// arr[8] detected: true
 }
 
+// ExamplePool_OpenStore shows the public key-value store surface: the
+// pmemkv-style engine over a protected pool, surviving a restart.
+func ExamplePool_OpenStore() {
+	pool, _ := spp.Open(spp.Options{PoolSize: 64 << 20})
+	store, _ := pool.OpenStore(spp.WithShards(8))
+	_ = store.Put([]byte("user:1"), []byte("ada"))
+	_ = store.Put([]byte("user:2"), []byte("grace"))
+	v, ok, _ := store.Get([]byte("user:1"))
+	fmt.Println("user:1 =", string(v), ok)
+
+	_ = pool.Reopen()
+	store, _ = pool.OpenStore()
+	n, _ := store.Count()
+	v, _, _ = store.Get([]byte("user:2"))
+	fmt.Println("after restart:", n, "keys, user:2 =", string(v))
+	// Output:
+	// user:1 = ada true
+	// after restart: 2 keys, user:2 = grace
+}
+
 // ExamplePool_Reopen shows that persisted oids reconstruct identical
 // tagged pointers across a restart (design goal #4).
 func ExamplePool_Reopen() {

@@ -1,6 +1,7 @@
 // Persistent key-value store example: the pmemkv-style engine on top
 // of the protected pool — puts, gets, deletes, concurrent access, and
-// recovery after a simulated restart, all under SPP protection.
+// recovery after a simulated restart, all under SPP protection and all
+// through the public spp API (no internal packages).
 //
 // Run with: go run ./examples/kvstore
 package main
@@ -10,8 +11,7 @@ import (
 	"log"
 	"sync"
 
-	"repro/internal/kvstore"
-	"repro/internal/variant"
+	spp "repro"
 )
 
 func main() {
@@ -21,11 +21,11 @@ func main() {
 }
 
 func run() error {
-	env, err := variant.New(variant.SPP, variant.Options{PoolSize: 128 << 20})
+	pool, err := spp.Open(spp.Options{PoolSize: 128 << 20})
 	if err != nil {
 		return err
 	}
-	store, err := kvstore.Open(env.RT)
+	store, err := pool.OpenStore()
 	if err != nil {
 		return err
 	}
@@ -75,16 +75,16 @@ func run() error {
 	}
 	fmt.Println("deleted user:2:0042")
 
-	stats := env.Pool.Stats()
+	stats := pool.Stats()
 	fmt.Printf("pool usage: %d objects, %.1f MB allocated\n",
 		stats.AllocatedObjects, float64(stats.AllocatedBytes)/(1<<20))
 
 	// Simulated restart: recovery runs, shard locks and SPP tags are
 	// rebuilt, and the data is all still there.
-	if err := env.Reopen(); err != nil {
+	if err := pool.Reopen(); err != nil {
 		return err
 	}
-	store2, err := kvstore.Open(env.RT)
+	store2, err := pool.OpenStore()
 	if err != nil {
 		return err
 	}

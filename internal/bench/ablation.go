@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -214,9 +215,11 @@ func Ablation(cfg Config) (Table, error) {
 		{"1 arena, no lane affinity", 1, true},
 	} {
 		envN, err := variant.New(variant.PMDK, variant.Options{
-			PoolSize:            cfg.PoolSize,
-			NArenas:             mode.arenas,
-			DisableLaneAffinity: mode.noAffinity,
+			PoolSize: cfg.PoolSize,
+			Knobs: engine.Knobs{
+				NArenas:             mode.arenas,
+				DisableLaneAffinity: mode.noAffinity,
+			},
 		})
 		if err != nil {
 			return t, err
@@ -255,8 +258,8 @@ func Ablation(cfg Config) (Table, error) {
 			telemetry.Disable()
 		}
 		envT, err := variant.New(variant.PMDK, variant.Options{
-			PoolSize:  cfg.PoolSize,
-			Telemetry: on,
+			PoolSize: cfg.PoolSize,
+			Knobs:    engine.Knobs{Telemetry: on},
 		})
 		if err != nil {
 			return t, err
@@ -297,10 +300,12 @@ func Ablation(cfg Config) (Table, error) {
 		{"unbatched commit pipeline", true, true, true},
 	} {
 		envC, err := variant.New(variant.PMDK, variant.Options{
-			PoolSize:             cfg.PoolSize,
-			DisableRangeDedup:    mode.dedup,
-			DisableFlushCoalesce: mode.coalesce,
-			DisableGroupFence:    mode.fence,
+			PoolSize: cfg.PoolSize,
+			Knobs: engine.Knobs{
+				DisableRangeDedup:    mode.dedup,
+				DisableFlushCoalesce: mode.coalesce,
+				DisableGroupFence:    mode.fence,
+			},
 		})
 		if err != nil {
 			return t, err

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/variant"
 )
 
@@ -27,28 +28,10 @@ type Config struct {
 	PoolSize uint64
 	// Seed for workload generation.
 	Seed int64
-	// NArenas overrides the allocator arena count in every environment
-	// the harness builds (0 = pool default).
-	NArenas int
-	// DisableLaneAffinity turns off the worker-affine lane cache.
-	DisableLaneAffinity bool
-	// DisableRangeDedup, DisableFlushCoalesce and DisableGroupFence
-	// turn off the corresponding legs of the batched commit pipeline
-	// in every environment the harness builds.
-	DisableRangeDedup    bool
-	DisableFlushCoalesce bool
-	DisableGroupFence    bool
-	// NoCompile disables closure compilation of IR functions, forcing
-	// the reference interpreter in every environment the harness builds.
-	NoCompile bool
-	// DisableBitmapAlloc disables the hierarchical free-bitmap size-class
-	// pools, falling back to the map-based free lists.
-	DisableBitmapAlloc bool
-	// Telemetry enables the metrics registry in every environment the
-	// harness builds.
-	Telemetry bool
-	// FlightRecorder enables the flight-recorder event ring.
-	FlightRecorder bool
+
+	// Knobs are the engine knobs applied to every environment the
+	// harness builds (the single definition; see internal/engine).
+	engine.Knobs
 }
 
 // DefaultConfig is a laptop-scale configuration that keeps every
@@ -136,21 +119,20 @@ func (t Table) Format() string {
 	return b.String()
 }
 
+// envOptions translates the harness config into environment options.
+// Knobs pass through as one struct, so a field added to engine.Knobs
+// cannot be dropped here.
+func (c Config) envOptions(tagBits uint) variant.Options {
+	return variant.Options{
+		PoolSize: c.PoolSize,
+		TagBits:  tagBits,
+		Knobs:    c.Knobs,
+	}
+}
+
 // newEnv builds a variant environment sized for the harness.
 func newEnv(kind variant.Kind, cfg Config, tagBits uint) (*variant.Env, error) {
-	return variant.New(kind, variant.Options{
-		PoolSize:             cfg.PoolSize,
-		TagBits:              tagBits,
-		NArenas:              cfg.NArenas,
-		DisableLaneAffinity:  cfg.DisableLaneAffinity,
-		DisableRangeDedup:    cfg.DisableRangeDedup,
-		DisableFlushCoalesce: cfg.DisableFlushCoalesce,
-		DisableGroupFence:    cfg.DisableGroupFence,
-		NoCompile:            cfg.NoCompile,
-		DisableBitmapAlloc:   cfg.DisableBitmapAlloc,
-		Telemetry:            cfg.Telemetry,
-		FlightRecorder:       cfg.FlightRecorder,
-	})
+	return variant.New(kind, cfg.envOptions(tagBits))
 }
 
 // throughput returns operations per second.

@@ -311,3 +311,20 @@ func TestCompileRuns(t *testing.T) {
 	}
 	t.Log("\n" + tab.Format())
 }
+
+func TestServeBenchRuns(t *testing.T) {
+	tab, err := ServeBench(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two variants x four offered-load levels.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "0.0" {
+			t.Errorf("%s @ %s clients: zero throughput", row[0], row[1])
+		}
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -38,13 +38,13 @@ func Commit(cfg Config) (Table, error) {
 			row := []string{fmt.Sprintf("%d", ranges), fmt.Sprintf("%d", g)}
 			var perTx [2]float64
 			for mi, m := range modes {
+				knobs := cfg.Knobs
+				knobs.DisableRangeDedup = m.off
+				knobs.DisableFlushCoalesce = m.off
+				knobs.DisableGroupFence = m.off
 				env, err := variant.New(variant.PMDK, variant.Options{
-					PoolSize:             cfg.PoolSize,
-					NArenas:              cfg.NArenas,
-					DisableLaneAffinity:  cfg.DisableLaneAffinity,
-					DisableRangeDedup:    m.off,
-					DisableFlushCoalesce: m.off,
-					DisableGroupFence:    m.off,
+					PoolSize: cfg.PoolSize,
+					Knobs:    knobs,
 				})
 				if err != nil {
 					return t, err

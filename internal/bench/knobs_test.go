@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/engine/enginetest"
+)
+
+// TestKnobsSurviveTranslation asserts the harness forwards every
+// engine knob into the environment options it builds. The knob set is
+// filled by reflection, so a field added to engine.Knobs is covered
+// here without editing the test.
+func TestKnobsSurviveTranslation(t *testing.T) {
+	cfg := Config{Knobs: enginetest.Filled()}
+	o := cfg.envOptions(0)
+	if o.Knobs != cfg.Knobs {
+		t.Errorf("envOptions dropped knobs: got %+v, want %+v", o.Knobs, cfg.Knobs)
+	}
+}

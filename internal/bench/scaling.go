@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/kvstore"
 	"repro/internal/pmemobj"
@@ -53,7 +54,7 @@ func Scaling(cfg Config) (Table, error) {
 	// (0 = the store's default), so the shard axis is measurable.
 	kvRun := func(shards uint64) func(env *variant.Env, workers int) (int, time.Duration, error) {
 		return func(env *variant.Env, workers int) (int, time.Duration, error) {
-			s, err := kvstore.OpenShards(env.RT, shards)
+			s, err := kvstore.Open(env.RT, kvstore.WithShards(shards))
 			if err != nil {
 				return 0, 0, err
 			}
@@ -84,9 +85,11 @@ func Scaling(cfg Config) (Table, error) {
 			row := []string{wl.name, fmt.Sprintf("%d", g)}
 			for _, m := range modes {
 				env, err := variant.New(variant.PMDK, variant.Options{
-					PoolSize:            cfg.PoolSize,
-					NArenas:             m.arenas,
-					DisableLaneAffinity: m.noAffinity,
+					PoolSize: cfg.PoolSize,
+					Knobs: engine.Knobs{
+						NArenas:             m.arenas,
+						DisableLaneAffinity: m.noAffinity,
+					},
 				})
 				if err != nil {
 					return t, err

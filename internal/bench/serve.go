@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// ServeBench closes the loop on the KV service: for each protection
+// variant it starts an in-process sppserver on a loopback socket and
+// drives it with a closed-loop load generator — C clients, each with
+// its own connection, issuing a 50/50 get/put mix back-to-back — while
+// sweeping C past the admission window. The table reports throughput,
+// p50/p99 service latency and the shed rate per offered-load level:
+// under saturation a healthy server sheds (shed%% rises) while served
+// latency stays bounded, instead of queueing toward collapse.
+func ServeBench(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	const (
+		maxInFlight = 8
+		maxQueue    = 8
+		keySpace    = 1024
+		// opCost emulates a heavier engine so the window saturates
+		// within the swept client counts on any machine; raw loopback
+		// round trips are too fast to ever queue 16 deep.
+		opCost = 100 * time.Microsecond
+	)
+	// Each level runs to an op budget or a wall-clock deadline,
+	// whichever comes first: the closed loop self-limits at low client
+	// counts (1 client through a 100µs/op server tops out near 10
+	// Kops/s), so a pure op budget would stretch the sweep unbounded.
+	opsPerLevel := cfg.scaled(50_000)
+	if opsPerLevel < 64 {
+		opsPerLevel = 64
+	}
+	const levelDeadline = 3 * time.Second
+	levels := []int{1, 4, 16, 64}
+
+	t := Table{
+		Title: fmt.Sprintf("KV service under closed-loop load: %d ops/level, window %d+%d queue, %v/op",
+			opsPerLevel, maxInFlight, maxQueue, opCost),
+		Columns: []string{"variant", "clients", "Kops/s", "p50 µs", "p99 µs", "shed %"},
+		Notes: []string{
+			"closed loop: each client issues the next op as soon as the last returns",
+			fmt.Sprintf("every op carries an emulated %v service cost inside the admission window", opCost),
+			"shed = StatusOverloaded from admission control; the op never executed",
+			"bounded backpressure: p99 of served ops stays flat past saturation while shed% absorbs the excess",
+		},
+	}
+
+	variants := []struct{ name, protection string }{
+		{"none", "none"},
+		{"SPP", "spp"},
+	}
+	for _, v := range variants {
+		srv, err := server.New(server.Config{
+			Protection:  v.protection,
+			PoolSize:    cfg.PoolSize,
+			MaxInFlight: maxInFlight,
+			MaxQueue:    maxQueue,
+			OpCost:      opCost,
+			Knobs:       cfg.Knobs,
+		})
+		if err != nil {
+			return t, err
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return t, err
+		}
+		if err := preloadServe(addr, keySpace); err != nil {
+			srv.Close()
+			return t, err
+		}
+		for _, clients := range levels {
+			r, err := serveLevel(addr, clients, opsPerLevel, keySpace, cfg.Seed, levelDeadline)
+			if err != nil {
+				srv.Close()
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%d", clients),
+				fmt.Sprintf("%.1f", throughput(r.served, r.wall)/1e3),
+				fmt.Sprintf("%.0f", r.p50.Seconds()*1e6),
+				fmt.Sprintf("%.0f", r.p99.Seconds()*1e6),
+				fmt.Sprintf("%.1f", 100*float64(r.shed)/float64(r.served+r.shed)),
+			})
+		}
+		if err := srv.Close(); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+type serveResult struct {
+	served, shed int
+	wall         time.Duration
+	p50, p99     time.Duration
+}
+
+// preloadServe populates the benchmark tenant so GETs hit live keys
+// and the lazy tenant open happens outside the measured window.
+func preloadServe(addr string, keySpace int) error {
+	c, err := client.Dial(addr, "bench")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	value := make([]byte, 256)
+	for i := 0; i < keySpace; i++ {
+		if err := c.Put(serveKey(i), value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func serveKey(i int) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+
+// serveLevel runs one closed-loop level: `clients` connections issue a
+// 50/50 get/put mix until totalOps attempts are spent, recording
+// per-op service latency for the served ops.
+func serveLevel(addr string, clients, totalOps, keySpace int, seed int64, maxWall time.Duration) (serveResult, error) {
+	perClient := totalOps / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	type clientResult struct {
+		served, shed int
+		lat          []time.Duration
+		err          error
+	}
+	results := make([]clientResult, clients)
+	value := make([]byte, 256)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(maxWall)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res := &results[ci]
+			c, err := client.Dial(addr, "bench")
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer c.Close()
+			res.lat = make([]time.Duration, 0, perClient)
+			rng := uint64(seed)*0x9e3779b97f4a7c15 + uint64(ci+1)
+			for i := 0; i < perClient; i++ {
+				if i%32 == 0 && time.Now().After(deadline) {
+					return
+				}
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				key := serveKey(int(rng % uint64(keySpace)))
+				t0 := time.Now()
+				if rng&1 == 0 {
+					_, _, err = c.Get(key)
+				} else {
+					err = c.Put(key, value)
+				}
+				d := time.Since(t0)
+				switch {
+				case err == nil:
+					res.served++
+					res.lat = append(res.lat, d)
+				case errors.Is(err, client.ErrOverloaded):
+					res.shed++
+				default:
+					res.err = err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	out := serveResult{wall: time.Since(start)}
+	var all []time.Duration
+	for i := range results {
+		if results[i].err != nil {
+			return out, results[i].err
+		}
+		out.served += results[i].served
+		out.shed += results[i].shed
+		all = append(all, results[i].lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out.p50 = pickQuantile(all, 0.50)
+	out.p99 = pickQuantile(all, 0.99)
+	return out, nil
+}
+
+func pickQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

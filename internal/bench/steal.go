@@ -35,11 +35,11 @@ func Steal(cfg Config) (Table, error) {
 
 	for _, mix := range []string{"uniform", "skewed"} {
 		for _, g := range cfg.Threads {
+			knobs := cfg.Knobs
+			knobs.Telemetry = true
 			env, err := variant.New(variant.PMDK, variant.Options{
-				PoolSize:            cfg.PoolSize,
-				NArenas:             cfg.NArenas,
-				DisableLaneAffinity: cfg.DisableLaneAffinity,
-				Telemetry:           true,
+				PoolSize: cfg.PoolSize,
+				Knobs:    knobs,
 			})
 			if err != nil {
 				return t, err

@@ -1,0 +1,45 @@
+// Package enginetest provides reflection helpers for the
+// knob-plumbing completeness tests: every layer that embeds
+// engine.Knobs asserts (with Filled) that a fully non-zero knob set
+// survives its translation, so a field added to Knobs is covered by
+// those tests without editing them.
+package enginetest
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/engine"
+)
+
+// Filled returns a Knobs with every field set to a distinct non-zero
+// value, whatever the current field set is.
+func Filled() engine.Knobs {
+	var k engine.Knobs
+	fill(reflect.ValueOf(&k).Elem())
+	return k
+}
+
+// FilledGeometry is Filled for the pool-geometry struct.
+func FilledGeometry() engine.Geometry {
+	var g engine.Geometry
+	fill(reflect.ValueOf(&g).Elem())
+	return g
+}
+
+func fill(v reflect.Value) {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(i + 3))
+		case reflect.Uint, reflect.Uint64:
+			f.SetUint(uint64(i + 5))
+		default:
+			panic(fmt.Sprintf("enginetest: unhandled field kind %s for %s",
+				f.Kind(), v.Type().Field(i).Name))
+		}
+	}
+}

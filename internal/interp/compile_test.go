@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/telemetry"
 	"repro/internal/variant"
 )
@@ -58,7 +59,7 @@ entry:
   ret %a
 }
 `
-	e, err := variant.New(variant.PMDK, variant.Options{PoolSize: 16 << 20, NoCompile: true})
+	e, err := variant.New(variant.PMDK, variant.Options{PoolSize: 16 << 20, Knobs: engine.Knobs{NoCompile: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,16 +54,40 @@ func (s *Store) entrySize(klen, vlen int) uint64 {
 	return uint64(s.entryDataOff()) + uint64(klen) + uint64(vlen)
 }
 
-// Open opens (or creates) the store in the runtime's pool with the
-// default shard count.
-func Open(rt hooks.Runtime) (*Store, error) {
-	return OpenShards(rt, 0)
+// Option configures Open. The zero configuration opens (or creates)
+// the store with defaults, so Open(rt) needs no options.
+type Option func(*config)
+
+type config struct {
+	shards uint64
 }
 
-// OpenShards is Open with an explicit shard count for a store created
-// by this call (0 means defaultShards). The count is persisted at
-// creation; reopening an existing store always uses its stored count.
+// WithShards sets the shard count for a store created by this Open
+// (0 means the default). The count is persisted at creation; reopening
+// an existing store always uses its stored count.
+func WithShards(n uint64) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// Open opens (or creates) the store in the runtime's pool.
+func Open(rt hooks.Runtime, opts ...Option) (*Store, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return open(rt, c)
+}
+
+// OpenShards is Open with an explicit shard count.
+//
+// Deprecated: use Open(rt, WithShards(n)). Kept for one release as a
+// shim over the functional-options constructor.
 func OpenShards(rt hooks.Runtime, shards uint64) (*Store, error) {
+	return Open(rt, WithShards(shards))
+}
+
+func open(rt hooks.Runtime, cfg config) (*Store, error) {
+	shards := cfg.shards
 	if shards == 0 {
 		shards = defaultShards
 	}

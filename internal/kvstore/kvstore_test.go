@@ -25,6 +25,45 @@ func newStore(t *testing.T, kind variant.Kind) (*Store, *variant.Env) {
 	return s, env
 }
 
+// TestWithShards checks the functional-options constructor: the shard
+// count is honored at creation, persisted, and the deprecated
+// OpenShards shim opens the same store.
+func TestWithShards(t *testing.T) {
+	env, err := variant.New(variant.SPP, variant.Options{PoolSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(env.RT, WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.shards); got != 8 {
+		t.Fatalf("WithShards(8): got %d shards", got)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening ignores a different requested count: the persisted
+	// count wins, via either constructor.
+	s2, err := Open(env.RT, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.shards); got != 8 {
+		t.Fatalf("reopen: got %d shards, want persisted 8", got)
+	}
+	s3, err := OpenShards(env.RT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s3.shards); got != 8 {
+		t.Fatalf("OpenShards shim: got %d shards, want persisted 8", got)
+	}
+	if v, ok, err := s3.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("shim Get = %q, %v, %v", v, ok, err)
+	}
+}
+
 func TestPutGetDelete(t *testing.T) {
 	for _, kind := range variant.Kinds {
 		t.Run(string(kind), func(t *testing.T) {

@@ -14,11 +14,13 @@ import (
 // pinned so images are comparable across runs.
 func knobConfig(m int) Config {
 	return Config{
-		UUID:                 7,
-		NArenas:              1,
-		DisableRangeDedup:    m&1 != 0,
-		DisableFlushCoalesce: m&2 != 0,
-		DisableGroupFence:    m&4 != 0,
+		UUID: 7,
+		Knobs: Knobs{
+			NArenas:              1,
+			DisableRangeDedup:    m&1 != 0,
+			DisableFlushCoalesce: m&2 != 0,
+			DisableGroupFence:    m&4 != 0,
+		},
 	}
 }
 

@@ -99,7 +99,7 @@ func TestAddRangeDedupSkipsCoveredBytes(t *testing.T) {
 // aborts; dedup and dense paths must both restore the original bytes.
 func TestAddRangeDedupRollbackEquivalence(t *testing.T) {
 	for _, disable := range []bool{false, true} {
-		p := dedupPool(t, Config{DisableRangeDedup: disable})
+		p := dedupPool(t, Config{Knobs: Knobs{DisableRangeDedup: disable}})
 		oid, err := p.Alloc(1024)
 		if err != nil {
 			t.Fatal(err)
@@ -141,7 +141,7 @@ func TestBatchKnobsThread(t *testing.T) {
 	if !p.RangeDedup() || !p.FlushCoalesce() || !p.GroupFence() {
 		t.Error("batching not on by default")
 	}
-	p2 := dedupPool(t, Config{DisableRangeDedup: true, DisableFlushCoalesce: true, DisableGroupFence: true})
+	p2 := dedupPool(t, Config{Knobs: Knobs{DisableRangeDedup: true, DisableFlushCoalesce: true, DisableGroupFence: true}})
 	if p2.RangeDedup() || p2.FlushCoalesce() || p2.GroupFence() {
 		t.Error("disable knobs did not thread through")
 	}
@@ -151,11 +151,11 @@ func TestBatchKnobsThread(t *testing.T) {
 // knob combination and checks committed state and rollback behavior.
 func TestCommitBatchedAllKnobCombos(t *testing.T) {
 	for mask := 0; mask < 8; mask++ {
-		cfg := Config{
+		cfg := Config{Knobs: Knobs{
 			DisableRangeDedup:    mask&1 != 0,
 			DisableFlushCoalesce: mask&2 != 0,
 			DisableGroupFence:    mask&4 != 0,
-		}
+		}}
 		p := dedupPool(t, cfg)
 		oid, err := p.Alloc(512)
 		if err != nil {

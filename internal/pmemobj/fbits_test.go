@@ -64,7 +64,7 @@ func TestBitmapAllocFreeMergeRoundTrip(t *testing.T) {
 	// One arena: the offsets below assume every request lands in the
 	// same free run (sync.Pool affinity hints are not deterministic
 	// under the race detector).
-	p, _ := newTestPool(t, Config{NArenas: 1})
+	p, _ := newTestPool(t, Config{Knobs: Knobs{NArenas: 1}})
 	alloc := func(size uint64) Oid {
 		t.Helper()
 		oid, err := p.Alloc(size)
@@ -179,7 +179,7 @@ func TestBitmapRebuildEquivalence(t *testing.T) {
 
 	open := func(disable bool) *Pool {
 		t.Helper()
-		q, err := OpenConfig(dev, nil, testBase, Config{DisableBitmapAlloc: disable})
+		q, err := OpenConfig(dev, nil, testBase, Config{Knobs: Knobs{DisableBitmapAlloc: disable}})
 		if err != nil {
 			t.Fatalf("OpenConfig(disable=%v): %v", disable, err)
 		}
@@ -241,7 +241,7 @@ func TestBitmapRebuildEquivalence(t *testing.T) {
 // still round-trip, merge and rebuild.
 func TestBitmapLargeBlocks(t *testing.T) {
 	dev := pmem.NewPool("test", 1<<23)
-	p, err := Create(dev, nil, testBase, Config{UUID: 0xbeef, NArenas: 1})
+	p, err := Create(dev, nil, testBase, Config{UUID: 0xbeef, Knobs: Knobs{NArenas: 1}})
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}

@@ -7,12 +7,23 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/pmem"
 	"repro/internal/telemetry"
 	"repro/internal/vmem"
 )
 
-// Config controls pool creation.
+// Knobs and Geometry alias the shared engine tuning surface (the
+// single definition of every volatile knob and log-geometry field;
+// see internal/engine).
+type (
+	Knobs    = engine.Knobs
+	Geometry = engine.Geometry
+)
+
+// Config controls pool creation. The volatile knobs (embedded Knobs)
+// shape rebuilt in-memory structure only; the embedded Geometry and
+// the fields below are persisted in the pool header at creation.
 type Config struct {
 	// SPP enables the paper's extensions: 24-byte persisted oids and
 	// tagged pointers from Direct.
@@ -26,45 +37,11 @@ type Config struct {
 	PackedOid bool
 	// TagBits is the SPP tag width; core.DefaultTagBits when zero.
 	TagBits uint
-	// NLanes is the number of redo/undo lanes (concurrent transactions).
-	NLanes int
-	// RedoEntries is the redo-log capacity per lane.
-	RedoEntries int
-	// UndoBytes is the undo-log capacity per lane.
-	UndoBytes uint64
 	// UUID fixes the pool UUID; a random one is chosen when zero.
 	UUID uint64
-	// NArenas is the number of heap arenas (independent allocator
-	// shards); DefaultNArenas when zero. Volatile: it shapes the
-	// rebuilt free lists, not the persistent layout, so a pool may be
-	// reopened with a different value.
-	NArenas int
-	// DisableLaneAffinity turns off the worker-affine lane cache and
-	// dispenses every lane through the shared channel. Volatile.
-	DisableLaneAffinity bool
-	// DisableRangeDedup makes AddRange snapshot every requested range
-	// in full instead of only the sub-ranges not yet covered by this
-	// transaction's interval set. Volatile.
-	DisableRangeDedup bool
-	// DisableFlushCoalesce makes the commit pipeline's flush
-	// accumulators pass each flush straight to the device instead of
-	// merging duplicate and adjacent cachelines per fence epoch.
-	// Volatile.
-	DisableFlushCoalesce bool
-	// DisableGroupFence gives every committer a private fence instead
-	// of sharing one through the device's epoch combiner. Volatile.
-	DisableGroupFence bool
-	// DisableBitmapAlloc turns off the hierarchical free-bitmap
-	// size-class pools (fbits.go) and serves every block from the
-	// map-based free lists. Volatile: both modes rebuild from the same
-	// persistent block headers.
-	DisableBitmapAlloc bool
-	// Telemetry turns on the global metrics registry and binds this
-	// pool's heap-state gauges to it. Volatile; the flag is process-wide
-	// once set (see internal/telemetry).
-	Telemetry bool
-	// FlightRecorder turns on the global flight recorder. Volatile.
-	FlightRecorder bool
+
+	Geometry
+	Knobs
 }
 
 func (c Config) withDefaults() Config {

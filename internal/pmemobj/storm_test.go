@@ -49,7 +49,7 @@ func stormInvariants(t *testing.T, noFbits bool) {
 		steps   = 300
 		window  = 16
 	)
-	p, dev := newTestPool(t, Config{NLanes: workers, DisableBitmapAlloc: noFbits})
+	p, dev := newTestPool(t, Config{Geometry: Geometry{NLanes: workers}, Knobs: Knobs{DisableBitmapAlloc: noFbits}})
 
 	live := make([]map[uint64]stormObj, workers) // payload off -> obj
 	var wg sync.WaitGroup
@@ -181,7 +181,7 @@ func stormInvariants(t *testing.T, noFbits bool) {
 		return walked
 	}
 	before := verify(p, "post-storm")
-	q, err := OpenConfig(dev, nil, testBase, Config{DisableBitmapAlloc: noFbits})
+	q, err := OpenConfig(dev, nil, testBase, Config{Knobs: Knobs{DisableBitmapAlloc: noFbits}})
 	if err != nil {
 		t.Fatalf("OpenConfig: %v", err)
 	}
@@ -212,7 +212,7 @@ func stormCrashRecovery(t *testing.T, noFbits bool) {
 		workers = 8
 		commits = 20
 	)
-	p, dev := newTestPool(t, Config{NLanes: workers, DisableBitmapAlloc: noFbits})
+	p, dev := newTestPool(t, Config{Geometry: Geometry{NLanes: workers}, Knobs: Knobs{DisableBitmapAlloc: noFbits}})
 	root, err := p.Root(uint64(workers) * 32)
 	if err != nil {
 		t.Fatalf("Root: %v", err)
@@ -339,8 +339,9 @@ func BenchmarkScalingAlloc(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/goroutines=%d", m.name, g), func(b *testing.B) {
 				dev := pmem.NewPool("bench", 1<<26)
 				p, err := Create(dev, nil, testBase, Config{
-					UUID: 1, NLanes: 16,
-					NArenas: m.arenas, DisableLaneAffinity: m.noAffinity,
+					UUID:     1,
+					Geometry: Geometry{NLanes: 16},
+					Knobs:    Knobs{NArenas: m.arenas, DisableLaneAffinity: m.noAffinity},
 				})
 				if err != nil {
 					b.Fatalf("Create: %v", err)

@@ -352,7 +352,7 @@ func TestRecoveryIsIdempotent(t *testing.T) {
 // extensions) and still roll back correctly — including across a
 // crash, where heap rebuild reclaims the extension blocks.
 func TestUndoLogGrowsWithExtensions(t *testing.T) {
-	p, dev := newTestPool(t, Config{SPP: true, UndoBytes: 256})
+	p, dev := newTestPool(t, Config{SPP: true, Geometry: Geometry{UndoBytes: 256}})
 	root, _ := p.Root(64)
 	oid, err := p.Alloc(64 << 10)
 	if err != nil {
@@ -412,7 +412,7 @@ func TestUndoLogGrowsWithExtensions(t *testing.T) {
 }
 
 func TestConcurrentTransactions(t *testing.T) {
-	p, dev := newTestPool(t, Config{SPP: true, NLanes: 8})
+	p, dev := newTestPool(t, Config{SPP: true, Geometry: Geometry{NLanes: 8}})
 	root, _ := p.Root(1024)
 	const goroutines = 8
 	const iters = 50
@@ -461,7 +461,7 @@ func TestConcurrentTransactions(t *testing.T) {
 }
 
 func TestConcurrentAtomicAllocFree(t *testing.T) {
-	p, _ := newTestPool(t, Config{NLanes: 8})
+	p, _ := newTestPool(t, Config{Geometry: Geometry{NLanes: 8}})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

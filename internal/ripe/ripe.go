@@ -23,6 +23,7 @@ package ripe
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/variant"
 )
@@ -282,7 +283,7 @@ func (r *Runner) Execute(a Attack, row RowKind) (Outcome, error) {
 	}
 	env, err := variant.New(row.variantKind(), variant.Options{
 		PoolSize: poolSize,
-		NLanes:   4,
+		Geometry: engine.Geometry{NLanes: 4},
 	})
 	if err != nil {
 		return 0, err

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -21,7 +22,7 @@ import (
 
 func newEnvCompiled(t *testing.T, kind variant.Kind, noCompile bool) *variant.Env {
 	t.Helper()
-	env, err := variant.New(kind, variant.Options{PoolSize: 8 << 20, NoCompile: noCompile})
+	env, err := variant.New(kind, variant.Options{PoolSize: 8 << 20, Knobs: engine.Knobs{NoCompile: noCompile}})
 	if err != nil {
 		t.Fatal(err)
 	}

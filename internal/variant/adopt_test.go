@@ -3,6 +3,7 @@ package variant
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/pmemobj"
 )
@@ -24,7 +25,7 @@ func TestAdoptConfigThreadsVolatileKnobs(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	opts := Options{NArenas: 2, DisableLaneAffinity: true}
+	opts := Options{Knobs: engine.Knobs{NArenas: 2, DisableLaneAffinity: true}}
 	adopted, err := AdoptConfig(SPP, env.Dev, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,26 @@
+package variant
+
+import (
+	"testing"
+
+	"repro/internal/engine/enginetest"
+)
+
+// TestKnobsSurviveTranslation asserts the variant layer forwards every
+// engine knob and geometry field into the pool config. The fields are
+// filled by reflection, so a field added to engine.Knobs is covered
+// here without editing the test.
+func TestKnobsSurviveTranslation(t *testing.T) {
+	o := Options{
+		PoolSize: 1 << 20,
+		Knobs:    enginetest.Filled(),
+		Geometry: enginetest.FilledGeometry(),
+	}
+	cfg := o.poolConfig()
+	if cfg.Knobs != o.Knobs {
+		t.Errorf("poolConfig dropped knobs: got %+v, want %+v", cfg.Knobs, o.Knobs)
+	}
+	if cfg.Geometry != o.Geometry {
+		t.Errorf("poolConfig dropped geometry: got %+v, want %+v", cfg.Geometry, o.Geometry)
+	}
+}

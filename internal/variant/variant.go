@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hooks"
 	"repro/internal/memcheck"
 	"repro/internal/pmem"
@@ -38,7 +39,9 @@ var Kinds = []Kind{PMDK, SafePM, SPP, Memcheck}
 // as the paper configures via PMEM_MMAP_HINT=0.
 const DefaultBase = 0x10000
 
-// Options sizes the environment.
+// Options sizes the environment. The engine tuning surface is the
+// embedded engine.Knobs/engine.Geometry (the single definition of
+// those fields); Options adds only the environment-level sizing.
 type Options struct {
 	// PoolSize is the PM pool size in bytes.
 	PoolSize uint64
@@ -46,47 +49,18 @@ type Options struct {
 	TagBits uint
 	// HeapSize is the simulated volatile heap size (16 MiB when zero).
 	HeapSize uint64
-	// NLanes, RedoEntries, UndoBytes override pool log geometry.
-	NLanes      int
-	RedoEntries int
-	UndoBytes   uint64
-	// NArenas overrides the allocator arena count (volatile knob).
-	NArenas int
-	// DisableLaneAffinity dispenses lanes only through the shared
-	// channel (volatile knob).
-	DisableLaneAffinity bool
-	// DisableRangeDedup, DisableFlushCoalesce and DisableGroupFence
-	// turn off the corresponding legs of the batched commit pipeline
-	// (volatile knobs; see pmemobj.Config).
-	DisableRangeDedup    bool
-	DisableFlushCoalesce bool
-	DisableGroupFence    bool
-	// Telemetry enables the global metrics registry and binds the
-	// pool's heap-state gauges (volatile knob).
-	Telemetry bool
-	// FlightRecorder enables the global flight-recorder event ring
-	// (volatile knob).
-	FlightRecorder bool
-	// DisableBitmapAlloc turns off the allocator's free-bitmap
-	// size-class pools (volatile knob; see pmemobj.Config).
-	DisableBitmapAlloc bool
-	// NoCompile makes the interpreter execute IR by walking
-	// instructions instead of through closure-compiled functions
-	// (volatile knob; the interpreter is the reference semantics).
-	NoCompile bool
+
+	engine.Geometry
+	engine.Knobs
 }
 
-// poolConfig translates the volatile knobs into a pmemobj.Config.
+// poolConfig translates the environment options into a pmemobj.Config.
+// Knobs and geometry pass through as whole structs, so a field added
+// to engine.Knobs cannot be dropped here.
 func (o Options) poolConfig() pmemobj.Config {
 	return pmemobj.Config{
-		NArenas:              o.NArenas,
-		DisableLaneAffinity:  o.DisableLaneAffinity,
-		DisableRangeDedup:    o.DisableRangeDedup,
-		DisableFlushCoalesce: o.DisableFlushCoalesce,
-		DisableGroupFence:    o.DisableGroupFence,
-		Telemetry:            o.Telemetry,
-		FlightRecorder:       o.FlightRecorder,
-		DisableBitmapAlloc:   o.DisableBitmapAlloc,
+		Geometry: o.Geometry,
+		Knobs:    o.Knobs,
 	}
 }
 
@@ -134,9 +108,6 @@ func Format(kind Kind, dev *pmem.Pool, opts Options) (*Env, error) {
 	cfg.SPP = kind == SPP || kind == SPPPacked
 	cfg.PackedOid = kind == SPPPacked
 	cfg.TagBits = opts.TagBits
-	cfg.NLanes = opts.NLanes
-	cfg.RedoEntries = opts.RedoEntries
-	cfg.UndoBytes = opts.UndoBytes
 	pool, err := pmemobj.Create(dev, as, DefaultBase, cfg)
 	if err != nil {
 		return nil, err

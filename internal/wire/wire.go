@@ -1,0 +1,207 @@
+// Package wire is the KV service's length-prefixed binary protocol,
+// shared by the server (internal/server) and the client library
+// (repro/client). A connection carries a sequence of request frames
+// and their responses in order; each frame is one operation against
+// one tenant's store.
+//
+// Request frame layout (all integers big-endian):
+//
+//	u32  payload length (bytes after this field)
+//	u8   op              (OpGet, OpPut, OpDelete, OpCount)
+//	u8   tenant length   (1..MaxTenantLen)
+//	...  tenant
+//	u32  key length
+//	...  key
+//	...  value           (rest of the frame; PUT only)
+//
+// Response frame layout:
+//
+//	u32  payload length
+//	u8   status          (StatusOK, StatusNotFound, StatusError,
+//	                      StatusOverloaded)
+//	...  payload         (GET: value; COUNT: u64; errors: message)
+//
+// StatusOverloaded is distinct from StatusError so clients can tell
+// admission-control shedding (retry later, the request was never
+// executed) from a failed operation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Ops.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDelete
+	OpCount
+)
+
+// Statuses.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+	StatusError
+	StatusOverloaded
+)
+
+// Limits. MaxFrame bounds a whole request or response payload; a
+// reader rejects larger length prefixes without allocating, so a
+// garbage prefix cannot balloon memory.
+const (
+	MaxFrame     = 1 << 20
+	MaxTenantLen = 255
+
+	reqHeader = 1 + 1 + 4 // op + tenant length + key length
+)
+
+// Protocol errors. ErrMalformed wraps every framing violation; after
+// one the stream is unsynchronized and must be closed.
+var (
+	ErrMalformed     = errors.New("wire: malformed frame")
+	ErrFrameTooLarge = fmt.Errorf("%w: frame exceeds %d bytes", ErrMalformed, MaxFrame)
+	ErrOverloaded    = errors.New("wire: server overloaded")
+)
+
+// Request is one decoded operation.
+type Request struct {
+	Op     byte
+	Tenant string
+	Key    []byte
+	Value  []byte
+}
+
+// Response is one decoded reply.
+type Response struct {
+	Status  byte
+	Payload []byte
+}
+
+// AppendRequest encodes r onto dst and returns the extended slice.
+func AppendRequest(dst []byte, r Request) ([]byte, error) {
+	if r.Op < OpGet || r.Op > OpCount {
+		return dst, fmt.Errorf("%w: bad op %d", ErrMalformed, r.Op)
+	}
+	if len(r.Tenant) == 0 || len(r.Tenant) > MaxTenantLen {
+		return dst, fmt.Errorf("%w: tenant length %d", ErrMalformed, len(r.Tenant))
+	}
+	n := reqHeader + len(r.Tenant) + len(r.Key) + len(r.Value)
+	if n > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, r.Op, byte(len(r.Tenant)))
+	dst = append(dst, r.Tenant...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Value...)
+	return dst, nil
+}
+
+// WriteRequest encodes r and writes the frame to w.
+func WriteRequest(w io.Writer, r Request) error {
+	buf, err := AppendRequest(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadRequest decodes one request frame from r. Errors matching
+// ErrMalformed mean the stream cannot be resynchronized.
+func ReadRequest(r io.Reader) (Request, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(payload) < reqHeader {
+		return Request{}, fmt.Errorf("%w: request payload %d bytes", ErrMalformed, len(payload))
+	}
+	op, tlen := payload[0], int(payload[1])
+	if op < OpGet || op > OpCount {
+		return Request{}, fmt.Errorf("%w: bad op %d", ErrMalformed, op)
+	}
+	if tlen == 0 || 2+tlen+4 > len(payload) {
+		return Request{}, fmt.Errorf("%w: tenant length %d in %d-byte payload", ErrMalformed, tlen, len(payload))
+	}
+	tenant := string(payload[2 : 2+tlen])
+	rest := payload[2+tlen:]
+	klen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if klen > len(rest) {
+		return Request{}, fmt.Errorf("%w: key length %d exceeds remaining %d bytes", ErrMalformed, klen, len(rest))
+	}
+	req := Request{Op: op, Tenant: tenant, Key: rest[:klen], Value: rest[klen:]}
+	if op != OpPut && len(req.Value) != 0 {
+		return Request{}, fmt.Errorf("%w: op %d carries a value", ErrMalformed, op)
+	}
+	return req, nil
+}
+
+// WriteResponse encodes and writes one response frame.
+func WriteResponse(w io.Writer, resp Response) error {
+	n := 1 + len(resp.Payload)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 0, 4+n)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, resp.Status)
+	buf = append(buf, resp.Payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadResponse decodes one response frame from r.
+func ReadResponse(r io.Reader) (Response, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(payload) < 1 {
+		return Response{}, fmt.Errorf("%w: empty response payload", ErrMalformed)
+	}
+	return Response{Status: payload[0], Payload: payload[1:]}, nil
+}
+
+// readFrame reads a length prefix and its payload, enforcing MaxFrame
+// before allocating.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF between frames means a clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: truncated frame: %v", ErrMalformed, err)
+	}
+	return payload, nil
+}
+
+// Count encodes a COUNT result payload.
+func Count(n uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, n)
+}
+
+// ParseCount decodes a COUNT result payload.
+func ParseCount(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: count payload %d bytes", ErrMalformed, len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Tenant: "acme", Key: []byte("k1")},
+		{Op: OpPut, Tenant: "acme", Key: []byte("k1"), Value: []byte("v1")},
+		{Op: OpPut, Tenant: "t", Key: nil, Value: []byte("value-for-empty-key")},
+		{Op: OpDelete, Tenant: "other", Key: []byte("k2")},
+		{Op: OpCount, Tenant: "acme"},
+	}
+	var buf bytes.Buffer
+	for _, r := range reqs {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatalf("write %+v: %v", r, err)
+		}
+	}
+	for i, want := range reqs {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.Tenant != want.Tenant ||
+			!bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Errorf("round trip %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadRequest(&buf); err != io.EOF {
+		t.Errorf("after all frames: err = %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	resps := []Response{
+		{Status: StatusOK, Payload: []byte("value")},
+		{Status: StatusNotFound},
+		{Status: StatusOverloaded},
+		{Status: StatusError, Payload: []byte("boom")},
+		{Status: StatusOK, Payload: Count(42)},
+	}
+	for _, r := range resps {
+		if err := WriteResponse(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range resps {
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Status != want.Status || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("round trip %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	n, err := ParseCount(Count(42))
+	if err != nil || n != 42 {
+		t.Errorf("ParseCount = %d, %v", n, err)
+	}
+}
+
+// TestMalformedFrames feeds broken byte streams and asserts every one
+// is rejected with ErrMalformed (never a panic, never a bogus decode).
+func TestMalformedFrames(t *testing.T) {
+	valid, err := AppendRequest(nil, Request{Op: OpPut, Tenant: "t", Key: []byte("k"), Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oversize := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	cases := map[string][]byte{
+		"zero length":        binary.BigEndian.AppendUint32(nil, 0),
+		"oversize length":    append(oversize, 0xff),
+		"truncated payload":  valid[:len(valid)-1],
+		"short payload":      {0, 0, 0, 2, OpGet, 1},
+		"bad op":             {0, 0, 0, 7, 99, 1, 't', 0, 0, 0, 1, 'k'},
+		"zero tenant":        {0, 0, 0, 7, OpGet, 0, 't', 0, 0, 0, 1},
+		"tenant overrun":     {0, 0, 0, 7, OpGet, 200, 't', 0, 0, 0, 1},
+		"key overrun":        {0, 0, 0, 8, OpGet, 1, 't', 0, 0, 0, 99, 'k'},
+		"value on GET":       {0, 0, 0, 9, OpGet, 1, 't', 0, 0, 0, 1, 'k', 'v'},
+		"garbage everywhere": bytes.Repeat([]byte{0xee}, 16),
+	}
+	for name, b := range cases {
+		_, err := ReadRequest(bytes.NewReader(b))
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestEncodeRejectsBadRequests(t *testing.T) {
+	for name, r := range map[string]Request{
+		"bad op":       {Op: 0, Tenant: "t"},
+		"empty tenant": {Op: OpGet},
+		"long tenant":  {Op: OpGet, Tenant: string(bytes.Repeat([]byte{'a'}, 300))},
+		"huge value":   {Op: OpPut, Tenant: "t", Value: make([]byte, MaxFrame)},
+	} {
+		if _, err := AppendRequest(nil, r); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}

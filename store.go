@@ -1,0 +1,64 @@
+package spp
+
+import "repro/internal/kvstore"
+
+// Store is the concurrent persistent key-value store (the pmemkv-style
+// cmap engine) opened over a protected pool: a sharded persistent hash
+// map whose every PM access runs through the pool's protection hooks,
+// so the same store runs under any Protection. It is the public
+// surface the examples, the network server and the benchmarks share.
+type Store struct {
+	kv *kvstore.Store
+}
+
+// StoreOption configures OpenStore.
+type StoreOption func(*storeConfig)
+
+type storeConfig struct {
+	shards uint64
+}
+
+// WithShards sets the shard count for a store created by this
+// OpenStore (0 means the default). The count is persisted at creation;
+// reopening an existing store always uses its stored count.
+func WithShards(n uint64) StoreOption {
+	return func(c *storeConfig) { c.shards = n }
+}
+
+// OpenStore opens (or creates) the pool's key-value store. After a
+// Reopen, call OpenStore again to rebuild the store's volatile shard
+// table over the recovered pool.
+func (p *Pool) OpenStore(opts ...StoreOption) (*Store, error) {
+	var c storeConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	kv, err := kvstore.Open(p.env.RT, kvstore.WithShards(c.shards))
+	if err != nil {
+		return nil, wrap(err)
+	}
+	return &Store{kv: kv}, nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	v, ok, err := s.kv.Get(key)
+	return v, ok, wrap(err)
+}
+
+// Put stores value under key, replacing any existing value.
+func (s *Store) Put(key, value []byte) error {
+	return wrap(s.kv.Put(key, value))
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key []byte) (bool, error) {
+	ok, err := s.kv.Delete(key)
+	return ok, wrap(err)
+}
+
+// Count returns the total number of keys.
+func (s *Store) Count() (uint64, error) {
+	n, err := s.kv.Count()
+	return n, wrap(err)
+}
