@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke serve-smoke
+.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke serve-smoke trace-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
 ## detector over the concurrency-sensitive packages, the sppc -lint
@@ -8,9 +8,10 @@ GO ?= go
 ## analysis smoke test, the disabled-telemetry overhead smoke test,
 ## the commit-pipeline differential crash tests plus a tiny run of
 ## the commit experiment, the compiled-vs-interpreted differential
-## tests plus a tiny run of the compile experiment, and the KV
-## service suite plus a tiny run of the serve experiment.
-check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke serve-smoke
+## tests plus a tiny run of the compile experiment, the KV service
+## suite plus a tiny run of the serve experiment, and the request-
+## tracing smoke test plus a sampled run of the serve experiment.
+check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke serve-smoke trace-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -27,7 +28,7 @@ test:
 ## the memory path (device, allocator, lanes), the runtimes above it,
 ## the concurrent kvstore workloads, and the compiled dispatch.
 race:
-	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry ./internal/interp ./internal/server ./internal/wire ./client
+	$(GO) test -race ./internal/pmem ./internal/pmemobj ./internal/hooks ./internal/kvstore ./internal/telemetry ./internal/trace ./internal/interp ./internal/server ./internal/wire ./client
 
 ## lint-fixtures: the clean fixture must lint clean; the laundered one
 ## must be flagged (non-zero exit) — both outcomes are asserted.
@@ -90,3 +91,16 @@ compile-smoke:
 serve-smoke:
 	$(GO) test ./internal/server ./internal/wire ./client -count=1
 	$(GO) run ./cmd/sppbench -exp serve -scale 0.002
+
+## trace-smoke: the end-to-end tracing contract — a fully sampled run
+## must attribute queue, exec and fence time and surface a slow-request
+## exemplar on /debug/slow (TestTraceSmoke), the trace-header wire
+## extension must stay backward compatible, and a sampled closed-loop
+## serve run must populate the attribution columns.
+trace-smoke:
+	$(GO) test -run 'TestTraceSmoke|TestTrace|TestSampler|TestSlow' ./internal/server ./internal/wire ./internal/trace -count=1
+	@out="$$($(GO) run ./cmd/sppbench -exp serve -scale 0.002 -trace-sample 4)"; \
+	echo "$$out"; \
+	echo "$$out" | awk '$$1=="SPP" && $$2=="64" { found=1; if ($$7=="-" || $$7=="") bad=1 } \
+		END { exit (found && !bad) ? 0 : 1 }' \
+		|| { echo "attribution columns not populated for the SPP/64 row"; exit 1; }

@@ -17,6 +17,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -32,7 +33,8 @@ func (e *ServerError) Error() string { return "server: " + e.Msg }
 
 // Client is one tenant's handle to a KV service.
 type Client struct {
-	tenant string
+	tenant  string
+	sampler *trace.Sampler
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -40,8 +42,23 @@ type Client struct {
 	bw   *bufio.Writer
 }
 
+// Option configures a Client at Dial time.
+type Option func(*Client)
+
+// WithTracing makes the client mint a trace context for one in n
+// requests (n <= 1 traces every request). A sampled request carries
+// the context in its wire frame, and the server records a per-phase
+// latency breakdown for it. Only sampled requests change the frame
+// encoding, so a client with sampling configured still interoperates
+// with pre-tracing servers on the unsampled ones; a traced frame sent
+// to such a server fails with a "bad op" *ServerError rather than
+// misbehaving. Requires a server that understands the trace header.
+func WithTracing(n int) Option {
+	return func(c *Client) { c.sampler = trace.NewSampler(n) }
+}
+
 // Dial connects to a sppserver at addr and binds the client to tenant.
-func Dial(addr, tenant string) (*Client, error) {
+func Dial(addr, tenant string, opts ...Option) (*Client, error) {
 	if tenant == "" || len(tenant) > wire.MaxTenantLen {
 		return nil, fmt.Errorf("client: invalid tenant %q", tenant)
 	}
@@ -49,12 +66,16 @@ func Dial(addr, tenant string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		tenant: tenant,
 		conn:   conn,
 		br:     bufio.NewReader(conn),
 		bw:     bufio.NewWriter(conn),
-	}, nil
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 // Close closes the connection.
@@ -73,6 +94,11 @@ func (c *Client) Close() error {
 // so concurrent callers cannot interleave frames.
 func (c *Client) do(req wire.Request) (wire.Response, error) {
 	req.Tenant = c.tenant
+	if c.sampler != nil {
+		if tc := c.sampler.Next(); tc.Sampled {
+			req.Trace = tc
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {

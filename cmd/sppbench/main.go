@@ -75,10 +75,11 @@ func run(args []string) error {
 		telemetry.Flight.Enable()
 	}
 	if *metricsAddr != "" {
-		addr, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		addr, closeTelemetry, err := telemetry.Serve(*metricsAddr, telemetry.Default)
 		if err != nil {
 			return fmt.Errorf("-metrics-addr: %w", err)
 		}
+		defer closeTelemetry()
 		fmt.Printf("telemetry: serving http://%s/metrics (and /debug/vars, /debug/audit, /debug/flight, /debug/pprof)\n", addr)
 	}
 	var ts []int

@@ -63,10 +63,11 @@ func run(argv []string) error {
 		return err
 	}
 	if *metricsAddr != "" {
-		maddr, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		maddr, closeTelemetry, err := telemetry.Serve(*metricsAddr, telemetry.Default)
 		if err != nil {
 			return fmt.Errorf("-metrics-addr: %w", err)
 		}
+		defer closeTelemetry()
 		fmt.Printf("telemetry: serving http://%s/metrics\n", maddr)
 	}
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/client"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // ServeBench closes the loop on the KV service: for each protection
@@ -41,16 +42,21 @@ func ServeBench(cfg Config) (Table, error) {
 	const levelDeadline = 3 * time.Second
 	levels := []int{1, 4, 16, 64}
 
+	traced := cfg.Knobs.TraceSample > 0
 	t := Table{
 		Title: fmt.Sprintf("KV service under closed-loop load: %d ops/level, window %d+%d queue, %v/op",
 			opsPerLevel, maxInFlight, maxQueue, opCost),
-		Columns: []string{"variant", "clients", "Kops/s", "p50 µs", "p99 µs", "shed %"},
+		Columns: []string{"variant", "clients", "Kops/s", "p50 µs", "p99 µs", "shed %", "queue %", "exec %", "fence %"},
 		Notes: []string{
 			"closed loop: each client issues the next op as soon as the last returns",
 			fmt.Sprintf("every op carries an emulated %v service cost inside the admission window", opCost),
 			"shed = StatusOverloaded from admission control; the op never executed",
 			"bounded backpressure: p99 of served ops stays flat past saturation while shed% absorbs the excess",
+			"queue/exec/fence = sampled traces' share of service time in that phase (fence nests inside exec); needs -trace-sample",
 		},
+	}
+	if !traced {
+		t.Notes = append(t.Notes, "attribution columns empty: rerun with -trace-sample N to populate them")
 	}
 
 	variants := []struct{ name, protection string }{
@@ -78,10 +84,20 @@ func ServeBench(cfg Config) (Table, error) {
 			return t, err
 		}
 		for _, clients := range levels {
+			before := trace.Snapshot()
 			r, err := serveLevel(addr, clients, opsPerLevel, keySpace, cfg.Seed, levelDeadline)
 			if err != nil {
 				srv.Close()
 				return t, err
+			}
+			queuePct, execPct, fencePct := "-", "-", "-"
+			if traced {
+				if d := trace.Snapshot().Delta(before); d.Total > 0 {
+					pct := func(p trace.Phase) string {
+						return fmt.Sprintf("%.1f", 100*float64(d.Phase[p])/float64(d.Total))
+					}
+					queuePct, execPct, fencePct = pct(trace.PhaseQueue), pct(trace.PhaseExec), pct(trace.PhaseFence)
+				}
 			}
 			t.Rows = append(t.Rows, []string{
 				v.name,
@@ -90,6 +106,7 @@ func ServeBench(cfg Config) (Table, error) {
 				fmt.Sprintf("%.0f", r.p50.Seconds()*1e6),
 				fmt.Sprintf("%.0f", r.p99.Seconds()*1e6),
 				fmt.Sprintf("%.1f", 100*float64(r.shed)/float64(r.served+r.shed)),
+				queuePct, execPct, fencePct,
 			})
 		}
 		if err := srv.Close(); err != nil {

@@ -46,6 +46,20 @@ type Knobs struct {
 	Telemetry bool
 	// FlightRecorder turns on the global flight-recorder event ring.
 	FlightRecorder bool
+	// TraceSample traces 1 in N served requests with a per-phase
+	// latency breakdown (internal/trace); 0 disables request tracing.
+	// The server applies its own sampler to requests whose client sent
+	// no trace context, so attribution works with old clients too.
+	TraceSample int
+	// SlowTraceUS captures traced requests at least this many
+	// microseconds slow as whole-request exemplars on /debug/slow;
+	// 0 disables exemplar capture.
+	SlowTraceUS int
+	// MetricsSample records 1 in N increments (weighted, rounded up to
+	// a power of two) on the hottest per-access hook counters instead
+	// of every one, so telemetry stays cheap on multi-core; 0 or 1
+	// counts exactly.
+	MetricsSample int
 }
 
 // Geometry sizes the pool's transaction logs. Unlike Knobs these are
@@ -74,6 +88,9 @@ var knobFlags = map[string]string{
 	"NoCompile":            "no-compile",
 	"Telemetry":            "metrics",
 	"FlightRecorder":       "flight",
+	"TraceSample":          "trace-sample",
+	"SlowTraceUS":          "slow-threshold",
+	"MetricsSample":        "metrics-sample",
 }
 
 // RegisterFlags registers one flag per Knobs field on fs and returns
@@ -99,5 +116,11 @@ func RegisterFlags(fs *flag.FlagSet) *Knobs {
 		"enable the telemetry metrics registry")
 	fs.BoolVar(&k.FlightRecorder, knobFlags["FlightRecorder"], false,
 		"enable the flight-recorder event ring")
+	fs.IntVar(&k.TraceSample, knobFlags["TraceSample"], 0,
+		"trace 1 in N served requests with a per-phase latency breakdown (0 = off)")
+	fs.IntVar(&k.SlowTraceUS, knobFlags["SlowTraceUS"], 0,
+		"capture traced requests at least this many µs slow as /debug/slow exemplars (0 = off)")
+	fs.IntVar(&k.MetricsSample, knobFlags["MetricsSample"], 0,
+		"sample 1 in N hook-counter increments, weighted (0 or 1 = exact)")
 	return k
 }

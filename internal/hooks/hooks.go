@@ -234,7 +234,7 @@ func (s *SPP) Direct(oid pmemobj.Oid) uint64 { return s.pool.Direct(oid) }
 
 // Gep implements Runtime: address advance plus __spp_updatetag.
 func (s *SPP) Gep(p uint64, off int64) uint64 {
-	hookGep.Inc()
+	hookGep.IncSampled()
 	if s.saturating {
 		return s.enc.GepSaturating(p, off)
 	}
@@ -246,7 +246,7 @@ func (s *SPP) Gep(p uint64, off int64) uint64 {
 // set overflow bit additionally files a check-time audit record — the
 // one extra branch the always-on audit trail costs this hot path.
 func (s *SPP) Check(p, n uint64) (uint64, error) {
-	hookCheck.Inc()
+	hookCheck.IncSampled()
 	r := s.enc.CheckBound(p, n)
 	if core.Overflow(r) {
 		s.recordOverflow("checkbound", p, r, n)
@@ -257,7 +257,7 @@ func (s *SPP) Check(p, n uint64) (uint64, error) {
 // CheckPM implements Runtime: the _direct hook that skips the PM-bit
 // test (§V-B).
 func (s *SPP) CheckPM(p, n uint64) (uint64, error) {
-	hookCheckPM.Inc()
+	hookCheckPM.IncSampled()
 	r := s.enc.CheckBoundDirect(p, n)
 	if core.Overflow(r) {
 		s.recordOverflow("checkbound-pm", p, r, n)
@@ -267,7 +267,7 @@ func (s *SPP) CheckPM(p, n uint64) (uint64, error) {
 
 // MemIntr implements Runtime: __spp_memintr_check.
 func (s *SPP) MemIntr(p, n uint64) (uint64, error) {
-	hookMemIntr.Inc()
+	hookMemIntr.IncSampled()
 	r := s.enc.MemIntrCheck(p, n)
 	if core.Overflow(r) {
 		s.recordOverflow("memintr", p, r, n)
@@ -277,6 +277,6 @@ func (s *SPP) MemIntr(p, n uint64) (uint64, error) {
 
 // External implements Runtime: __spp_cleantag_external.
 func (s *SPP) External(p uint64) uint64 {
-	hookExternal.Inc()
+	hookExternal.IncSampled()
 	return s.enc.CleanTagExternal(p)
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/hooks"
 	"repro/internal/pmaccess"
 	"repro/internal/pmemobj"
+	"repro/internal/trace"
 )
 
 // Store is an open KV store.
@@ -76,14 +77,6 @@ func Open(rt hooks.Runtime, opts ...Option) (*Store, error) {
 		o(&c)
 	}
 	return open(rt, c)
-}
-
-// OpenShards is Open with an explicit shard count.
-//
-// Deprecated: use Open(rt, WithShards(n)). Kept for one release as a
-// shim over the functional-options constructor.
-func OpenShards(rt hooks.Runtime, shards uint64) (*Store, error) {
-	return Open(rt, WithShards(shards))
 }
 
 func open(rt hooks.Runtime, cfg config) (*Store, error) {
@@ -211,13 +204,18 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 }
 
 // Put stores value under key, replacing any existing value.
-func (s *Store) Put(key, value []byte) error {
+func (s *Store) Put(key, value []byte) error { return s.PutTraced(nil, key, value) }
+
+// PutTraced is Put for a traced request: the transaction attributes
+// its begin/commit/flush/fence stage durations to tr. Nil tr is Put.
+func (s *Store) PutTraced(tr *trace.Req, key, value []byte) error {
 	h := hashKey(key)
 	sh := s.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	c := newCtx(s.rt)
+	c.Trace = tr
 	err := c.Run(func(tx *pmemobj.Tx) {
 		hp := c.Direct(sh.hdr)
 		n := c.Load(hp, shNBuckets)
@@ -290,13 +288,14 @@ func (s *Store) Put(key, value []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.maybeRehash(sh)
+	return s.maybeRehash(sh, tr)
 }
 
 // maybeRehash grows a shard's bucket array when its load factor
 // exceeds one. Caller holds the shard lock.
-func (s *Store) maybeRehash(sh *shard) error {
+func (s *Store) maybeRehash(sh *shard, tr *trace.Req) error {
 	c := newCtx(s.rt)
+	c.Trace = tr
 	hp := c.Direct(sh.hdr)
 	count := c.Load(hp, shCount)
 	n := c.Load(hp, shNBuckets)
@@ -349,13 +348,18 @@ func (s *Store) maybeRehash(sh *shard) error {
 }
 
 // Delete removes key, reporting whether it was present.
-func (s *Store) Delete(key []byte) (bool, error) {
+func (s *Store) Delete(key []byte) (bool, error) { return s.DeleteTraced(nil, key) }
+
+// DeleteTraced is Delete attributing transaction stage durations to a
+// traced request. Nil tr is Delete.
+func (s *Store) DeleteTraced(tr *trace.Req, key []byte) (bool, error) {
 	h := hashKey(key)
 	sh := s.shardFor(h)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	c := newCtx(s.rt)
+	c.Trace = tr
 	removed := false
 	err := c.Run(func(tx *pmemobj.Tx) {
 		hp := c.Direct(sh.hdr)

@@ -26,8 +26,7 @@ func newStore(t *testing.T, kind variant.Kind) (*Store, *variant.Env) {
 }
 
 // TestWithShards checks the functional-options constructor: the shard
-// count is honored at creation, persisted, and the deprecated
-// OpenShards shim opens the same store.
+// count is honored at creation and persisted.
 func TestWithShards(t *testing.T) {
 	env, err := variant.New(variant.SPP, variant.Options{PoolSize: 64 << 20})
 	if err != nil {
@@ -52,15 +51,8 @@ func TestWithShards(t *testing.T) {
 	if got := len(s2.shards); got != 8 {
 		t.Fatalf("reopen: got %d shards, want persisted 8", got)
 	}
-	s3, err := OpenShards(env.RT, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := len(s3.shards); got != 8 {
-		t.Fatalf("OpenShards shim: got %d shards, want persisted 8", got)
-	}
-	if v, ok, err := s3.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
-		t.Fatalf("shim Get = %q, %v, %v", v, ok, err)
+	if v, ok, err := s2.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("reopen Get = %q, %v, %v", v, ok, err)
 	}
 }
 

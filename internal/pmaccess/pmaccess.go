@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hooks"
 	"repro/internal/pmemobj"
+	"repro/internal/trace"
 )
 
 // Ctx is the accessor. It is single-goroutine; create one per
@@ -21,6 +22,11 @@ type Ctx struct {
 	SPP     bool
 	Packed  bool
 	OidSize int64
+
+	// Trace, when set, is the sampled request this operation serves;
+	// Run hands it to the transaction so the commit pipeline reports
+	// per-stage durations against it.
+	Trace *trace.Req
 
 	err error
 }
@@ -195,7 +201,7 @@ func (c *Ctx) SnapshotField(tx *pmemobj.Tx, oid pmemobj.Oid, fieldOff int64, siz
 // Run executes fn inside a transaction, committing on success and
 // aborting when an error is pending.
 func (c *Ctx) Run(fn func(tx *pmemobj.Tx)) error {
-	tx := c.Pool.Begin()
+	tx := c.Pool.BeginTraced(c.Trace)
 	fn(tx)
 	if err := c.Take(); err != nil {
 		if abortErr := tx.Abort(); abortErr != nil {

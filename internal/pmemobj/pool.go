@@ -254,6 +254,9 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool
 	if cfg.FlightRecorder {
 		telemetry.Flight.Enable()
 	}
+	if cfg.MetricsSample > 0 {
+		telemetry.SetHookSampling(cfg.MetricsSample)
+	}
 
 	if err := p.recover(); err != nil {
 		return nil, err

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrTxDone is returned when a finished transaction is used again.
@@ -39,6 +41,11 @@ type Tx struct {
 	// per-transaction telemetry histogram.
 	undoBytes uint64
 
+	// tr, when non-nil, is the sampled request this transaction serves;
+	// Begin and Commit attribute their stage durations to it. Nil for
+	// every untraced transaction, which then pays only nil checks.
+	tr *trace.Req
+
 	// Active undo segment (the in-lane region first, then extensions).
 	segData      uint64 // pool offset of the segment's data region
 	segUsed      uint64 // bytes used in the active segment
@@ -47,15 +54,24 @@ type Tx struct {
 }
 
 // Begin opens a transaction. It blocks until a lane is available.
-func (p *Pool) Begin() *Tx {
+func (p *Pool) Begin() *Tx { return p.BeginTraced(nil) }
+
+// BeginTraced is Begin for a traced request: lane acquisition and log
+// initialization are attributed to tr's tx-begin phase, and the
+// transaction carries tr into Commit so the commit pipeline's stages
+// (flush coalesce, fence, commit point) report their own durations.
+// A nil tr is exactly Begin.
+func (p *Pool) BeginTraced(tr *trace.Req) *Tx {
+	span := tr.Span(trace.PhaseTxBegin)
 	lane := p.lanes.acquire()
 	undo := p.undoOff(lane)
 	p.dev.WriteU64s(undo+undoStateOff, []uint64{undoActive, 0, 0})
 	p.persist(undo, undoDataOff)
 	metTxBegin.Inc()
 	telemetry.Flight.Record(telemetry.EvTxBegin, uint64(lane), 0)
+	span.End()
 	return &Tx{
-		p: p, lane: lane, laneOff: p.laneOff(lane), undoOff: undo,
+		p: p, lane: lane, laneOff: p.laneOff(lane), undoOff: undo, tr: tr,
 		segData:      undo + undoDataOff,
 		segCap:       p.undoCap,
 		segUsedField: undo + undoUsedOff,
@@ -328,7 +344,13 @@ func (tx *Tx) Commit() error {
 	// allocated by this transaction — durable. The accumulator merges
 	// ranges that share cachelines (dedup already merged adjacent
 	// snapshots, but allocs and ranges still collide) and the fence is
-	// shared with concurrent committers.
+	// shared with concurrent committers. Under tracing the coalesce
+	// pass and the fence wait report as separate phases: the fence is
+	// where a traced request waits on *other* lanes' epochs.
+	var t0 time.Time
+	if tx.tr != nil {
+		t0 = time.Now()
+	}
 	s := p.getScratch()
 	for _, r := range tx.ranges {
 		s.ac.Flush(r.off, r.size)
@@ -338,7 +360,17 @@ func (tx *Tx) Commit() error {
 	}
 	s.ac.Drain()
 	p.putScratch(s)
+	if tx.tr != nil {
+		now := time.Now()
+		tx.tr.Add(trace.PhaseFlush, now.Sub(t0))
+		t0 = now
+	}
 	p.fence()
+	if tx.tr != nil {
+		now := time.Now()
+		tx.tr.Add(trace.PhaseFence, now.Sub(t0))
+		t0 = now
+	}
 
 	// 2. Prepare (but do not apply) the redo log with the allocation
 	// state flips and deferred frees. Every block the redo will touch
@@ -403,6 +435,11 @@ func (tx *Tx) Commit() error {
 	metTxCommit.Inc()
 	metUndoBytes.Observe(tx.undoBytes)
 	telemetry.Flight.Record(telemetry.EvTxCommit, uint64(tx.lane), tx.undoBytes)
+	// Everything after the fence — redo preparation, the commit point,
+	// heap settlement — is the commit phase proper.
+	if tx.tr != nil {
+		tx.tr.Add(trace.PhaseTxCommit, time.Since(t0))
+	}
 	return nil
 }
 

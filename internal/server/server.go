@@ -26,6 +26,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/pmem"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/variant"
 	"repro/internal/wire"
 )
@@ -124,7 +125,8 @@ var (
 	metOpErrors  = telemetry.Default.Counter("spp_server_op_errors_total", "requests answered with StatusError")
 	metConns     = telemetry.Default.Gauge("spp_server_active_conns", "open client connections")
 	metTenants   = telemetry.Default.Gauge("spp_server_tenants", "open tenant pools")
-	metLatency   = telemetry.Default.Histogram("spp_server_request_ns", "request service time, admission wait included")
+	metLatency   = telemetry.Default.HistogramBuckets("spp_server_request_ns",
+		"request service time, admission wait included", telemetry.NSBuckets)
 )
 
 var opNames = map[byte]string{
@@ -135,6 +137,11 @@ var opNames = map[byte]string{
 type Server struct {
 	cfg  Config
 	kind variant.Kind
+
+	// sampler, when non-nil, traces 1 in cfg.TraceSample requests that
+	// arrive without a client-minted trace context; client-sampled
+	// requests are always traced.
+	sampler *trace.Sampler
 
 	ln      net.Listener
 	sem     chan struct{}
@@ -170,6 +177,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FlightRecorder {
 		telemetry.Flight.Enable()
 	}
+	if cfg.MetricsSample > 0 {
+		telemetry.SetHookSampling(cfg.MetricsSample)
+	}
+	if cfg.SlowTraceUS > 0 {
+		trace.SetSlowThreshold(time.Duration(cfg.SlowTraceUS) * time.Microsecond)
+	}
+	var sampler *trace.Sampler
+	if cfg.TraceSample > 0 {
+		sampler = trace.NewSampler(cfg.TraceSample)
+	}
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: data dir: %w", err)
@@ -178,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:     cfg,
 		kind:    kind,
+		sampler: sampler,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		done:    make(chan struct{}),
 		tenants: make(map[string]*tenant),
@@ -278,18 +296,35 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // dispatch runs one request through admission control and the tenant
-// store.
+// store. A request sampled for tracing — by the client via the wire
+// context, or by the server's own sampler when the client sent none —
+// materializes a trace.Req and reports queue wait, execution, and (via
+// the transaction it opens) the commit-pipeline stages.
 func (s *Server) dispatch(req wire.Request) wire.Response {
 	start := time.Now()
+	tc := req.Trace
+	if !tc.Sampled && s.sampler != nil {
+		tc = s.sampler.Next()
+	}
+	var tr *trace.Req
+	if tc.Sampled {
+		tr = trace.Start(tc.ID, opNames[req.Op], req.Tenant)
+	}
+	qs := tr.Span(trace.PhaseQueue)
 	if !s.admit() {
 		metShed.Inc()
+		tr.Drop() // never executed; keep it out of the attribution
 		return wire.Response{Status: wire.StatusOverloaded}
 	}
+	qs.End()
 	defer func() {
 		<-s.sem
 		metLatency.Observe(uint64(time.Since(start).Nanoseconds()))
+		tr.Finish()
 	}()
 	metRequests.With(opNames[req.Op]).Inc()
+	es := tr.Span(trace.PhaseExec)
+	defer es.End()
 	if s.cfg.OpCost > 0 {
 		time.Sleep(s.cfg.OpCost)
 	}
@@ -298,7 +333,7 @@ func (s *Server) dispatch(req wire.Request) wire.Response {
 		metOpErrors.Inc()
 		return wire.Response{Status: wire.StatusError, Payload: []byte(err.Error())}
 	}
-	return execute(st, req)
+	return execute(st, req, tr)
 }
 
 // admit implements the bounded window + bounded queue: a free window
@@ -326,7 +361,7 @@ func (s *Server) admit() bool {
 // execute applies one admitted request to a tenant store. Safety traps
 // surface as StatusError with the audit-grade message; the server
 // keeps serving.
-func execute(st *kvstore.Store, req wire.Request) wire.Response {
+func execute(st *kvstore.Store, req wire.Request, tr *trace.Req) wire.Response {
 	fail := func(err error) wire.Response {
 		metOpErrors.Inc()
 		if hooks.IsSafetyTrap(err) {
@@ -345,12 +380,12 @@ func execute(st *kvstore.Store, req wire.Request) wire.Response {
 		}
 		return wire.Response{Status: wire.StatusOK, Payload: v}
 	case wire.OpPut:
-		if err := st.Put(req.Key, req.Value); err != nil {
+		if err := st.PutTraced(tr, req.Key, req.Value); err != nil {
 			return fail(err)
 		}
 		return wire.Response{Status: wire.StatusOK}
 	case wire.OpDelete:
-		ok, err := st.Delete(req.Key)
+		ok, err := st.DeleteTraced(tr, req.Key)
 		if err != nil {
 			return fail(err)
 		}

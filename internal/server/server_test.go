@@ -4,13 +4,20 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/engine"
 	"repro/internal/pmem"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -225,6 +232,92 @@ func TestBackpressureShed(t *testing.T) {
 	}
 	t.Logf("served=%d shed=%d wall=%v slowest shed=%v",
 		served.load(), shed.load(), wall, time.Duration(slowestShed.load()))
+}
+
+// TestTraceSmoke runs a fully sampled server under enough concurrency
+// to make every phase real, then checks the three places traces land:
+// the always-on phase totals (queue, exec and fence all accumulate and
+// account for the end-to-end time), the slow-exemplar ring, and the
+// /debug/slow HTTP surface.
+func TestTraceSmoke(t *testing.T) {
+	trace.ResetSlow()
+	t.Cleanup(func() { trace.SetSlowThreshold(0); trace.ResetSlow() })
+	before := trace.Snapshot()
+	_, addr := startServer(t, Config{
+		Protection:  "spp",
+		PoolSize:    32 << 20,
+		MaxInFlight: 2,
+		MaxQueue:    32,
+		OpCost:      2 * time.Millisecond, // every request clears the slow threshold
+		Knobs:       engine.Knobs{TraceSample: 1, SlowTraceUS: 1000},
+	})
+
+	const clients, opsPerClient = 8, 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, "t", client.WithTracing(1))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opsPerClient; i++ {
+				if err := c.Put([]byte(fmt.Sprintf("c%d-k%d", ci, i)), []byte("v")); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	d := trace.Snapshot().Delta(before)
+	if want := uint64(clients * opsPerClient); d.Count != want {
+		t.Fatalf("traced %d requests, want %d (sampling 1-in-1 on both ends)", d.Count, want)
+	}
+	for _, p := range []trace.Phase{trace.PhaseQueue, trace.PhaseExec, trace.PhaseFence} {
+		if d.Phase[p] == 0 {
+			t.Errorf("phase %v accumulated nothing", p)
+		}
+	}
+	// Queue and exec partition the traced interval: together they must
+	// account for nearly all of the end-to-end time.
+	if covered := d.Phase[trace.PhaseQueue] + d.Phase[trace.PhaseExec]; covered < d.Total*9/10 {
+		t.Errorf("queue+exec = %v of %v total (< 90%%)",
+			time.Duration(covered), time.Duration(d.Total))
+	}
+
+	exs := trace.SlowExemplars()
+	if len(exs) == 0 {
+		t.Fatal("no slow exemplars despite 2ms ops over a 1ms threshold")
+	}
+	if e := exs[0]; e.Tenant != "t" || e.Total < time.Millisecond {
+		t.Errorf("exemplar = %+v", e)
+	}
+
+	// The exemplars are served on the shared debug surface.
+	hsrv := httptest.NewServer(telemetry.Handler(telemetry.NewRegistry()))
+	defer hsrv.Close()
+	resp, err := http.Get(hsrv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "tenant=t") {
+		t.Errorf("/debug/slow missing exemplars:\n%s", body)
+	}
 }
 
 // TestCrashRestartRecovery kills a server mid-life (no graceful close),

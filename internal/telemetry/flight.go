@@ -37,6 +37,10 @@ const (
 	EvViolation
 	// EvFence: A = pending flush ranges retired (tracked mode only).
 	EvFence
+	// EvSlowReq: A = trace request ID, B = total service nanoseconds.
+	// The full per-phase breakdown for the ID is in the /debug/slow
+	// exemplar ring (internal/trace).
+	EvSlowReq
 )
 
 func (k EventKind) String() string {
@@ -61,6 +65,8 @@ func (k EventKind) String() string {
 		return "violation"
 	case EvFence:
 		return "fence"
+	case EvSlowReq:
+		return "slow-req"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

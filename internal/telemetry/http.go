@@ -6,10 +6,28 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 )
 
 var publishOnce sync.Once
+
+// extraHandlers are debug surfaces contributed by other packages
+// (internal/trace mounts /debug/slow here). Registration happens at
+// package init time, before any Handler call builds a mux.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// Handle registers an additional handler served by every subsequent
+// Handler (and Serve) under the given pattern. Later registrations
+// under the same pattern replace earlier ones.
+func Handle(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extraHandlers[pattern] = h
+}
 
 // Handler returns an http.Handler exposing the observability surfaces:
 //
@@ -17,6 +35,7 @@ var publishOnce sync.Once
 //	/debug/vars   expvar JSON (reg published as "spp")
 //	/debug/audit  the violation audit trail
 //	/debug/flight the flight-recorder ring
+//	/debug/slow   slow-request exemplars (via internal/trace)
 //	/debug/pprof/ CPU, heap, goroutine, ... profiles
 func Handler(reg *Registry) http.Handler {
 	if reg == Default {
@@ -41,18 +60,30 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraMu.Lock()
+	patterns := make([]string, 0, len(extraHandlers))
+	for p := range extraHandlers {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		mux.Handle(p, extraHandlers[p])
+	}
+	extraMu.Unlock()
 	return mux
 }
 
 // Serve binds addr and serves Handler(reg) in a background goroutine,
-// returning the bound address (useful with a ":0" port). Long
-// benchmark runs point a browser or `go tool pprof` at it.
-func Serve(addr string, reg *Registry) (string, error) {
+// returning the bound address (useful with a ":0" port) and a closer
+// that shuts the listener down. Long benchmark runs point a browser or
+// `go tool pprof` at it; tests and graceful shutdown paths call the
+// closer so the listener never outlives its owner.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(reg)}
-	go srv.Serve(ln) //nolint:errcheck // lives until process exit
-	return ln.Addr().String(), nil
+	go srv.Serve(ln) //nolint:errcheck // surfaced through the closer
+	return ln.Addr().String(), srv.Close, nil
 }

@@ -45,7 +45,7 @@ func TestHandlerSurfaces(t *testing.T) {
 }
 
 func TestServeBindsEphemeral(t *testing.T) {
-	addr, err := Serve("127.0.0.1:0", NewRegistry())
+	addr, closer, err := Serve("127.0.0.1:0", NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,5 +56,29 @@ func TestServeBindsEphemeral(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /metrics over Serve: %s", resp.Status)
+	}
+	// The returned closer shuts the listener down: a fresh Serve can
+	// rebind the same address, and requests to the old one fail.
+	if err := closer(); err != nil {
+		t.Fatalf("closer: %v", err)
+	}
+	addr2, closer2, err := Serve(addr, NewRegistry())
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	defer closer2()
+	if addr2 != addr {
+		t.Fatalf("rebind address = %s, want %s", addr2, addr)
+	}
+}
+
+func TestHandleMountsExtraRoutes(t *testing.T) {
+	Handle("/debug/test-extra", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "extra-ok")
+	}))
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	if body := get(t, srv, "/debug/test-extra"); body != "extra-ok" {
+		t.Fatalf("/debug/test-extra = %q", body)
 	}
 }

@@ -21,6 +21,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -60,6 +61,51 @@ func (c *Counter) Inc() {
 	}
 }
 
+// hookSampleMask is the 1-in-N sampling mask for IncSampled sites
+// (N-1 for a power-of-two N, 0 for unsampled). One process-wide word:
+// the hot sites load it with the same predictable-branch discipline as
+// the enabled gate.
+var hookSampleMask atomic.Uint64
+
+// SetHookSampling makes IncSampled record one in n increments,
+// weighted by n so totals stay unbiased. n is rounded up to a power of
+// two; n <= 1 restores exact counting. On multi-core hardware the
+// hottest per-access counters (the SPP hook counters) otherwise
+// serialize every core on a handful of contended cachelines.
+func SetHookSampling(n int) {
+	if n <= 1 {
+		hookSampleMask.Store(0)
+		return
+	}
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	hookSampleMask.Store(p - 1)
+}
+
+// HookSampling reports the effective sampling interval (1 = exact).
+func HookSampling() int { return int(hookSampleMask.Load()) + 1 }
+
+// IncSampled adds one statistically: with hook sampling at 1-in-N it
+// adds N on a pseudo-randomly chosen 1/N of calls and nothing on the
+// rest, trading per-increment accuracy for an uncontended fast path.
+// The random draw is rand/v2's per-thread generator, so sampled sites
+// share no mutable state at all between cores.
+func (c *Counter) IncSampled() {
+	if !enabled.Load() {
+		return
+	}
+	mask := hookSampleMask.Load()
+	if mask == 0 {
+		c.v.Add(1)
+		return
+	}
+	if rand.Uint64()&mask == 0 {
+		c.v.Add(mask + 1)
+	}
+}
+
 // Add adds n when telemetry is enabled.
 func (c *Counter) Add(n uint64) {
 	if enabled.Load() {
@@ -93,15 +139,35 @@ func (g *Gauge) Add(d int64) {
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// histBuckets are the histogram upper bounds: powers of four from 16
-// up, with a final overflow bucket. Suits byte and entry counts alike.
-var histBuckets = [...]uint64{16, 64, 256, 1024, 4096, 16384, 65536}
+// histBuckets are the default histogram upper bounds: powers of four
+// from 16 up, with a final overflow bucket. Suits byte and entry
+// counts alike.
+var histBuckets = []uint64{16, 64, 256, 1024, 4096, 16384, 65536}
 
-// Histogram is a fixed-bucket histogram of uint64 observations.
+// NSBuckets are upper bounds suited to nanosecond durations on the
+// serve path: powers of four from 4µs to ~16.8ms. Latency histograms
+// (request service time, trace phase spans) register with these.
+var NSBuckets = []uint64{4096, 16384, 65536, 262144, 1 << 20, 1 << 22, 1 << 24}
+
+// maxHistBuckets bounds the finite bucket count so the counter array
+// stays a fixed-size, allocation-free struct field.
+const maxHistBuckets = 7
+
+// Histogram is a fixed-bucket histogram of uint64 observations. The
+// default bounds are histBuckets; HistogramBuckets registers one with
+// caller-chosen bounds.
 type Histogram struct {
-	buckets [len(histBuckets) + 1]atomic.Uint64
+	bounds  []uint64 // nil means histBuckets
+	buckets [maxHistBuckets + 1]atomic.Uint64
 	sum     atomic.Uint64
 	count   atomic.Uint64
+}
+
+func (h *Histogram) bnds() []uint64 {
+	if h.bounds == nil {
+		return histBuckets
+	}
+	return h.bounds
 }
 
 // Observe records v when telemetry is enabled.
@@ -109,8 +175,9 @@ func (h *Histogram) Observe(v uint64) {
 	if !enabled.Load() {
 		return
 	}
+	b := h.bnds()
 	i := 0
-	for i < len(histBuckets) && v > histBuckets[i] {
+	for i < len(b) && v > b[i] {
 		i++
 	}
 	h.buckets[i].Add(1)
@@ -141,27 +208,28 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if count == 0 {
 		return 0
 	}
+	b := h.bnds()
 	rank := q * float64(count)
 	cum := uint64(0)
-	for i := range h.buckets {
+	for i := 0; i <= len(b); i++ {
 		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
 		}
 		if float64(cum+n) >= rank {
-			if i >= len(histBuckets) {
+			if i >= len(b) {
 				break // overflow bucket: no finite upper bound
 			}
 			lo := float64(0)
 			if i > 0 {
-				lo = float64(histBuckets[i-1])
+				lo = float64(b[i-1])
 			}
-			hi := float64(histBuckets[i])
+			hi := float64(b[i])
 			return lo + (hi-lo)*(rank-float64(cum))/float64(n)
 		}
 		cum += n
 	}
-	return float64(histBuckets[len(histBuckets)-1])
+	return float64(b[len(b)-1])
 }
 
 // Vec is a family of counters distinguished by one label, e.g. steal
@@ -302,6 +370,19 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	}).hist
 }
 
+// HistogramBuckets is Histogram with explicit finite upper bounds
+// (ascending, at most maxHistBuckets of them). The bounds are fixed at
+// first registration; a later call under the same name returns the
+// existing histogram unchanged.
+func (r *Registry) HistogramBuckets(name, help string, bounds []uint64) *Histogram {
+	if len(bounds) == 0 || len(bounds) > maxHistBuckets {
+		panic(fmt.Sprintf("telemetry: histogram %q wants %d buckets, max %d", name, len(bounds), maxHistBuckets))
+	}
+	return r.lookup(name, kindHistogram, func() *metric {
+		return &metric{kind: kindHistogram, name: name, help: help, hist: &Histogram{bounds: bounds}}
+	}).hist
+}
+
 // CounterVec returns the registered counter family with the given name
 // and label key.
 func (r *Registry) CounterVec(name, help, label string) *Vec {
@@ -362,8 +443,8 @@ func (r *Registry) Snapshot() Snapshot {
 				out[m.name] = fn()
 			}
 		case kindHistogram:
-			for i := range m.hist.buckets {
-				out[fmt.Sprintf("%s_bucket{le=%q}", m.name, bucketBound(i))] =
+			for i := 0; i <= len(m.hist.bnds()); i++ {
+				out[fmt.Sprintf("%s_bucket{le=%q}", m.name, m.hist.bound(i))] =
 					int64(m.hist.buckets[i].Load())
 			}
 			out[m.name+"_sum"] = int64(m.hist.Sum())
@@ -383,11 +464,13 @@ func (r *Registry) Snapshot() Snapshot {
 	return out
 }
 
-func bucketBound(i int) string {
-	if i >= len(histBuckets) {
+// bound renders the i-th bucket's upper bound label.
+func (h *Histogram) bound(i int) string {
+	b := h.bnds()
+	if i >= len(b) {
 		return "+Inf"
 	}
-	return fmt.Sprintf("%d", histBuckets[i])
+	return fmt.Sprintf("%d", b[i])
 }
 
 // WriteProm writes every metric in the Prometheus text exposition
@@ -412,9 +495,9 @@ func (r *Registry) WriteProm(w io.Writer) {
 			fmt.Fprintf(w, "%s %d\n", m.name, v)
 		case kindHistogram:
 			cum := uint64(0)
-			for i := range m.hist.buckets {
+			for i := 0; i <= len(m.hist.bnds()); i++ {
 				cum += m.hist.buckets[i].Load()
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, bucketBound(i), cum)
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, m.hist.bound(i), cum)
 			}
 			fmt.Fprintf(w, "%s_sum %d\n", m.name, m.hist.Sum())
 			fmt.Fprintf(w, "%s_count %d\n", m.name, m.hist.Count())

@@ -1,0 +1,351 @@
+// Package trace is the request-scoped span layer of the serve path:
+// it attributes each sampled request's latency to the phases that
+// spent it — admission-queue wait, store-op execution, and the tx
+// begin / commit / flush-coalesce / group-fence stages of the commit
+// pipeline — so a p99 regression names the stage that moved instead of
+// just the total.
+//
+// A trace context (request ID + sampling decision) is minted by a
+// Sampler — in repro/client for end-to-end traces, or server-side for
+// requests from clients that predate tracing — and carried in the
+// internal/wire frame header. A sampled request materializes a Req;
+// the layers it crosses add phase durations through Span handles (the
+// *Tx carries the Req into the commit pipeline, so no API below the
+// store grows a context parameter).
+//
+// Costs follow the telemetry discipline: an unsampled request pays a
+// few nil checks and no clock reads; a sampled one pays two clock
+// reads per phase. Completed Reqs feed three sinks: per-phase
+// nanosecond histograms in telemetry.Default (the Prometheus/expvar
+// surface), always-on atomic phase totals (Snapshot, which sppbench's
+// serve attribution columns read), and — for requests slower than
+// SetSlowThreshold — a bounded exemplar ring served at /debug/slow
+// alongside an EvSlowReq flight-recorder event. See DESIGN.md §16.
+package trace
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Phase enumerates the serve-path stages a request's time is
+// attributed to.
+type Phase uint8
+
+// The phases. Queue and Exec are disjoint wall-clock intervals of the
+// request (admission wait, then everything after admission); TxBegin,
+// TxCommit, Flush and Fence are sub-intervals nested inside Exec,
+// recorded by the commit pipeline.
+const (
+	// PhaseQueue is time parked in admission control waiting for a
+	// window slot.
+	PhaseQueue Phase = iota
+	// PhaseExec is time executing the operation after admission:
+	// tenant lookup, store traversal, and the nested tx phases.
+	PhaseExec
+	// PhaseTxBegin is lane acquisition in Pool.Begin.
+	PhaseTxBegin
+	// PhaseTxCommit is Tx.Commit outside the flush and fence stages:
+	// redo preparation, the commit point, and heap settlement.
+	PhaseTxCommit
+	// PhaseFlush is the commit pipeline's flush-coalesce stage: the
+	// accumulator pass over snapshotted ranges and fresh allocations.
+	PhaseFlush
+	// PhaseFence is the commit fence — under group fencing, time
+	// waiting on the device's epoch combiner.
+	PhaseFence
+	// NumPhases sizes per-phase arrays.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"queue", "exec", "tx-begin", "tx-commit", "flush", "fence"}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Per-phase latency histograms plus the end-to-end total, on the
+// Prometheus/expvar surface whenever telemetry is enabled.
+var (
+	phaseHists = func() (h [NumPhases]*telemetry.Histogram) {
+		for p := range h {
+			h[p] = telemetry.Default.HistogramBuckets(
+				"spp_trace_"+phaseNames[p]+"_ns",
+				fmt.Sprintf("sampled request time in the %s phase", Phase(p)),
+				telemetry.NSBuckets)
+		}
+		return
+	}()
+	totalHist = telemetry.Default.HistogramBuckets("spp_trace_total_ns",
+		"sampled request end-to-end service time", telemetry.NSBuckets)
+	metTraced = telemetry.Default.Counter("spp_trace_requests_total", "requests sampled for tracing")
+	metSlow   = telemetry.Default.Counter("spp_trace_slow_total", "sampled requests over the slow threshold")
+)
+
+// Always-on phase totals: unlike the histograms these are recorded for
+// every finished Req even with the metrics registry disabled, so the
+// serve benchmark can attribute latency without turning full telemetry
+// on. Only sampled requests touch them.
+var (
+	phaseTotals [NumPhases]atomic.Uint64
+	reqTotal    atomic.Uint64
+	reqCount    atomic.Uint64
+)
+
+// Totals is a snapshot of the always-on accumulation.
+type Totals struct {
+	Phase [NumPhases]uint64 // ns per phase
+	Total uint64            // ns end-to-end
+	Count uint64            // finished sampled requests
+}
+
+// Snapshot returns the phase totals accumulated so far.
+func Snapshot() Totals {
+	var t Totals
+	for p := range t.Phase {
+		t.Phase[p] = phaseTotals[p].Load()
+	}
+	t.Total = reqTotal.Load()
+	t.Count = reqCount.Load()
+	return t
+}
+
+// Delta returns t - prev, fieldwise.
+func (t Totals) Delta(prev Totals) Totals {
+	out := Totals{Total: t.Total - prev.Total, Count: t.Count - prev.Count}
+	for p := range t.Phase {
+		out.Phase[p] = t.Phase[p] - prev.Phase[p]
+	}
+	return out
+}
+
+// Ctx is the wire-carried trace context: who the request is (for
+// exemplar correlation) and whether it was chosen for tracing.
+type Ctx struct {
+	ID      uint64
+	Sampled bool
+}
+
+// Sampler mints trace contexts with a 1-in-N decision. The zero
+// Sampler is invalid; use NewSampler.
+type Sampler struct {
+	n   uint64
+	ctr atomic.Uint64
+	ids atomic.Uint64
+}
+
+// NewSampler returns a sampler marking one in n requests (n <= 1
+// samples everything). Request IDs are scrambled from a time-seeded
+// counter so concurrent samplers do not collide.
+func NewSampler(n int) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sampler{n: uint64(n)}
+	s.ids.Store(uint64(time.Now().UnixNano()))
+	return s
+}
+
+// Next mints the context for one request.
+func (s *Sampler) Next() Ctx {
+	id := splitmix64(s.ids.Add(1))
+	return Ctx{ID: id, Sampled: s.ctr.Add(1)%s.n == 0}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijection spreading
+// sequential counter values over the whole ID space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Req is one sampled request being traced. Reqs are pooled; obtain
+// them from Start and finish each with exactly one Finish or Drop.
+// The phase accumulators tolerate concurrent Add calls (the commit
+// pipeline records while the server goroutine owns the Req).
+type Req struct {
+	ID     uint64
+	Op     string
+	Tenant string
+
+	start  time.Time
+	phases [NumPhases]atomic.Int64
+}
+
+var reqPool = sync.Pool{New: func() any { return new(Req) }}
+
+// Start begins tracing one request. The caller decided sampling
+// already (via a Sampler or an inbound wire context).
+func Start(id uint64, op, tenant string) *Req {
+	r := reqPool.Get().(*Req)
+	r.ID, r.Op, r.Tenant = id, op, tenant
+	r.start = time.Now()
+	for p := range r.phases {
+		r.phases[p].Store(0)
+	}
+	return r
+}
+
+// Add attributes d to phase p. Safe on a nil Req (no-op), so deep
+// layers need no reached-by-a-trace branch beyond the nil check.
+func (r *Req) Add(p Phase, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.phases[p].Add(int64(d))
+}
+
+// Span is an open interval of one phase. The zero Span (from a nil
+// Req) ends without reading the clock.
+type Span struct {
+	r  *Req
+	p  Phase
+	t0 time.Time
+}
+
+// Span opens a measuring interval for phase p; End closes it.
+func (r *Req) Span(p Phase) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, p: p, t0: time.Now()}
+}
+
+// End records the interval opened by Span.
+func (s Span) End() {
+	if s.r != nil {
+		s.r.phases[s.p].Add(int64(time.Since(s.t0)))
+	}
+}
+
+// Finish completes the request: phase durations land in the histograms
+// and the always-on totals, and a request over the slow threshold is
+// captured as an exemplar. The Req must not be used afterwards.
+func (r *Req) Finish() {
+	if r == nil {
+		return
+	}
+	total := time.Since(r.start)
+	metTraced.Inc()
+	totalHist.Observe(uint64(total))
+	reqTotal.Add(uint64(total))
+	reqCount.Add(1)
+	var phases [NumPhases]time.Duration
+	for p := range r.phases {
+		d := r.phases[p].Load()
+		phases[p] = time.Duration(d)
+		if d > 0 {
+			phaseHists[p].Observe(uint64(d))
+			phaseTotals[p].Add(uint64(d))
+		}
+	}
+	if thr := slowNS.Load(); thr > 0 && total >= time.Duration(thr) {
+		metSlow.Inc()
+		captureSlow(Exemplar{
+			ID: r.ID, Op: r.Op, Tenant: r.Tenant,
+			When: r.start, Total: total, Phases: phases,
+		})
+		telemetry.Flight.Record(telemetry.EvSlowReq, r.ID, uint64(total))
+	}
+	reqPool.Put(r)
+}
+
+// Drop abandons the request without recording it — a shed request was
+// never executed, and tracing it would pollute the attribution.
+func (r *Req) Drop() {
+	if r != nil {
+		reqPool.Put(r)
+	}
+}
+
+// slowNS is the exemplar-capture threshold in nanoseconds (0 = off).
+var slowNS atomic.Int64
+
+// SetSlowThreshold captures finished requests at least d slow as
+// /debug/slow exemplars; d <= 0 disables capture.
+func SetSlowThreshold(d time.Duration) { slowNS.Store(int64(d)) }
+
+// SlowThreshold returns the current exemplar threshold.
+func SlowThreshold() time.Duration { return time.Duration(slowNS.Load()) }
+
+// Exemplar is one captured slow request, whole: identity plus the full
+// per-phase breakdown.
+type Exemplar struct {
+	ID     uint64
+	Op     string
+	Tenant string
+	When   time.Time
+	Total  time.Duration
+	Phases [NumPhases]time.Duration
+}
+
+func (e Exemplar) String() string {
+	s := fmt.Sprintf("#%016x %s %s tenant=%s total=%v", e.ID,
+		e.When.Format("15:04:05.000"), e.Op, e.Tenant, e.Total)
+	for p, d := range e.Phases {
+		if d > 0 {
+			s += fmt.Sprintf(" %s=%v", Phase(p), d)
+		}
+	}
+	return s
+}
+
+// slowRingCap bounds retained exemplars; newer evict older.
+const slowRingCap = 64
+
+var slowRing struct {
+	mu   sync.Mutex
+	buf  [slowRingCap]Exemplar
+	next int
+	n    int
+}
+
+func captureSlow(e Exemplar) {
+	slowRing.mu.Lock()
+	slowRing.buf[slowRing.next] = e
+	slowRing.next = (slowRing.next + 1) % slowRingCap
+	if slowRing.n < slowRingCap {
+		slowRing.n++
+	}
+	slowRing.mu.Unlock()
+}
+
+// SlowExemplars returns the retained slow requests, oldest first.
+func SlowExemplars() []Exemplar {
+	slowRing.mu.Lock()
+	defer slowRing.mu.Unlock()
+	out := make([]Exemplar, 0, slowRing.n)
+	for i := 0; i < slowRing.n; i++ {
+		out = append(out, slowRing.buf[(slowRing.next-slowRing.n+i+slowRingCap)%slowRingCap])
+	}
+	return out
+}
+
+// ResetSlow discards retained exemplars (tests).
+func ResetSlow() {
+	slowRing.mu.Lock()
+	slowRing.next, slowRing.n = 0, 0
+	slowRing.mu.Unlock()
+}
+
+// init mounts the exemplar ring on the shared debug surface: any
+// telemetry.Handler built after package init serves /debug/slow.
+func init() {
+	telemetry.Handle("/debug/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		exs := SlowExemplars()
+		fmt.Fprintf(w, "slow-request exemplars: %d retained (threshold %v)\n", len(exs), SlowThreshold())
+		for _, e := range exs {
+			fmt.Fprintln(w, e)
+		}
+	}))
+}

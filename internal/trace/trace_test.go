@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerOneInN(t *testing.T) {
+	s := NewSampler(8)
+	sampled := 0
+	ids := make(map[uint64]bool)
+	for i := 0; i < 800; i++ {
+		c := s.Next()
+		if c.Sampled {
+			sampled++
+		}
+		if ids[c.ID] {
+			t.Fatalf("duplicate request ID %#x", c.ID)
+		}
+		ids[c.ID] = true
+	}
+	if sampled != 100 {
+		t.Errorf("sampled %d of 800 at 1-in-8, want exactly 100", sampled)
+	}
+	// n <= 1 samples everything.
+	every := NewSampler(0)
+	for i := 0; i < 10; i++ {
+		if !every.Next().Sampled {
+			t.Fatal("NewSampler(0) skipped a request")
+		}
+	}
+}
+
+func TestNilReqIsFree(t *testing.T) {
+	var r *Req
+	r.Add(PhaseQueue, time.Millisecond) // must not panic
+	sp := r.Span(PhaseExec)
+	sp.End()
+	r.Finish()
+	r.Drop()
+}
+
+func TestReqAccumulatesIntoTotals(t *testing.T) {
+	before := Snapshot()
+	r := Start(42, "put", "acme")
+	r.Add(PhaseQueue, 3*time.Millisecond)
+	r.Add(PhaseFence, time.Millisecond)
+	sp := r.Span(PhaseExec)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	r.Finish()
+
+	d := Snapshot().Delta(before)
+	if d.Count != 1 {
+		t.Fatalf("Count delta = %d, want 1", d.Count)
+	}
+	if got := time.Duration(d.Phase[PhaseQueue]); got != 3*time.Millisecond {
+		t.Errorf("queue total = %v, want 3ms", got)
+	}
+	if got := time.Duration(d.Phase[PhaseFence]); got != time.Millisecond {
+		t.Errorf("fence total = %v, want 1ms", got)
+	}
+	if got := time.Duration(d.Phase[PhaseExec]); got < 2*time.Millisecond {
+		t.Errorf("exec total = %v, want >= 2ms", got)
+	}
+	if time.Duration(d.Total) < 2*time.Millisecond {
+		t.Errorf("end-to-end total = %v, want >= 2ms", time.Duration(d.Total))
+	}
+	if d.Phase[PhaseTxBegin] != 0 || d.Phase[PhaseFlush] != 0 {
+		t.Errorf("untouched phases accumulated: %+v", d.Phase)
+	}
+}
+
+func TestDropRecordsNothing(t *testing.T) {
+	before := Snapshot()
+	r := Start(7, "get", "acme")
+	r.Add(PhaseQueue, time.Second)
+	r.Drop()
+	if d := Snapshot().Delta(before); d.Count != 0 || d.Phase[PhaseQueue] != 0 {
+		t.Errorf("Drop leaked into totals: %+v", d)
+	}
+}
+
+// TestReqPoolReuse: a pooled Req must come back clean — phase residue
+// from a prior request would corrupt the next trace's attribution.
+func TestReqPoolReuse(t *testing.T) {
+	r := Start(1, "put", "t")
+	r.Add(PhaseFlush, time.Hour)
+	r.Finish()
+	before := Snapshot()
+	r2 := Start(2, "get", "t")
+	r2.Finish()
+	if d := Snapshot().Delta(before); d.Phase[PhaseFlush] != 0 {
+		t.Errorf("recycled Req kept %v of flush time", time.Duration(d.Phase[PhaseFlush]))
+	}
+}
+
+func TestSlowExemplarCapture(t *testing.T) {
+	ResetSlow()
+	old := SlowThreshold()
+	SetSlowThreshold(time.Microsecond)
+	defer SetSlowThreshold(old)
+
+	r := Start(0xabc, "put", "acme")
+	r.Add(PhaseFence, 5*time.Millisecond)
+	time.Sleep(time.Millisecond)
+	r.Finish()
+
+	exs := SlowExemplars()
+	if len(exs) != 1 {
+		t.Fatalf("got %d exemplars, want 1", len(exs))
+	}
+	e := exs[0]
+	if e.ID != 0xabc || e.Op != "put" || e.Tenant != "acme" {
+		t.Errorf("exemplar identity = %+v", e)
+	}
+	if e.Phases[PhaseFence] != 5*time.Millisecond {
+		t.Errorf("exemplar fence = %v", e.Phases[PhaseFence])
+	}
+	if s := e.String(); !strings.Contains(s, "fence=5ms") || !strings.Contains(s, "put") {
+		t.Errorf("exemplar String() = %q", s)
+	}
+
+	// Below-threshold requests are not captured.
+	SetSlowThreshold(time.Hour)
+	fast := Start(1, "get", "acme")
+	fast.Finish()
+	if got := len(SlowExemplars()); got != 1 {
+		t.Errorf("fast request captured: %d exemplars", got)
+	}
+	ResetSlow()
+}
+
+func TestSlowRingEvictsOldestFirst(t *testing.T) {
+	ResetSlow()
+	defer ResetSlow()
+	for i := 0; i < slowRingCap+10; i++ {
+		captureSlow(Exemplar{ID: uint64(i)})
+	}
+	exs := SlowExemplars()
+	if len(exs) != slowRingCap {
+		t.Fatalf("ring holds %d, want %d", len(exs), slowRingCap)
+	}
+	for i, e := range exs {
+		if want := uint64(i + 10); e.ID != want {
+			t.Fatalf("exemplar %d has ID %d, want %d (oldest first)", i, e.ID, want)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseQueue.String() != "queue" || PhaseFence.String() != "fence" {
+		t.Errorf("phase names: %v %v", PhaseQueue, PhaseFence)
+	}
+	if got := Phase(200).String(); got != fmt.Sprintf("phase(%d)", 200) {
+		t.Errorf("out-of-range phase = %q", got)
+	}
+}

@@ -7,12 +7,25 @@
 // Request frame layout (all integers big-endian):
 //
 //	u32  payload length (bytes after this field)
-//	u8   op              (OpGet, OpPut, OpDelete, OpCount)
+//	u8   op              (OpGet, OpPut, OpDelete, OpCount; high bit =
+//	                      OpTraceFlag, a trace header follows)
+//	u64  trace ID        (only with OpTraceFlag)
+//	u8   trace flags     (only with OpTraceFlag; bit 0 = sampled,
+//	                      other bits reserved and must be zero)
 //	u8   tenant length   (1..MaxTenantLen)
 //	...  tenant
 //	u32  key length
 //	...  key
 //	...  value           (rest of the frame; PUT only)
+//
+// The trace header is a backward-compatible extension: a client only
+// emits it for requests actually chosen for tracing, so a new client
+// with tracing disabled (or sampling past this request) produces
+// byte-identical frames to the original protocol and old servers are
+// none the wiser. An old server receiving a traced frame rejects it
+// deterministically ("bad op") rather than misparsing it — tracing
+// against a server that predates the extension is a configuration
+// error, not a silent corruption.
 //
 // Response frame layout:
 //
@@ -31,6 +44,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/trace"
 )
 
 // Ops.
@@ -39,6 +54,16 @@ const (
 	OpPut
 	OpDelete
 	OpCount
+
+	// OpTraceFlag marks a request frame carrying the 9-byte trace
+	// header between the op byte and the tenant length.
+	OpTraceFlag byte = 0x80
+)
+
+// Trace header layout.
+const (
+	traceHdrLen      = 8 + 1 // u64 ID + u8 flags
+	traceFlagSampled = 0x01
 )
 
 // Statuses.
@@ -67,12 +92,14 @@ var (
 	ErrOverloaded    = errors.New("wire: server overloaded")
 )
 
-// Request is one decoded operation.
+// Request is one decoded operation. A zero Trace means the frame
+// carried no trace header (and none is emitted on encode).
 type Request struct {
 	Op     byte
 	Tenant string
 	Key    []byte
 	Value  []byte
+	Trace  trace.Ctx
 }
 
 // Response is one decoded reply.
@@ -89,12 +116,27 @@ func AppendRequest(dst []byte, r Request) ([]byte, error) {
 	if len(r.Tenant) == 0 || len(r.Tenant) > MaxTenantLen {
 		return dst, fmt.Errorf("%w: tenant length %d", ErrMalformed, len(r.Tenant))
 	}
+	traced := r.Trace != (trace.Ctx{})
 	n := reqHeader + len(r.Tenant) + len(r.Key) + len(r.Value)
+	if traced {
+		n += traceHdrLen
+	}
 	if n > MaxFrame {
 		return dst, ErrFrameTooLarge
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, r.Op, byte(len(r.Tenant)))
+	if traced {
+		dst = append(dst, r.Op|OpTraceFlag)
+		dst = binary.BigEndian.AppendUint64(dst, r.Trace.ID)
+		var flags byte
+		if r.Trace.Sampled {
+			flags |= traceFlagSampled
+		}
+		dst = append(dst, flags)
+	} else {
+		dst = append(dst, r.Op)
+	}
+	dst = append(dst, byte(len(r.Tenant)))
 	dst = append(dst, r.Tenant...)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Key)))
 	dst = append(dst, r.Key...)
@@ -122,10 +164,31 @@ func ReadRequest(r io.Reader) (Request, error) {
 	if len(payload) < reqHeader {
 		return Request{}, fmt.Errorf("%w: request payload %d bytes", ErrMalformed, len(payload))
 	}
-	op, tlen := payload[0], int(payload[1])
+	op := payload[0]
+	var tc trace.Ctx
+	if op&OpTraceFlag != 0 {
+		op &^= OpTraceFlag
+		if len(payload) < reqHeader+traceHdrLen {
+			return Request{}, fmt.Errorf("%w: truncated trace header in %d-byte payload", ErrMalformed, len(payload))
+		}
+		tc.ID = binary.BigEndian.Uint64(payload[1:])
+		flags := payload[1+8]
+		if flags&^traceFlagSampled != 0 {
+			return Request{}, fmt.Errorf("%w: reserved trace flags %#x", ErrMalformed, flags)
+		}
+		tc.Sampled = flags&traceFlagSampled != 0
+		if tc == (trace.Ctx{}) {
+			return Request{}, fmt.Errorf("%w: empty trace header", ErrMalformed)
+		}
+		// Cut the header out so the rest of the frame parses at the
+		// untraced offsets (index 0 becomes dead padding where the op
+		// byte sat).
+		payload = payload[traceHdrLen:]
+	}
 	if op < OpGet || op > OpCount {
 		return Request{}, fmt.Errorf("%w: bad op %d", ErrMalformed, op)
 	}
+	tlen := int(payload[1])
 	if tlen == 0 || 2+tlen+4 > len(payload) {
 		return Request{}, fmt.Errorf("%w: tenant length %d in %d-byte payload", ErrMalformed, tlen, len(payload))
 	}
@@ -136,7 +199,7 @@ func ReadRequest(r io.Reader) (Request, error) {
 	if klen > len(rest) {
 		return Request{}, fmt.Errorf("%w: key length %d exceeds remaining %d bytes", ErrMalformed, klen, len(rest))
 	}
-	req := Request{Op: op, Tenant: tenant, Key: rest[:klen], Value: rest[klen:]}
+	req := Request{Op: op, Tenant: tenant, Key: rest[:klen], Value: rest[klen:], Trace: tc}
 	if op != OpPut && len(req.Value) != 0 {
 		return Request{}, fmt.Errorf("%w: op %d carries a value", ErrMalformed, op)
 	}

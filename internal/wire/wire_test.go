@@ -6,6 +6,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -34,6 +36,77 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadRequest(&buf); err != io.EOF {
 		t.Errorf("after all frames: err = %v, want io.EOF", err)
+	}
+}
+
+// TestTracedRequestRoundTrip covers frames carrying the trace-header
+// extension: the context survives the round trip on every op,
+// including a sampled context with ID zero.
+func TestTracedRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Tenant: "acme", Key: []byte("k1"), Trace: trace.Ctx{ID: 0xdeadbeefcafe, Sampled: true}},
+		{Op: OpPut, Tenant: "acme", Key: []byte("k1"), Value: []byte("v1"), Trace: trace.Ctx{ID: 7, Sampled: true}},
+		{Op: OpDelete, Tenant: "t", Key: []byte("k2"), Trace: trace.Ctx{ID: 1}},
+		{Op: OpCount, Tenant: "acme", Trace: trace.Ctx{Sampled: true}},
+	}
+	var buf bytes.Buffer
+	for _, r := range reqs {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatalf("write %+v: %v", r, err)
+		}
+	}
+	for i, want := range reqs {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Trace != want.Trace {
+			t.Errorf("round trip %d: trace = %+v, want %+v", i, got.Trace, want.Trace)
+		}
+		if got.Op != want.Op || got.Tenant != want.Tenant ||
+			!bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Errorf("round trip %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestTraceWireCompat pins the backward-compatibility contract of the
+// trace-header extension in both directions.
+func TestTraceWireCompat(t *testing.T) {
+	// New client, unsampled request: the frame must be byte-identical
+	// to the pre-extension layout, so old servers decode it unchanged.
+	got, err := AppendRequest(nil, Request{Op: OpPut, Tenant: "acme", Key: []byte("k"), Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []byte{
+		0, 0, 0, 12, // payload length
+		OpPut,
+		4, 'a', 'c', 'm', 'e',
+		0, 0, 0, 1, 'k',
+		'v',
+	}
+	if !bytes.Equal(got, old) {
+		t.Errorf("unsampled frame not byte-identical to old layout:\n got %x\nwant %x", got, old)
+	}
+	// Old client, new server: the old-layout frame decodes with a zero
+	// trace context.
+	req, err := ReadRequest(bytes.NewReader(old))
+	if err != nil {
+		t.Fatalf("old frame on new decoder: %v", err)
+	}
+	if req.Trace != (trace.Ctx{}) {
+		t.Errorf("old frame decoded with trace %+v", req.Trace)
+	}
+	// New client, old server: a traced frame's op byte carries the high
+	// bit, which the pre-extension op-range check (op > OpCount) turns
+	// into a deterministic "bad op" rejection rather than a misparse.
+	traced, err := AppendRequest(nil, Request{Op: OpPut, Tenant: "acme", Key: []byte("k"), Value: []byte("v"), Trace: trace.Ctx{ID: 1, Sampled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := traced[4]; op&OpTraceFlag == 0 || op <= OpCount {
+		t.Errorf("traced op byte %#x would pass an old server's op check", op)
 	}
 }
 
@@ -85,6 +158,16 @@ func TestMalformedFrames(t *testing.T) {
 		"key overrun":        {0, 0, 0, 8, OpGet, 1, 't', 0, 0, 0, 99, 'k'},
 		"value on GET":       {0, 0, 0, 9, OpGet, 1, 't', 0, 0, 0, 1, 'k', 'v'},
 		"garbage everywhere": bytes.Repeat([]byte{0xee}, 16),
+		// Trace-header extension: the flagged op promises 9 more header
+		// bytes; frames that break that promise are rejected before the
+		// rest of the payload is interpreted.
+		"truncated trace header": {0, 0, 0, 8, OpGet | OpTraceFlag, 0, 0, 0, 0, 0, 0, 0},
+		"reserved trace flags": {0, 0, 0, 16, OpGet | OpTraceFlag,
+			0, 0, 0, 0, 0, 0, 0, 1, 0x02, // ID 1, flags with reserved bit
+			1, 't', 0, 0, 0, 0},
+		"empty trace header": {0, 0, 0, 16, OpGet | OpTraceFlag,
+			0, 0, 0, 0, 0, 0, 0, 0, 0x00, // ID 0, unsampled: header says nothing
+			1, 't', 0, 0, 0, 0},
 	}
 	for name, b := range cases {
 		_, err := ReadRequest(bytes.NewReader(b))
