@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke serve-smoke trace-smoke
+.PHONY: check fmt vet test race lint-fixtures analysis-smoke bench telemetry-smoke commit-smoke compile-smoke serve-smoke trace-smoke mvcc-smoke
 
 ## check: everything CI runs — formatting, vet, build+tests, the race
 ## detector over the concurrency-sensitive packages, the sppc -lint
@@ -9,9 +9,10 @@ GO ?= go
 ## the commit-pipeline differential crash tests plus a tiny run of
 ## the commit experiment, the compiled-vs-interpreted differential
 ## tests plus a tiny run of the compile experiment, the KV service
-## suite plus a tiny run of the serve experiment, and the request-
-## tracing smoke test plus a sampled run of the serve experiment.
-check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke serve-smoke trace-smoke
+## suite plus a tiny run of the serve experiment, the request-
+## tracing smoke test plus a sampled run of the serve experiment,
+## and the MVCC snapshot suite plus a tiny run of the scan experiment.
+check: fmt vet test race lint-fixtures analysis-smoke telemetry-smoke commit-smoke compile-smoke serve-smoke trace-smoke mvcc-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -104,3 +105,16 @@ trace-smoke:
 	echo "$$out" | awk '$$1=="SPP" && $$2=="64" { found=1; if ($$7=="-" || $$7=="") bad=1 } \
 		END { exit (found && !bad) ? 0 : 1 }' \
 		|| { echo "attribution columns not populated for the SPP/64 row"; exit 1; }
+
+## mvcc-smoke: the MVCC snapshot contract — frozen-under-storm property
+## test, epoch-reclaim leak check, differential fault verdicts on the
+## snapshot path, mid-storm crash recovery, scan oracle, end-to-end
+## OpScan — plus a tiny run of the scan experiment asserting the
+## snapshot reader keeps a non-zero read rate under the write storm.
+mvcc-smoke:
+	$(GO) test -run 'TestSnapshot|TestEpochReclaim|TestScan|TestCrashRecoveryMidStorm|TestRehashMaint' ./internal/kvstore ./internal/server ./internal/wire -count=1
+	@out="$$($(GO) run ./cmd/sppbench -exp scan -scale 0.002)"; \
+	echo "$$out"; \
+	echo "$$out" | awk '$$1=="mvcc" && $$2=="storm" { found=1; if ($$3+0 <= 0) bad=1 } \
+		END { exit (found && !bad) ? 0 : 1 }' \
+		|| { echo "mvcc/storm row missing or snapshot reads stalled under the write storm"; exit 1; }

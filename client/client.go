@@ -150,6 +150,20 @@ func (c *Client) Delete(key []byte) (removed bool, err error) {
 	return resp.Status != wire.StatusNotFound, nil
 }
 
+// Scan returns up to limit key/value pairs in [lo, hi) in ascending
+// key order (nil lo scans from the start, nil hi to the end, limit 0
+// means no client-side limit). The server runs the scan against a
+// single consistent snapshot, so the result never interleaves with
+// concurrent writes; it may still be truncated by the response frame
+// budget — re-issue with lo set past the last returned key to page.
+func (c *Client) Scan(lo, hi []byte, limit uint32) ([]wire.KV, error) {
+	resp, err := c.do(wire.Request{Op: wire.OpScan, Key: lo, Hi: hi, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return wire.ParseScanResult(resp.Payload)
+}
+
 // Count returns the number of live keys in the tenant's store.
 func (c *Client) Count() (uint64, error) {
 	resp, err := c.do(wire.Request{Op: wire.OpCount})

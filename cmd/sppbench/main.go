@@ -44,6 +44,7 @@ var experiments = []experiment{
 	{"commit", "commit pipeline batching (DESIGN.md §12)", bench.Commit},
 	{"compile", "closure compilation vs reference interpreter (DESIGN.md §14)", bench.Compile},
 	{"serve", "KV service under closed-loop load (DESIGN.md §15)", bench.ServeBench},
+	{"scan", "snapshot reads and range scans under write storm (DESIGN.md §17)", bench.ScanBench},
 }
 
 func main() {

@@ -84,6 +84,35 @@ func ExamplePool_OpenStore() {
 	// after restart: 2 keys, user:2 = grace
 }
 
+// ExampleStore_Snapshot shows MVCC snapshot isolation: a pinned
+// snapshot keeps observing the versions that were current when it was
+// taken, while ordered range scans see the live state.
+func ExampleStore_Snapshot() {
+	pool, _ := spp.Open(spp.Options{PoolSize: 64 << 20})
+	store, _ := pool.OpenStore(spp.WithShards(8))
+	_ = store.Put([]byte("user:1"), []byte("ada"))
+	_ = store.Put([]byte("user:2"), []byte("grace"))
+
+	snap := store.Snapshot()
+	defer snap.Release()
+	_ = store.Put([]byte("user:1"), []byte("lovelace")) // after the snapshot
+	_ = store.Put([]byte("user:3"), []byte("margaret"))
+
+	old, _, _ := snap.Get([]byte("user:1"))
+	live, _, _ := store.Get([]byte("user:1"))
+	fmt.Println("snapshot:", string(old), "live:", string(live))
+
+	_ = store.Scan([]byte("user:"), []byte("user;"), func(k, v []byte) bool {
+		fmt.Printf("%s = %s\n", k, v)
+		return true
+	})
+	// Output:
+	// snapshot: ada live: lovelace
+	// user:1 = lovelace
+	// user:2 = grace
+	// user:3 = margaret
+}
+
 // ExamplePool_Reopen shows that persisted oids reconstruct identical
 // tagged pointers across a restart (design goal #4).
 func ExamplePool_Reopen() {

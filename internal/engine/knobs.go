@@ -41,6 +41,12 @@ type Knobs struct {
 	// instructions instead of through closure-compiled functions (the
 	// interpreter is the reference semantics).
 	NoCompile bool
+	// NoMVCC turns off multi-version snapshot isolation in the
+	// kvstore: reads take the per-shard RWMutex like writers instead of
+	// running lock-free against published copy-on-write roots, and
+	// Snapshot falls back to locked reads. The ablation baseline for
+	// -exp scan.
+	NoMVCC bool
 	// Telemetry turns on the global metrics registry; process-wide
 	// once set (see internal/telemetry).
 	Telemetry bool
@@ -86,6 +92,7 @@ var knobFlags = map[string]string{
 	"DisableGroupFence":    "no-group-fence",
 	"DisableBitmapAlloc":   "no-bitmap-alloc",
 	"NoCompile":            "no-compile",
+	"NoMVCC":               "no-mvcc",
 	"Telemetry":            "metrics",
 	"FlightRecorder":       "flight",
 	"TraceSample":          "trace-sample",
@@ -112,6 +119,8 @@ func RegisterFlags(fs *flag.FlagSet) *Knobs {
 		"disable the free-bitmap size-class pools; use map-based free lists")
 	fs.BoolVar(&k.NoCompile, knobFlags["NoCompile"], false,
 		"disable closure compilation; run every function in the reference interpreter")
+	fs.BoolVar(&k.NoMVCC, knobFlags["NoMVCC"], false,
+		"disable MVCC snapshot isolation; kvstore reads take shard locks")
 	fs.BoolVar(&k.Telemetry, knobFlags["Telemetry"], false,
 		"enable the telemetry metrics registry")
 	fs.BoolVar(&k.FlightRecorder, knobFlags["FlightRecorder"], false,

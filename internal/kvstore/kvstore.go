@@ -4,6 +4,14 @@
 // volatile per-shard locks rebuilt on open and all persistent updates
 // running inside transactions.
 //
+// By default the store runs with MVCC snapshot isolation (DESIGN.md
+// §17): writers copy-on-write the chains they touch and publish
+// immutable per-shard roots, readers pin an epoch and traverse with no
+// locks, and superseded versions are reclaimed through persistent
+// retire chains once the last pinning reader moves past them. The
+// NoMVCC knob restores the plain locked read path as the ablation
+// baseline.
+//
 // Like every application in this repository, all PM accesses go
 // through the hooks.Runtime instrumentation surface, so the store runs
 // unmodified under native PMDK, SPP, SafePM and memcheck.
@@ -12,6 +20,7 @@ package kvstore
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hooks"
 	"repro/internal/pmaccess"
@@ -26,14 +35,35 @@ type Store struct {
 	oidSize int64
 	shards  []shard
 	dir     pmemobj.Oid // shard directory: nshards embedded oids
+
+	// MVCC state (unused when the pool runs NoMVCC): the global
+	// version epoch, the pinned-epoch refcounts gating reclamation, and
+	// minPin caching the smallest pinned epoch (^0 when none) so
+	// writers check reclaim eligibility with one atomic load.
+	mvcc   bool
+	epoch  atomic.Uint64
+	pinMu  sync.Mutex
+	pins   map[uint64]int
+	minPin atomic.Uint64
 }
 
 type shard struct {
 	mu  sync.RWMutex
 	hdr pmemobj.Oid
+
+	// root is the published immutable view (MVCC only): writers swap
+	// in a fresh shardRoot per mutation, readers load it lock-free.
+	root atomic.Pointer[shardRoot]
+	// retired queues this shard's superseded-version batches, oldest
+	// first, each backed by a persistent retire node; retireTail is
+	// the last node of the persistent chain. Both guarded by mu.
+	retired    []retireBatch
+	retireTail pmemobj.Oid
 }
 
-// Shard header fields.
+// Shard header fields: {count u64, nbuckets u64, buckets oid,
+// retire oid} — retire heads the persistent retire-node chain (its
+// offset depends on the oid width, see shRetireOff).
 const (
 	shCount    = 0
 	shNBuckets = 8
@@ -49,7 +79,8 @@ const (
 	initialBuckets = 64
 )
 
-func (s *Store) shardHdrSize() uint64 { return 16 + uint64(s.oidSize) }
+func (s *Store) shardHdrSize() uint64 { return 16 + 2*uint64(s.oidSize) }
+func (s *Store) shRetireOff() int64   { return shBuckets + s.oidSize }
 func (s *Store) entryDataOff() int64  { return enNext + s.oidSize }
 func (s *Store) entrySize(klen, vlen int) uint64 {
 	return uint64(s.entryDataOff()) + uint64(klen) + uint64(vlen)
@@ -86,6 +117,9 @@ func open(rt hooks.Runtime, cfg config) (*Store, error) {
 	}
 	pool := rt.Pool()
 	s := &Store{rt: rt, pool: pool, oidSize: int64(pool.OidPersistedSize())}
+	s.mvcc = pool.MVCC()
+	s.pins = make(map[uint64]int)
+	s.minPin.Store(^uint64(0))
 	root, err := rt.Root(8 + uint64(s.oidSize))
 	if err != nil {
 		return nil, err
@@ -111,6 +145,24 @@ func open(rt hooks.Runtime, cfg config) (*Store, error) {
 	}
 	if err := c.Take(); err != nil {
 		return nil, err
+	}
+	// Crash cleanup: retire nodes left on a chain list versions no
+	// bucket reaches (the supersede and the retire commit atomically),
+	// and no volatile snapshot survives a restart, so every chain
+	// drains before the store serves.
+	for i := range s.shards {
+		if err := s.drainChain(&s.shards[i]); err != nil {
+			return nil, err
+		}
+	}
+	if s.mvcc {
+		for i := range s.shards {
+			r, err := s.loadRoot(c, &s.shards[i])
+			if err != nil {
+				return nil, err
+			}
+			s.shards[i].root.Store(r)
+		}
 	}
 	return s, nil
 }
@@ -172,8 +224,25 @@ func (s *Store) keyEqual(c *ctx, ep uint64, key []byte) bool {
 	return string(stored) == string(key)
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. Under MVCC the lookup pins
+// the current epoch and walks the shard's published root with no shard
+// lock; under NoMVCC it holds the shard's read lock.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	if s.mvcc {
+		h := hashKey(key)
+		sh := s.shardFor(h)
+		e := s.pin()
+		c := newCtx(s.rt)
+		val, ok, err := s.getAt(c, sh.root.Load(), h, key)
+		s.unpin(e)
+		return val, ok, err
+	}
+	return s.getLocked(key)
+}
+
+// getLocked is the NoMVCC read path: the shard read lock excludes
+// writers for the duration of the chain walk.
+func (s *Store) getLocked(key []byte) ([]byte, bool, error) {
 	h := hashKey(key)
 	sh := s.shardFor(h)
 	sh.mu.RLock()
@@ -207,8 +276,13 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 func (s *Store) Put(key, value []byte) error { return s.PutTraced(nil, key, value) }
 
 // PutTraced is Put for a traced request: the transaction attributes
-// its begin/commit/flush/fence stage durations to tr. Nil tr is Put.
+// its begin/commit/flush/fence stage durations to tr, and any rehash
+// or version reclamation the write triggers lands in tr's maint
+// phase. Nil tr is Put.
 func (s *Store) PutTraced(tr *trace.Req, key, value []byte) error {
+	if s.mvcc {
+		return s.putMVCC(tr, key, value)
+	}
 	h := hashKey(key)
 	sh := s.shardFor(h)
 	sh.mu.Lock()
@@ -292,7 +366,9 @@ func (s *Store) PutTraced(tr *trace.Req, key, value []byte) error {
 }
 
 // maybeRehash grows a shard's bucket array when its load factor
-// exceeds one. Caller holds the shard lock.
+// exceeds one (NoMVCC path: entries are relinked in place). Caller
+// holds the shard lock. The work attributes to the triggering
+// request's maint phase.
 func (s *Store) maybeRehash(sh *shard, tr *trace.Req) error {
 	c := newCtx(s.rt)
 	c.Trace = tr
@@ -305,6 +381,8 @@ func (s *Store) maybeRehash(sh *shard, tr *trace.Req) error {
 	if count <= n {
 		return nil
 	}
+	span := tr.Span(trace.PhaseMaint)
+	defer span.End()
 	newN := n * 2
 	return c.Run(func(tx *pmemobj.Tx) {
 		oldBuckets := c.LoadOid(hp, shBuckets)
@@ -353,6 +431,9 @@ func (s *Store) Delete(key []byte) (bool, error) { return s.DeleteTraced(nil, ke
 // DeleteTraced is Delete attributing transaction stage durations to a
 // traced request. Nil tr is Delete.
 func (s *Store) DeleteTraced(tr *trace.Req, key []byte) (bool, error) {
+	if s.mvcc {
+		return s.deleteMVCC(tr, key)
+	}
 	h := hashKey(key)
 	sh := s.shardFor(h)
 	sh.mu.Lock()
@@ -396,8 +477,16 @@ func (s *Store) DeleteTraced(tr *trace.Req, key []byte) (bool, error) {
 	return removed, err
 }
 
-// Count returns the total number of keys.
+// Count returns the total number of keys. Under MVCC the counts come
+// straight from the published roots — no locks, no PM reads.
 func (s *Store) Count() (uint64, error) {
+	if s.mvcc {
+		var total uint64
+		for i := range s.shards {
+			total += s.shards[i].root.Load().count
+		}
+		return total, nil
+	}
 	var total uint64
 	for i := range s.shards {
 		sh := &s.shards[i]

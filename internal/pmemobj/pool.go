@@ -100,6 +100,7 @@ type Pool struct {
 
 	nArenas      int
 	laneAffinity bool
+	mvcc         bool
 
 	// Batched commit pipeline knobs (see DESIGN.md §12) and the
 	// recycled per-commit scratch (flush accumulator + word buffer).
@@ -241,6 +242,7 @@ func open(dev *pmem.Pool, as *vmem.AddressSpace, base uint64, cfg Config) (*Pool
 		p.nArenas = DefaultNArenas
 	}
 	p.laneAffinity = !cfg.DisableLaneAffinity
+	p.mvcc = !cfg.NoMVCC
 	p.rangeDedup = !cfg.DisableRangeDedup
 	p.flushCoalesce = !cfg.DisableFlushCoalesce
 	p.groupFence = !cfg.DisableGroupFence
@@ -565,6 +567,10 @@ func (p *Pool) NArenas() int { return p.nArenas }
 
 // LaneAffinity reports whether the worker-affine lane cache is active.
 func (p *Pool) LaneAffinity() bool { return p.laneAffinity }
+
+// MVCC reports whether kvstore snapshot isolation is active for stores
+// opened over this pool.
+func (p *Pool) MVCC() bool { return p.mvcc }
 
 // RangeDedup reports whether AddRange interval dedup is active.
 func (p *Pool) RangeDedup() bool { return p.rangeDedup }

@@ -131,6 +131,7 @@ var (
 
 var opNames = map[byte]string{
 	wire.OpGet: "get", wire.OpPut: "put", wire.OpDelete: "delete", wire.OpCount: "count",
+	wire.OpScan: "scan",
 }
 
 // Server is a running KV service.
@@ -399,6 +400,25 @@ func execute(st *kvstore.Store, req wire.Request, tr *trace.Req) wire.Response {
 			return fail(err)
 		}
 		return wire.Response{Status: wire.StatusOK, Payload: wire.Count(n)}
+	case wire.OpScan:
+		// The snapshot-backed scan stops at the client's limit or when
+		// the next pair would overflow the response frame (one status
+		// byte shares the payload budget), whichever comes first.
+		budget := wire.MaxFrame - 1
+		var payload []byte
+		var n uint32
+		err := st.Scan(req.Key, req.Hi, func(k, v []byte) bool {
+			if wire.ScanPairSize(len(k), len(v)) > budget-len(payload) {
+				return false
+			}
+			payload = wire.AppendScanPair(payload, k, v)
+			n++
+			return req.Limit == 0 || n < req.Limit
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Payload: payload}
 	}
 	return fail(fmt.Errorf("server: unhandled op %d", req.Op))
 }

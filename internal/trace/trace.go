@@ -59,11 +59,16 @@ const (
 	// PhaseFence is the commit fence — under group fencing, time
 	// waiting on the device's epoch combiner.
 	PhaseFence
+	// PhaseMaint is background maintenance a request triggered and
+	// waited on: shard rehash and MVCC version reclamation. Attributing
+	// it separately keeps a rehash-paying Put from looking like a slow
+	// store traversal.
+	PhaseMaint
 	// NumPhases sizes per-phase arrays.
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"queue", "exec", "tx-begin", "tx-commit", "flush", "fence"}
+var phaseNames = [NumPhases]string{"queue", "exec", "tx-begin", "tx-commit", "flush", "fence", "maint"}
 
 func (p Phase) String() string {
 	if int(p) < len(phaseNames) {
@@ -301,40 +306,71 @@ func (e Exemplar) String() string {
 }
 
 // slowRingCap bounds retained exemplars; newer evict older.
-const slowRingCap = 64
+// slowTenantQuota is the most slots a single tenant's eviction can
+// reclaim from other tenants: once the ring is full, a tenant at or
+// over quota replaces only its own oldest exemplar, so one noisy
+// tenant cannot wash everyone else's exemplars out of /debug/slow.
+const (
+	slowRingCap     = 64
+	slowTenantQuota = slowRingCap / 4
+)
 
 var slowRing struct {
-	mu   sync.Mutex
-	buf  [slowRingCap]Exemplar
-	next int
-	n    int
+	mu     sync.Mutex
+	buf    []Exemplar // oldest first
+	counts map[string]int
 }
 
 func captureSlow(e Exemplar) {
 	slowRing.mu.Lock()
-	slowRing.buf[slowRing.next] = e
-	slowRing.next = (slowRing.next + 1) % slowRingCap
-	if slowRing.n < slowRingCap {
-		slowRing.n++
+	defer slowRing.mu.Unlock()
+	if slowRing.counts == nil {
+		slowRing.counts = make(map[string]int)
 	}
-	slowRing.mu.Unlock()
+	if len(slowRing.buf) >= slowRingCap {
+		victim := e.Tenant
+		if slowRing.counts[e.Tenant] < slowTenantQuota {
+			// The inserting tenant is under quota: the slot comes out
+			// of the heaviest occupant instead (name-ordered on ties,
+			// for determinism).
+			best := -1
+			for t, n := range slowRing.counts {
+				if n > best || (n == best && t < victim) {
+					victim, best = t, n
+				}
+			}
+		}
+		evictOldestOf(victim)
+	}
+	slowRing.buf = append(slowRing.buf, e)
+	slowRing.counts[e.Tenant]++
+}
+
+// evictOldestOf drops tenant's oldest exemplar. The ring is full when
+// called, so the scan always finds one.
+func evictOldestOf(tenant string) {
+	for i := range slowRing.buf {
+		if slowRing.buf[i].Tenant == tenant {
+			slowRing.buf = append(slowRing.buf[:i], slowRing.buf[i+1:]...)
+			if slowRing.counts[tenant]--; slowRing.counts[tenant] <= 0 {
+				delete(slowRing.counts, tenant)
+			}
+			return
+		}
+	}
 }
 
 // SlowExemplars returns the retained slow requests, oldest first.
 func SlowExemplars() []Exemplar {
 	slowRing.mu.Lock()
 	defer slowRing.mu.Unlock()
-	out := make([]Exemplar, 0, slowRing.n)
-	for i := 0; i < slowRing.n; i++ {
-		out = append(out, slowRing.buf[(slowRing.next-slowRing.n+i+slowRingCap)%slowRingCap])
-	}
-	return out
+	return append([]Exemplar(nil), slowRing.buf...)
 }
 
 // ResetSlow discards retained exemplars (tests).
 func ResetSlow() {
 	slowRing.mu.Lock()
-	slowRing.next, slowRing.n = 0, 0
+	slowRing.buf, slowRing.counts = nil, nil
 	slowRing.mu.Unlock()
 }
 

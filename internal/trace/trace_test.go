@@ -150,6 +150,65 @@ func TestSlowRingEvictsOldestFirst(t *testing.T) {
 	}
 }
 
+// TestSlowRingTenantQuota: once the ring is full, a flooding tenant
+// replaces only its own oldest exemplars — other tenants' entries stay
+// resident — and a newly active tenant reclaims its slot from the
+// heaviest occupant, not from the quiet ones.
+func TestSlowRingTenantQuota(t *testing.T) {
+	ResetSlow()
+	defer ResetSlow()
+	for i := 0; i < 5; i++ {
+		captureSlow(Exemplar{ID: uint64(i), Tenant: fmt.Sprintf("quiet-%d", i)})
+	}
+	const flood = 10 * slowRingCap
+	for i := 0; i < flood; i++ {
+		captureSlow(Exemplar{ID: 1000 + uint64(i), Tenant: "noisy"})
+	}
+	exs := SlowExemplars()
+	if len(exs) != slowRingCap {
+		t.Fatalf("ring holds %d, want %d", len(exs), slowRingCap)
+	}
+	byTenant := map[string]int{}
+	var noisyIDs []uint64
+	for _, e := range exs {
+		byTenant[e.Tenant]++
+		if e.Tenant == "noisy" {
+			noisyIDs = append(noisyIDs, e.ID)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		tn := fmt.Sprintf("quiet-%d", i)
+		if byTenant[tn] != 1 {
+			t.Errorf("tenant %s holds %d exemplars after the flood, want 1", tn, byTenant[tn])
+		}
+	}
+	if byTenant["noisy"] != slowRingCap-5 {
+		t.Errorf("noisy tenant holds %d, want %d", byTenant["noisy"], slowRingCap-5)
+	}
+	// The flooder evicted its own oldest each time: what it retains are
+	// its newest captures.
+	if want := 1000 + uint64(flood-len(noisyIDs)); len(noisyIDs) == 0 || noisyIDs[0] != want {
+		t.Errorf("noisy oldest retained = %v, want %d", noisyIDs, want)
+	}
+
+	captureSlow(Exemplar{ID: 9999, Tenant: "late"})
+	byTenant = map[string]int{}
+	for _, e := range SlowExemplars() {
+		byTenant[e.Tenant]++
+	}
+	if byTenant["late"] != 1 {
+		t.Errorf("late tenant not admitted: %v", byTenant)
+	}
+	for i := 0; i < 5; i++ {
+		if tn := fmt.Sprintf("quiet-%d", i); byTenant[tn] != 1 {
+			t.Errorf("late insert evicted %s: %v", tn, byTenant)
+		}
+	}
+	if byTenant["noisy"] != slowRingCap-6 {
+		t.Errorf("noisy holds %d after the late insert, want %d", byTenant["noisy"], slowRingCap-6)
+	}
+}
+
 func TestPhaseString(t *testing.T) {
 	if PhaseQueue.String() != "queue" || PhaseFence.String() != "fence" {
 		t.Errorf("phase names: %v %v", PhaseQueue, PhaseFence)

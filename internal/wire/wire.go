@@ -7,16 +7,26 @@
 // Request frame layout (all integers big-endian):
 //
 //	u32  payload length (bytes after this field)
-//	u8   op              (OpGet, OpPut, OpDelete, OpCount; high bit =
-//	                      OpTraceFlag, a trace header follows)
+//	u8   op              (OpGet, OpPut, OpDelete, OpCount, OpScan;
+//	                      high bit = OpTraceFlag, a trace header
+//	                      follows)
 //	u64  trace ID        (only with OpTraceFlag)
 //	u8   trace flags     (only with OpTraceFlag; bit 0 = sampled,
 //	                      other bits reserved and must be zero)
 //	u8   tenant length   (1..MaxTenantLen)
 //	...  tenant
 //	u32  key length
-//	...  key
+//	...  key             (SCAN: the inclusive lower bound; empty =
+//	                      from the start)
 //	...  value           (rest of the frame; PUT only)
+//
+// A SCAN frame replaces the value tail with an exactly-sized bound
+// extension — anything shorter or longer is malformed:
+//
+//	u32  hi length
+//	...  hi              (exclusive upper bound; empty = unbounded)
+//	u32  limit           (max pairs returned; 0 = no limit beyond the
+//	                      response frame budget)
 //
 // The trace header is a backward-compatible extension: a client only
 // emits it for requests actually chosen for tracing, so a new client
@@ -32,7 +42,9 @@
 //	u32  payload length
 //	u8   status          (StatusOK, StatusNotFound, StatusError,
 //	                      StatusOverloaded)
-//	...  payload         (GET: value; COUNT: u64; errors: message)
+//	...  payload         (GET: value; COUNT: u64; SCAN: repeated
+//	                      {u32 klen, key, u32 vlen, value} pairs in
+//	                      ascending key order; errors: message)
 //
 // StatusOverloaded is distinct from StatusError so clients can tell
 // admission-control shedding (retry later, the request was never
@@ -54,6 +66,7 @@ const (
 	OpPut
 	OpDelete
 	OpCount
+	OpScan
 
 	// OpTraceFlag marks a request frame carrying the 9-byte trace
 	// header between the op byte and the tenant length.
@@ -81,7 +94,8 @@ const (
 	MaxFrame     = 1 << 20
 	MaxTenantLen = 255
 
-	reqHeader = 1 + 1 + 4 // op + tenant length + key length
+	reqHeader  = 1 + 1 + 4 // op + tenant length + key length
+	scanExtLen = 4 + 4     // hi length + limit (hi bytes in between)
 )
 
 // Protocol errors. ErrMalformed wraps every framing violation; after
@@ -93,12 +107,16 @@ var (
 )
 
 // Request is one decoded operation. A zero Trace means the frame
-// carried no trace header (and none is emitted on encode).
+// carried no trace header (and none is emitted on encode). Hi and
+// Limit are meaningful only for OpScan, whose Key is the inclusive
+// lower bound.
 type Request struct {
 	Op     byte
 	Tenant string
 	Key    []byte
 	Value  []byte
+	Hi     []byte
+	Limit  uint32
 	Trace  trace.Ctx
 }
 
@@ -110,14 +128,23 @@ type Response struct {
 
 // AppendRequest encodes r onto dst and returns the extended slice.
 func AppendRequest(dst []byte, r Request) ([]byte, error) {
-	if r.Op < OpGet || r.Op > OpCount {
+	if r.Op < OpGet || r.Op > OpScan {
 		return dst, fmt.Errorf("%w: bad op %d", ErrMalformed, r.Op)
+	}
+	if r.Op != OpScan && (len(r.Hi) != 0 || r.Limit != 0) {
+		return dst, fmt.Errorf("%w: op %d carries scan bounds", ErrMalformed, r.Op)
+	}
+	if r.Op == OpScan && len(r.Value) != 0 {
+		return dst, fmt.Errorf("%w: scan carries a value", ErrMalformed)
 	}
 	if len(r.Tenant) == 0 || len(r.Tenant) > MaxTenantLen {
 		return dst, fmt.Errorf("%w: tenant length %d", ErrMalformed, len(r.Tenant))
 	}
 	traced := r.Trace != (trace.Ctx{})
 	n := reqHeader + len(r.Tenant) + len(r.Key) + len(r.Value)
+	if r.Op == OpScan {
+		n += scanExtLen + len(r.Hi)
+	}
 	if traced {
 		n += traceHdrLen
 	}
@@ -140,6 +167,12 @@ func AppendRequest(dst []byte, r Request) ([]byte, error) {
 	dst = append(dst, r.Tenant...)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Key)))
 	dst = append(dst, r.Key...)
+	if r.Op == OpScan {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Hi)))
+		dst = append(dst, r.Hi...)
+		dst = binary.BigEndian.AppendUint32(dst, r.Limit)
+		return dst, nil
+	}
 	dst = append(dst, r.Value...)
 	return dst, nil
 }
@@ -185,7 +218,7 @@ func ReadRequest(r io.Reader) (Request, error) {
 		// byte sat).
 		payload = payload[traceHdrLen:]
 	}
-	if op < OpGet || op > OpCount {
+	if op < OpGet || op > OpScan {
 		return Request{}, fmt.Errorf("%w: bad op %d", ErrMalformed, op)
 	}
 	tlen := int(payload[1])
@@ -200,6 +233,25 @@ func ReadRequest(r io.Reader) (Request, error) {
 		return Request{}, fmt.Errorf("%w: key length %d exceeds remaining %d bytes", ErrMalformed, klen, len(rest))
 	}
 	req := Request{Op: op, Tenant: tenant, Key: rest[:klen], Value: rest[klen:], Trace: tc}
+	if op == OpScan {
+		// The tail is the bound extension, sized exactly: a truncated
+		// hi, a missing limit, or trailing garbage all fold to
+		// ErrMalformed.
+		ext := req.Value
+		req.Value = nil
+		if len(ext) < scanExtLen {
+			return Request{}, fmt.Errorf("%w: scan extension %d bytes", ErrMalformed, len(ext))
+		}
+		hlen := int(binary.BigEndian.Uint32(ext))
+		if len(ext) != scanExtLen+hlen {
+			return Request{}, fmt.Errorf("%w: scan extension %d bytes, want %d for hi length %d", ErrMalformed, len(ext), scanExtLen+hlen, hlen)
+		}
+		if hlen > 0 {
+			req.Hi = ext[4 : 4+hlen]
+		}
+		req.Limit = binary.BigEndian.Uint32(ext[4+hlen:])
+		return req, nil
+	}
 	if op != OpPut && len(req.Value) != 0 {
 		return Request{}, fmt.Errorf("%w: op %d carries a value", ErrMalformed, op)
 	}
@@ -267,4 +319,51 @@ func ParseCount(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: count payload %d bytes", ErrMalformed, len(payload))
 	}
 	return binary.BigEndian.Uint64(payload), nil
+}
+
+// KV is one scanned key/value pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// ScanPairSize is the encoded size of one scan result pair — the
+// server budgets response frames with it.
+func ScanPairSize(klen, vlen int) int { return 8 + klen + vlen }
+
+// AppendScanPair encodes one pair onto a SCAN response payload.
+func AppendScanPair(dst, key, value []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(key)))
+	dst = append(dst, key...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(value)))
+	dst = append(dst, value...)
+	return dst
+}
+
+// ParseScanResult decodes a SCAN response payload into its pairs.
+func ParseScanResult(payload []byte) ([]KV, error) {
+	var out []KV
+	for len(payload) > 0 {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: scan result tail %d bytes", ErrMalformed, len(payload))
+		}
+		klen := int(binary.BigEndian.Uint32(payload))
+		payload = payload[4:]
+		if klen > len(payload) {
+			return nil, fmt.Errorf("%w: scan result key length %d exceeds remaining %d", ErrMalformed, klen, len(payload))
+		}
+		key := payload[:klen]
+		payload = payload[klen:]
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: scan result missing value length", ErrMalformed)
+		}
+		vlen := int(binary.BigEndian.Uint32(payload))
+		payload = payload[4:]
+		if vlen > len(payload) {
+			return nil, fmt.Errorf("%w: scan result value length %d exceeds remaining %d", ErrMalformed, vlen, len(payload))
+		}
+		out = append(out, KV{Key: key, Value: payload[:vlen]})
+		payload = payload[vlen:]
+	}
+	return out, nil
 }

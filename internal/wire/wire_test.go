@@ -110,6 +110,75 @@ func TestTraceWireCompat(t *testing.T) {
 	}
 }
 
+// TestScanRequestRoundTrip covers the OpScan bound extension: lo/hi
+// bounds and the limit survive the round trip, with and without a
+// trace header, and empty bounds decode as nil (unbounded).
+func TestScanRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpScan, Tenant: "acme", Key: []byte("a"), Hi: []byte("m"), Limit: 10},
+		{Op: OpScan, Tenant: "acme", Key: nil, Hi: nil, Limit: 0},
+		{Op: OpScan, Tenant: "t", Key: []byte("k-000"), Hi: nil, Limit: 1},
+		{Op: OpScan, Tenant: "t", Key: nil, Hi: []byte("zz"), Limit: 1 << 20,
+			Trace: trace.Ctx{ID: 99, Sampled: true}},
+	}
+	var buf bytes.Buffer
+	for _, r := range reqs {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatalf("write %+v: %v", r, err)
+		}
+	}
+	for i, want := range reqs {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Op != OpScan || got.Tenant != want.Tenant ||
+			!bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Hi, want.Hi) ||
+			got.Limit != want.Limit || got.Trace != want.Trace || got.Value != nil {
+			t.Errorf("round trip %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestScanResultRoundTrip(t *testing.T) {
+	var payload []byte
+	pairs := []KV{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: nil},
+		{Key: nil, Value: []byte("empty-key")},
+	}
+	for _, p := range pairs {
+		payload = AppendScanPair(payload, p.Key, p.Value)
+	}
+	got, err := ParseScanResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("parsed %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if !bytes.Equal(got[i].Key, pairs[i].Key) || !bytes.Equal(got[i].Value, pairs[i].Value) {
+			t.Errorf("pair %d: got %q=%q, want %q=%q", i, got[i].Key, got[i].Value, pairs[i].Key, pairs[i].Value)
+		}
+	}
+	empty, err := ParseScanResult(nil)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty payload: %v pairs, err %v", empty, err)
+	}
+	for name, b := range map[string][]byte{
+		"short key length":   {0, 0, 1},
+		"key overrun":        {0, 0, 0, 9, 'k'},
+		"missing value len":  {0, 0, 0, 1, 'k', 0},
+		"value overrun":      {0, 0, 0, 1, 'k', 0, 0, 0, 9, 'v'},
+		"trailing half pair": AppendScanPair(nil, []byte("k"), []byte("v"))[:11],
+	} {
+		if _, err := ParseScanResult(b); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
 func TestResponseRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	resps := []Response{
@@ -168,6 +237,16 @@ func TestMalformedFrames(t *testing.T) {
 		"empty trace header": {0, 0, 0, 16, OpGet | OpTraceFlag,
 			0, 0, 0, 0, 0, 0, 0, 0, 0x00, // ID 0, unsampled: header says nothing
 			1, 't', 0, 0, 0, 0},
+		// Scan bound extension: OpScan promises `u32 hiLen | hi | u32
+		// limit` after the key, sized exactly. Frames that are short,
+		// overrun, or carry trailing bytes are rejected.
+		"scan missing extension": {0, 0, 0, 8, OpScan, 1, 't', 0, 0, 0, 1, 'k'},
+		"scan truncated limit": {0, 0, 0, 15, OpScan, 1, 't', 0, 0, 0, 1, 'k',
+			0, 0, 0, 1, 'h', 0, 0},
+		"scan hi overrun": {0, 0, 0, 13, OpScan, 1, 't', 0, 0, 0, 1, 'k',
+			0, 0, 0, 5, 'h'},
+		"scan trailing garbage": {0, 0, 0, 17, OpScan, 1, 't', 0, 0, 0, 1, 'k',
+			0, 0, 0, 0, 0, 0, 0, 0, 0xee},
 	}
 	for name, b := range cases {
 		_, err := ReadRequest(bytes.NewReader(b))
@@ -179,10 +258,13 @@ func TestMalformedFrames(t *testing.T) {
 
 func TestEncodeRejectsBadRequests(t *testing.T) {
 	for name, r := range map[string]Request{
-		"bad op":       {Op: 0, Tenant: "t"},
-		"empty tenant": {Op: OpGet},
-		"long tenant":  {Op: OpGet, Tenant: string(bytes.Repeat([]byte{'a'}, 300))},
-		"huge value":   {Op: OpPut, Tenant: "t", Value: make([]byte, MaxFrame)},
+		"bad op":        {Op: 0, Tenant: "t"},
+		"empty tenant":  {Op: OpGet},
+		"long tenant":   {Op: OpGet, Tenant: string(bytes.Repeat([]byte{'a'}, 300))},
+		"huge value":    {Op: OpPut, Tenant: "t", Value: make([]byte, MaxFrame)},
+		"hi on GET":     {Op: OpGet, Tenant: "t", Key: []byte("k"), Hi: []byte("z")},
+		"limit on PUT":  {Op: OpPut, Tenant: "t", Key: []byte("k"), Value: []byte("v"), Limit: 5},
+		"value on SCAN": {Op: OpScan, Tenant: "t", Key: []byte("k"), Value: []byte("v")},
 	} {
 		if _, err := AppendRequest(nil, r); !errors.Is(err, ErrMalformed) {
 			t.Errorf("%s: err = %v, want ErrMalformed", name, err)

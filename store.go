@@ -62,3 +62,53 @@ func (s *Store) Count() (uint64, error) {
 	n, err := s.kv.Count()
 	return n, wrap(err)
 }
+
+// Scan visits every key in [lo, hi) in ascending byte order (nil lo
+// scans from the start, nil hi to the end), stopping early when fn
+// returns false. The whole scan observes one consistent snapshot and
+// never blocks writers; see Snapshot for holding that view across
+// several operations.
+func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return wrap(s.kv.Scan(lo, hi, fn))
+}
+
+// Snap is a pinned, immutable view of the store at one moment: Get,
+// Count and Scan against it observe exactly the versions that were
+// current at Snapshot time, no matter how writers churn afterwards,
+// and acquire no locks. A Snap pins superseded versions in the pool,
+// so Release it promptly. Snapshots are volatile: none survive a
+// crash or Reopen (recovery rebuilds the latest state only).
+type Snap struct {
+	sn *kvstore.Snap
+}
+
+// Snapshot pins the store's current version and returns the frozen
+// view. Always Release it (safe via defer — Release is idempotent).
+// When the pool runs with -no-mvcc, the returned Snap degrades to
+// locked reads of live state and pins nothing.
+func (s *Store) Snapshot() *Snap {
+	return &Snap{sn: s.kv.Snapshot()}
+}
+
+// Get returns the value stored under key in the snapshot.
+func (s *Snap) Get(key []byte) ([]byte, bool, error) {
+	v, ok, err := s.sn.Get(key)
+	return v, ok, wrap(err)
+}
+
+// Count returns the number of keys in the snapshot.
+func (s *Snap) Count() (uint64, error) {
+	n, err := s.sn.Count()
+	return n, wrap(err)
+}
+
+// Scan is Store.Scan against the snapshot's frozen view.
+func (s *Snap) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return wrap(s.sn.Scan(lo, hi, fn))
+}
+
+// Release unpins the snapshot, letting the versions it held be
+// reclaimed. Calling it again is a no-op.
+func (s *Snap) Release() error {
+	return wrap(s.sn.Release())
+}
